@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the reasoning substrate: chase throughput on
+//! random ownership and debt networks, plus the structural analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finkg::apps::{control, stress};
+use vadalog::chase;
+
+fn bench_control_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_company_control");
+    group.sample_size(20);
+    for n in [50usize, 150, 400] {
+        let db = finkg::random_ownership(n, 3, 7);
+        let program = control::program();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| chase(&program, db.clone()).expect("chase"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stress_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_stress_test");
+    group.sample_size(20);
+    for n in [50usize, 150, 400] {
+        let db = finkg::random_debt_network(n, 3, 5, 11);
+        let program = stress::program();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| chase(&program, db.clone()).expect("chase"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_structural_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural_analysis");
+    group.bench_function("company_control", |b| {
+        let p = control::program();
+        b.iter(|| explain::analyze(&p, control::GOAL).expect("analysis"))
+    });
+    group.bench_function("stress_test", |b| {
+        let p = stress::program();
+        b.iter(|| explain::analyze(&p, stress::GOAL).expect("analysis"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_control_chase,
+    bench_stress_chase,
+    bench_structural_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of explanation generation (the Fig. 18 quantity):
+//! per-query latency of `ExplanationPipeline::explain_id` at several proof
+//! lengths, for both applications, plus pipeline construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use explain::{ExplanationPipeline, TemplateFlavor};
+use finkg::apps::{control, stress};
+use vadalog::chase;
+
+fn bench_control(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18a_company_control");
+    for steps in [1usize, 5, 9, 15, 21] {
+        let bundle = finkg::control_bundle(steps, 1, 18 + steps as u64);
+        let pipeline =
+            ExplanationPipeline::new(control::program(), control::GOAL, &control::glossary())
+                .expect("pipeline");
+        let outcome = chase(&control::program(), bundle.database.clone()).expect("chase");
+        let id = outcome.lookup(&bundle.targets[0]).expect("derived");
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            b.iter(|| {
+                pipeline
+                    .explain_id(&outcome, id, TemplateFlavor::Enhanced)
+                    .expect("explainable")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18b_stress_test");
+    for steps in [1usize, 7, 13, 21] {
+        let bundle = finkg::stress_bundle(steps, 1, 18 + steps as u64);
+        let goal = bundle.targets[0].predicate.as_str();
+        let pipeline = ExplanationPipeline::new(stress::program(), goal, &stress::glossary())
+            .expect("pipeline");
+        let outcome = chase(&stress::program(), bundle.database.clone()).expect("chase");
+        let id = outcome.lookup(&bundle.targets[0]).expect("derived");
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            b.iter(|| {
+                pipeline
+                    .explain_id(&outcome, id, TemplateFlavor::Enhanced)
+                    .expect("explainable")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_construction");
+    group.bench_function("company_control", |b| {
+        b.iter(|| {
+            ExplanationPipeline::new(control::program(), control::GOAL, &control::glossary())
+                .expect("pipeline")
+        })
+    });
+    group.bench_function("stress_test", |b| {
+        b.iter(|| {
+            ExplanationPipeline::new(stress::program(), stress::GOAL, &stress::glossary())
+                .expect("pipeline")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_control,
+    bench_stress,
+    bench_pipeline_construction
+);
+criterion_main!(benches);

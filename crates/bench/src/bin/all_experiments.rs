@@ -1,0 +1,85 @@
+//! Runs every experiment of the evaluation in sequence and writes the
+//! outputs under `results/` — the one-command regeneration of the paper's
+//! Section 6 (see EXPERIMENTS.md for the paper-vs-measured comparison).
+
+use std::fmt::Write as _;
+
+fn main() -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+
+    // Fig. 10.
+    let mut fig10 = String::new();
+    for app in bench::fig10::run() {
+        let _ = writeln!(fig10, "== {} ==", app.name);
+        let _ = writeln!(fig10, "simple: {}", app.simple.join("  "));
+        let _ = writeln!(fig10, "cycles: {}", app.cycles.join("  "));
+    }
+    std::fs::write("results/fig10_reasoning_paths.txt", &fig10)?;
+
+    // Templates catalog.
+    let mut cat = String::new();
+    for app in bench::catalog::run() {
+        let _ = writeln!(cat, "==== {} ====", app.name);
+        for (label, det, enh) in &app.templates {
+            let _ = writeln!(
+                cat,
+                "[{label}]\n  deterministic: {det}\n  enhanced:      {enh}"
+            );
+        }
+    }
+    std::fs::write("results/templates_catalog.txt", &cat)?;
+
+    // Fig. 14.
+    let outcome = bench::fig14::run(2025);
+    let mut f14 = bench::render_table(&bench::fig14::HEADERS, &bench::fig14::rows(&outcome));
+    let _ = writeln!(f14, "overall accuracy: {:.3}", outcome.overall_accuracy());
+    std::fs::write("results/fig14_comprehension.txt", &f14)?;
+
+    // Fig. 16.
+    let outcome = bench::fig16::run(42);
+    let mut f16 = bench::render_table(&bench::fig16::HEADERS, &bench::fig16::rows(&outcome));
+    for (a, b, p) in bench::fig16::p_values(&outcome) {
+        let _ = writeln!(f16, "{} vs {}: p = {:.4}", a.label(), b.label(), p);
+    }
+    std::fs::write("results/fig16_expert_study.txt", &f16)?;
+
+    // Fig. 17.
+    let mut f17 = String::new();
+    for app in [
+        bench::fig17::App::CompanyControl,
+        bench::fig17::App::StressTest,
+    ] {
+        let points = bench::fig17::run(app, &app.paper_steps(), 10, 17);
+        for prompt in [llm_sim::Prompt::Paraphrase, llm_sim::Prompt::Summarize] {
+            let _ = writeln!(f17, "== {app:?} {prompt:?} ==");
+            f17.push_str(&bench::render_table(
+                &bench::fig17::HEADERS,
+                &bench::fig17::rows(&points, prompt),
+            ));
+        }
+    }
+    std::fs::write("results/fig17_omissions.txt", &f17)?;
+
+    // Fig. 18.
+    let mut f18 = String::new();
+    for app in [
+        bench::fig17::App::CompanyControl,
+        bench::fig17::App::StressTest,
+    ] {
+        let points = bench::fig18::run(app, &bench::fig18::paper_steps(app), 15, 18);
+        let _ = writeln!(f18, "== {app:?} ==");
+        f18.push_str(&bench::render_table(
+            &bench::fig18::HEADERS,
+            &bench::fig18::rows(&points),
+        ));
+    }
+    std::fs::write("results/fig18_performance.txt", &f18)?;
+
+    println!("wrote results/fig10_reasoning_paths.txt");
+    println!("wrote results/templates_catalog.txt");
+    println!("wrote results/fig14_comprehension.txt");
+    println!("wrote results/fig16_expert_study.txt");
+    println!("wrote results/fig17_omissions.txt");
+    println!("wrote results/fig18_performance.txt");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! The consistency observation of Sec. 6.5: LLM-generated explanations
+//! vary between runs ("no prompt guarantees perfect consistency"), while
+//! the template-based approach is deterministic.
+//!
+//! For each expert-study scenario, the deterministic explanation is
+//! rewritten by the simulated LLM ten times per prompt; we report the
+//! number of distinct outputs, the spread of their completeness, and the
+//! same measurements for the template-based method (always 1 distinct
+//! output, always complete).
+
+use llm_sim::{retained_ratio, Prompt, SimulatedLlm};
+use stats::{mean, std_dev};
+use std::collections::HashSet;
+use studies::{expert_cases, proof_constants};
+
+fn main() {
+    const RUNS: u64 = 10;
+    println!("Run-to-run consistency over {RUNS} runs per scenario (Sec. 6.5)\n");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for case in expert_cases() {
+        let det = case.deterministic_text();
+        let constants = proof_constants(&case.outcome, case.target, &case.glossary);
+        for prompt in [Prompt::Paraphrase, Prompt::Summarize] {
+            let llm = SimulatedLlm::new(prompt, 6);
+            let outputs: Vec<String> = (0..RUNS).map(|r| llm.rewrite(&det, r)).collect();
+            let distinct: HashSet<&String> = outputs.iter().collect();
+            let completeness: Vec<f64> = outputs
+                .iter()
+                .map(|t| retained_ratio(t, &constants))
+                .collect();
+            rows.push(vec![
+                case.name.to_owned(),
+                format!("{prompt:?}"),
+                distinct.len().to_string(),
+                format!("{:.3}", mean(&completeness).unwrap()),
+                format!("{:.3}", std_dev(&completeness).unwrap_or(0.0)),
+            ]);
+        }
+        // Template-based: deterministic by construction.
+        let outputs: Vec<String> = (0..RUNS).map(|_| case.template_text()).collect();
+        let distinct: HashSet<&String> = outputs.iter().collect();
+        let completeness: Vec<f64> = outputs
+            .iter()
+            .map(|t| retained_ratio(t, &constants))
+            .collect();
+        rows.push(vec![
+            case.name.to_owned(),
+            "Templates".to_owned(),
+            distinct.len().to_string(),
+            format!("{:.3}", mean(&completeness).unwrap()),
+            format!("{:.3}", std_dev(&completeness).unwrap_or(0.0)),
+        ]);
+    }
+    print!(
+        "{}",
+        bench::render_table(
+            &[
+                "Scenario",
+                "Method",
+                "Distinct outputs",
+                "Mean completeness",
+                "Completeness sd"
+            ],
+            &rows
+        )
+    );
+    println!("\nTemplates: always 1 distinct output, completeness 1.000, sd 0.000.");
+}

@@ -1,0 +1,26 @@
+//! Regenerates Fig. 14: the comprehension user study (24 simulated users,
+//! five cases, error archetypes I-IV).
+
+fn main() {
+    let outcome = bench::fig14::run(2025);
+    println!(
+        "Figure 14 — Comprehension user study ({} answers)\n",
+        24 * 5
+    );
+    print!(
+        "{}",
+        bench::render_table(&bench::fig14::HEADERS, &bench::fig14::rows(&outcome))
+    );
+    let correct: usize = outcome.cases.iter().map(|c| c.correct).sum();
+    let total: usize = outcome.cases.iter().map(|c| c.total).sum();
+    let (lo, hi) = stats::wilson95(correct, total).expect("non-empty study");
+    println!(
+        "\nOverall accuracy: {:.1}% (95% CI {:.1}%-{:.1}%)  (paper: 96%)",
+        100.0 * outcome.overall_accuracy(),
+        100.0 * lo,
+        100.0 * hi
+    );
+    for c in &outcome.cases {
+        println!("  case: {}", c.name);
+    }
+}

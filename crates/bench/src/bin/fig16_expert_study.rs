@@ -1,0 +1,39 @@
+//! Regenerates Figures 15 and 16: the expert user study (14 simulated
+//! experts, four scenarios, three methods) with pairwise Wilcoxon tests.
+
+use studies::Method;
+
+fn main() {
+    println!("Figure 15 — Example explanations for the same fact\n");
+    for (title, text) in bench::fig16::specimen(42) {
+        println!("--- {title} ---");
+        println!("{text}\n");
+    }
+
+    let outcome = bench::fig16::run(42);
+    println!("Figure 16 — Mean Likert value and standard deviation\n");
+    print!(
+        "{}",
+        bench::render_table(&bench::fig16::HEADERS, &bench::fig16::rows(&outcome))
+    );
+
+    println!("\nPairwise Wilcoxon signed-rank tests (two-sided):");
+    for (a, b, p) in bench::fig16::p_values(&outcome) {
+        println!("  {:12} vs {:12}: p = {:.4}", a.label(), b.label(), p);
+    }
+    println!(
+        "\nPaper reference: p1 (paraphrase vs templates) = 0.5851, p2 (summary vs templates) = 0.404;"
+    );
+    let p1 = outcome.p_value(Method::Paraphrase, Method::Templates);
+    let p2 = outcome.p_value(Method::Summary, Method::Templates);
+    println!(
+        "reproduced: p1 = {:.4}, p2 = {:.4} -> {}",
+        p1,
+        p2,
+        if p1 > 0.05 && p2 > 0.05 {
+            "no significant difference (matches the paper)"
+        } else {
+            "UNEXPECTED significant difference"
+        }
+    );
+}

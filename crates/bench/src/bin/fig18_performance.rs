@@ -1,0 +1,21 @@
+//! Regenerates Fig. 18: running times of explanation generation for
+//! proofs of increasing inference length.
+
+use bench::fig17::App;
+use bench::fig18::{paper_steps, rows, run, HEADERS};
+
+fn main() {
+    let proofs_per_len = 15; // as in the paper's boxplots
+    for (app, label) in [
+        (App::CompanyControl, "(a) Company Control"),
+        (App::StressTest, "(b) Stress Test"),
+    ] {
+        println!("Figure 18{label} — explanation generation time");
+        let points = run(app, &paper_steps(app), proofs_per_len, 18);
+        print!("{}", bench::render_table(&HEADERS, &rows(&points)));
+        println!();
+    }
+    println!("Note: absolute numbers are hardware-dependent; the paper's shape to check");
+    println!("is: time grows with chase steps, stress test > company control, worst case");
+    println!("interactive.");
+}

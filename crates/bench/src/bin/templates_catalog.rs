@@ -1,0 +1,19 @@
+//! Regenerates Figures 6, 7 and 11: rules, glossaries and the generated
+//! explanation templates of every KG application.
+
+fn main() {
+    for app in bench::catalog::run() {
+        println!("==== {} ====", app.name);
+        println!("-- rules --");
+        for r in &app.rules {
+            println!("  {r}");
+        }
+        println!("-- templates --");
+        for (label, det, enh) in &app.templates {
+            println!("  [{label}]");
+            println!("    deterministic: {det}");
+            println!("    enhanced:      {enh}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 14: the comprehension user study table.
+
+use studies::comprehension::{run as run_study, ComprehensionConfig};
+use studies::ComprehensionOutcome;
+
+/// Runs the simulated study with the paper's parameters (24 users, five
+/// cases).
+pub fn run(seed: u64) -> ComprehensionOutcome {
+    run_study(&ComprehensionConfig {
+        seed,
+        ..ComprehensionConfig::default()
+    })
+}
+
+/// Formats the Fig. 14 table rows: per case, the error share per archetype
+/// and the correct-answer share.
+pub fn rows(outcome: &ComprehensionOutcome) -> Vec<Vec<String>> {
+    use finkg::ErrorArchetype::*;
+    outcome
+        .cases
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let pct = |n: usize| format!("{:.0}%", 100.0 * n as f64 / c.total as f64);
+            vec![
+                format!("{}", i + 1),
+                pct(c.errors.get(&WrongEdge).copied().unwrap_or(0)),
+                pct(c.errors.get(&WrongValue).copied().unwrap_or(0)),
+                pct(c.errors.get(&WrongAggregationOrder).copied().unwrap_or(0)),
+                pct(c.errors.get(&WrongChain).copied().unwrap_or(0)),
+                format!("{:.0}%", 100.0 * c.accuracy()),
+            ]
+        })
+        .collect()
+}
+
+/// Column headers of the table.
+pub const HEADERS: [&str; 6] = [
+    "Case Study",
+    "Wrong Edge",
+    "Wrong Value",
+    "Incorrect Aggregation",
+    "Incorrect Chain",
+    "Correct Answers",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_matches_paper_band() {
+        let out = run(2025);
+        // The paper reports 96% overall with per-case 92-100%.
+        let acc = out.overall_accuracy();
+        assert!(acc >= 0.9, "overall accuracy {acc}");
+        for c in &out.cases {
+            assert!(c.accuracy() >= 0.75, "{}: {}", c.name, c.accuracy());
+        }
+    }
+
+    #[test]
+    fn rows_have_six_columns_and_five_cases() {
+        let out = run(2025);
+        let rs = rows(&out);
+        assert_eq!(rs.len(), 5);
+        assert!(rs.iter().all(|r| r.len() == HEADERS.len()));
+    }
+}

@@ -1,0 +1,157 @@
+//! Graphviz (DOT) rendering of reasoning paths — the paper's Figures 4, 5
+//! and 10 as visual artefacts.
+//!
+//! A reasoning path renders as the subgraph of D(Σ) induced by its rules:
+//! predicate nodes (extensional boxed, critical double-circled) and
+//! rule-labelled edges; contributor edges of dashed aggregations render
+//! with `style=dashed`, matching the paper's notation.
+
+use crate::structural::{ReasoningPath, StructuralAnalysis};
+use vadalog::{DependencyGraph, Program, Symbol};
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders one reasoning path as a DOT digraph named `name`.
+pub fn reasoning_path_dot(
+    program: &Program,
+    analysis: &StructuralAnalysis,
+    path: &ReasoningPath,
+    name: &str,
+) -> String {
+    let graph = DependencyGraph::build(program);
+    let mut out = format!("digraph \"{}\" {{\n  rankdir=LR;\n", esc(name));
+
+    // Nodes: predicates touched by the path's rules.
+    let mut nodes: Vec<Symbol> = Vec::new();
+    for &r in &path.rules {
+        let rule = program.rule(r);
+        for atom in rule.positive_body() {
+            if !nodes.contains(&atom.predicate) {
+                nodes.push(atom.predicate);
+            }
+        }
+        if let Some(h) = rule.head.atom() {
+            if !nodes.contains(&h.predicate) {
+                nodes.push(h.predicate);
+            }
+        }
+    }
+    for &n in &nodes {
+        let mut attrs = Vec::new();
+        if graph.is_extensional(n) {
+            attrs.push("shape=box".to_owned());
+        }
+        if analysis.critical.contains(&n) {
+            attrs.push("peripheries=2".to_owned());
+        }
+        if path.entry == Some(n) {
+            attrs.push("style=bold".to_owned());
+        }
+        out.push_str(&format!(
+            "  \"{}\" [{}];\n",
+            esc(n.as_str()),
+            attrs.join(", ")
+        ));
+    }
+
+    // Edges: one per (body atom -> head) of each rule; dashed when the
+    // rule is in multi-contributor mode.
+    for &r in &path.rules {
+        let rule = program.rule(r);
+        let Some(head) = rule.head.atom() else {
+            continue;
+        };
+        let style = if path.is_dashed(r) {
+            ", style=dashed"
+        } else {
+            ""
+        };
+        for atom in rule.positive_body() {
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{}\"{}];\n",
+                esc(atom.predicate.as_str()),
+                esc(head.predicate.as_str()),
+                esc(&rule.label),
+                style
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders every reasoning path of an analysis as a sequence of DOT
+/// digraphs (one document, multiple graphs — `dot` renders them as pages).
+pub fn analysis_dot(program: &Program, analysis: &StructuralAnalysis) -> String {
+    analysis
+        .paths
+        .iter()
+        .map(|p| reasoning_path_dot(program, analysis, p, &p.label(program)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structural::analyze;
+    use vadalog::parse_program;
+
+    fn setup() -> (Program, StructuralAnalysis) {
+        let program = parse_program(
+            r#"
+            alpha: shock(f, s), has_capital(f, p1), s > p1 -> default(f).
+            beta: default(d), debts(d, c, v), e = sum(v) -> risk(c, e).
+            gamma: has_capital(c, p2), risk(c, e), p2 < e -> default(c).
+        "#,
+        )
+        .unwrap()
+        .program;
+        let analysis = analyze(&program, "default").unwrap();
+        (program, analysis)
+    }
+
+    #[test]
+    fn solid_path_renders_solid_edges() {
+        let (program, analysis) = setup();
+        let pi1 = analysis
+            .simple_paths()
+            .find(|p| p.rules.len() == 1)
+            .unwrap();
+        let dot = reasoning_path_dot(&program, &analysis, pi1, "Pi1");
+        assert!(dot.contains("\"shock\" -> \"default\" [label=\"alpha\"]"));
+        assert!(!dot.contains("style=dashed"));
+        // shock is extensional (box), default critical (double periphery).
+        assert!(dot.contains("\"shock\" [shape=box]"));
+        assert!(dot.contains("peripheries=2"));
+    }
+
+    #[test]
+    fn dashed_variant_renders_dashed_edges() {
+        let (program, analysis) = setup();
+        let dashed = analysis
+            .simple_paths()
+            .find(|p| !p.dashed.is_empty())
+            .unwrap();
+        let dot = reasoning_path_dot(&program, &analysis, dashed, "Pi3");
+        assert!(dot.contains("label=\"beta\", style=dashed"), "{dot}");
+        assert!(dot.contains("label=\"alpha\"];"));
+    }
+
+    #[test]
+    fn cycle_marks_its_entry_node() {
+        let (program, analysis) = setup();
+        let cycle = analysis.cycles().next().unwrap();
+        let dot = reasoning_path_dot(&program, &analysis, cycle, "Gamma1");
+        assert!(dot.contains("style=bold"), "{dot}");
+    }
+
+    #[test]
+    fn analysis_dot_contains_all_paths() {
+        let (program, analysis) = setup();
+        let dot = analysis_dot(&program, &analysis);
+        assert_eq!(dot.matches("digraph").count(), analysis.paths.len());
+    }
+}

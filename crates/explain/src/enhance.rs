@@ -1,0 +1,150 @@
+//! Template enhancement (Sec. 4.2, "Enhancement of templates" and
+//! Sec. 4.4, "Dealing with Templates Hallucinations").
+//!
+//! An [`Enhancer`] rewrites a rendered template into more fluent text. The
+//! paper uses an LLM for this step; because the rewriter sees only the
+//! *templates* (rules + glossary, never data), this is the privacy-
+//! preserving point of LLM contact. Any enhancer may drop tokens
+//! (omissions) — [`checked_enhance`] implements the paper's automatic
+//! anti-omission guard: the enhanced text is accepted only if every token
+//! survives, retried a bounded number of times, and otherwise the
+//! deterministic template is kept (complete by construction).
+
+use crate::template::Template;
+
+/// A text rewriter applied to rendered templates.
+pub trait Enhancer {
+    /// Rewrites `text`. The `attempt` counter (0-based) lets stochastic
+    /// enhancers vary between retries.
+    fn enhance(&self, text: &str, attempt: u32) -> String;
+
+    /// Name for reporting.
+    fn name(&self) -> &str {
+        "enhancer"
+    }
+}
+
+/// The identity enhancer: keeps the deterministic template.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityEnhancer;
+
+impl Enhancer for IdentityEnhancer {
+    fn enhance(&self, text: &str, _attempt: u32) -> String {
+        text.to_owned()
+    }
+
+    fn name(&self) -> &str {
+        "identity"
+    }
+}
+
+/// Outcome of a checked enhancement.
+#[derive(Clone, Debug)]
+pub struct EnhanceOutcome {
+    /// The resulting template (enhanced, or the original on fallback).
+    pub template: Template,
+    /// Number of attempts made (0 if the first try succeeded).
+    pub retries: u32,
+    /// True iff all attempts lost tokens and the deterministic template
+    /// was kept.
+    pub fell_back: bool,
+}
+
+/// Enhances `template` with `enhancer`, enforcing token completeness.
+///
+/// Each attempt is validated with [`Template::reparse`]; the first
+/// token-complete rewrite wins. After `max_retries` failed attempts the
+/// original template is returned (`fell_back = true`), preserving the
+/// completeness guarantee of the template-based approach.
+pub fn checked_enhance(
+    template: &Template,
+    enhancer: &dyn Enhancer,
+    max_retries: u32,
+) -> EnhanceOutcome {
+    let rendered = template.render();
+    for attempt in 0..=max_retries {
+        let candidate = enhancer.enhance(&rendered, attempt);
+        if let Ok(segments) = template.reparse(&candidate) {
+            return EnhanceOutcome {
+                template: template.with_segments(segments),
+                retries: attempt,
+                fell_back: false,
+            };
+        }
+    }
+    EnhanceOutcome {
+        template: template.clone(),
+        retries: max_retries,
+        fell_back: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glossary::DomainGlossary;
+    use crate::structural::analyze;
+    use crate::template::{generate, TemplateStyle};
+    use vadalog::parse_program;
+
+    fn simple_template() -> Template {
+        let program = parse_program("r: p(x, y), x > y -> q(x).").unwrap().program;
+        let a = analyze(&program, "q").unwrap();
+        let path = a.simple_paths().next().unwrap().clone();
+        generate(
+            &program,
+            &DomainGlossary::new(),
+            &path,
+            0,
+            TemplateStyle::Deterministic,
+        )
+    }
+
+    /// An enhancer that drops a token on the first `failures` attempts.
+    struct Flaky {
+        failures: u32,
+    }
+
+    impl Enhancer for Flaky {
+        fn enhance(&self, text: &str, attempt: u32) -> String {
+            if attempt < self.failures {
+                text.replace("<y>", "something")
+            } else {
+                format!("Rephrased: {text}")
+            }
+        }
+    }
+
+    #[test]
+    fn identity_enhancer_always_succeeds() {
+        let t = simple_template();
+        let out = checked_enhance(&t, &IdentityEnhancer, 3);
+        assert!(!out.fell_back);
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.template.render(), t.render());
+    }
+
+    #[test]
+    fn retry_until_tokens_survive() {
+        let t = simple_template();
+        let out = checked_enhance(&t, &Flaky { failures: 2 }, 3);
+        assert!(!out.fell_back);
+        assert_eq!(out.retries, 2);
+        assert!(out.template.render().starts_with("Rephrased:"));
+    }
+
+    #[test]
+    fn fallback_keeps_deterministic_template() {
+        let t = simple_template();
+        let out = checked_enhance(&t, &Flaky { failures: 10 }, 2);
+        assert!(out.fell_back);
+        assert_eq!(out.template.render(), t.render());
+    }
+
+    #[test]
+    fn enhanced_template_keeps_token_classes() {
+        let t = simple_template();
+        let out = checked_enhance(&t, &Flaky { failures: 0 }, 1);
+        assert_eq!(out.template.classes.len(), t.classes.len());
+    }
+}

@@ -1,0 +1,55 @@
+//! Error types of the explanation pipeline.
+
+use std::fmt;
+use vadalog::FactId;
+
+/// Errors raised while building or applying explanations.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExplainError {
+    /// The requested goal predicate does not occur in the program.
+    UnknownGoal(String),
+    /// The fact to explain is not present in the chase outcome.
+    UnknownFact(FactId),
+    /// The fact to explain is extensional; there is nothing to explain.
+    ExtensionalFact(FactId),
+    /// No combination of reasoning paths covers the proof's chase steps
+    /// (should not happen for paths produced by the structural analysis of
+    /// the same program; indicates a foreign chase graph).
+    NoCoveringPath {
+        /// Index of the first uncovered chase step.
+        at_step: usize,
+    },
+    /// Path enumeration hit the configured cap before completing.
+    PathExplosion {
+        /// The configured cap.
+        cap: usize,
+    },
+    /// An enhanced template lost tokens and no fallback was allowed.
+    IncompleteTemplate {
+        /// The missing token display names.
+        missing: Vec<String>,
+    },
+}
+
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainError::UnknownGoal(g) => write!(f, "goal predicate `{}` not in program", g),
+            ExplainError::UnknownFact(id) => write!(f, "fact {} not in the chase outcome", id),
+            ExplainError::ExtensionalFact(id) => {
+                write!(f, "fact {} is extensional input, not derived knowledge", id)
+            }
+            ExplainError::NoCoveringPath { at_step } => {
+                write!(f, "no reasoning path covers chase step {}", at_step)
+            }
+            ExplainError::PathExplosion { cap } => {
+                write!(f, "reasoning-path enumeration exceeded the cap of {}", cap)
+            }
+            ExplainError::IncompleteTemplate { missing } => {
+                write!(f, "enhanced template lost tokens: {}", missing.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExplainError {}

@@ -1,0 +1,508 @@
+//! Mapping chase steps to templates (Sec. 4.3).
+//!
+//! Given the linearized chase-step sequence τ of a proof, the mapper
+//! selects (i) the simple reasoning path instantiating the longest prefix
+//! of τ and (ii) reasoning cycles instantiating the following steps, until
+//! the leaf is reached. Aggregation (dashed) variants are selected exactly
+//! when the corresponding chase step folded more than one contributor.
+//! Finally, tokens are substituted with the constants recorded in the
+//! chase derivations.
+
+use crate::error::ExplainError;
+use crate::structural::{PathKind, StructuralAnalysis};
+use crate::template::{Segment, Template, TokenClass};
+use std::collections::HashMap;
+use vadalog::{
+    ChaseGraph, ChaseStep, DerivationId, DerivationPolicy, Program, RuleId, Symbol, Value,
+};
+
+/// One chase step of τ enriched with its immediate side derivations (the
+/// derivations of premises that are not the previous spine step).
+#[derive(Clone, Debug)]
+pub struct StepInfo {
+    /// The applied rule.
+    pub rule: RuleId,
+    /// The spine derivation.
+    pub derivation: DerivationId,
+    /// Contributor count of the derivation.
+    pub contributors: u32,
+    /// Chosen derivations of derived side premises.
+    pub sides: Vec<DerivationId>,
+}
+
+/// Enriches a linearized proof with side-derivation information.
+pub fn step_infos(
+    graph: &ChaseGraph,
+    tau: &[ChaseStep],
+    policy: DerivationPolicy,
+) -> Vec<StepInfo> {
+    tau.iter()
+        .enumerate()
+        .map(|(i, step)| {
+            let der = graph.derivation(step.derivation);
+            let spine_child = if i > 0 {
+                Some(graph.derivation(tau[i - 1].derivation).conclusion)
+            } else {
+                None
+            };
+            let sides = der
+                .premises
+                .iter()
+                .filter(|&&p| Some(p) != spine_child && graph.is_derived(p))
+                .filter_map(|&p| graph.choose_derivation(p, policy))
+                .collect();
+            StepInfo {
+                rule: step.rule,
+                derivation: step.derivation,
+                contributors: step.contributors,
+                sides,
+            }
+        })
+        .collect()
+}
+
+/// A reasoning path matched onto a segment of τ.
+#[derive(Clone, Debug)]
+pub struct PathCover {
+    /// Index of the path (and its template) in the analysis.
+    pub path_index: usize,
+    /// Derivation backing each rule occurrence of the path.
+    pub assignments: HashMap<usize, DerivationId>,
+    /// Spine steps consumed by this piece.
+    pub consumed: usize,
+    /// Side derivations consumed (specificity tiebreaker).
+    pub side_used: usize,
+}
+
+/// The full covering of a proof by reasoning paths: one simple path
+/// followed by zero or more cycles.
+#[derive(Clone, Debug)]
+pub struct Cover {
+    /// The covering pieces, in τ order.
+    pub pieces: Vec<PathCover>,
+}
+
+/// Computes the covering of `steps` by the paths of `analysis`
+/// (Sec. 4.3's two-phase greedy selection).
+pub fn cover(
+    program: &Program,
+    analysis: &StructuralAnalysis,
+    graph: &ChaseGraph,
+    steps: &[StepInfo],
+) -> Result<Cover, ExplainError> {
+    cover_from(program, analysis, graph, steps, 0)
+}
+
+/// Like [`cover`] but starting at step `start`: the prefix is assumed
+/// already explained (its conclusions play the role of the critical entry
+/// facts), so only reasoning cycles apply from a non-zero start.
+pub fn cover_from(
+    program: &Program,
+    analysis: &StructuralAnalysis,
+    graph: &ChaseGraph,
+    steps: &[StepInfo],
+    start: usize,
+) -> Result<Cover, ExplainError> {
+    if start >= steps.len() {
+        return Ok(Cover { pieces: Vec::new() });
+    }
+    let mut pieces = Vec::new();
+    let mut pos = start;
+
+    if pos == 0 {
+        let best_simple = best_match(program, analysis, graph, steps, 0, PathKind::Simple)
+            .ok_or(ExplainError::NoCoveringPath { at_step: 0 })?;
+        pos = best_simple.consumed;
+        pieces.push(best_simple);
+    }
+
+    while pos < steps.len() {
+        let piece = best_match(program, analysis, graph, steps, pos, PathKind::Cycle)
+            .ok_or(ExplainError::NoCoveringPath { at_step: pos })?;
+        pos += piece.consumed;
+        pieces.push(piece);
+    }
+    Ok(Cover { pieces })
+}
+
+/// The best-scoring path of `kind` matched at `start`: maximal consumed
+/// spine steps, then maximal side specificity, then most rules.
+fn best_match(
+    program: &Program,
+    analysis: &StructuralAnalysis,
+    graph: &ChaseGraph,
+    steps: &[StepInfo],
+    start: usize,
+    kind: PathKind,
+) -> Option<PathCover> {
+    analysis
+        .paths
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.kind == kind)
+        .filter_map(|(i, _)| match_path_at(program, analysis, graph, i, steps, start))
+        .max_by_key(|c| {
+            (
+                c.consumed,
+                c.side_used,
+                analysis.paths[c.path_index].rules.len(),
+            )
+        })
+}
+
+/// Tries to match path `path_index` against τ starting at `start`.
+///
+/// Spine steps are consumed greedily while their rule belongs to the
+/// path's remaining rules and the aggregation mode agrees (a step with
+/// more than one contributor requires the dashed variant and vice versa).
+/// Remaining path rules must then be backed by side derivations of the
+/// consumed steps; otherwise the path does not instantiate this segment.
+pub fn match_path_at(
+    program: &Program,
+    analysis: &StructuralAnalysis,
+    graph: &ChaseGraph,
+    path_index: usize,
+    steps: &[StepInfo],
+    start: usize,
+) -> Option<PathCover> {
+    let path = &analysis.paths[path_index];
+    let occ_of: HashMap<RuleId, usize> = path
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(occ, &r)| (r, occ))
+        .collect();
+
+    let mode_ok = |rule: RuleId, contributors: u32| -> bool {
+        if program.rule(rule).has_aggregate() {
+            (contributors > 1) == path.is_dashed(rule)
+        } else {
+            true
+        }
+    };
+
+    let mut assignments: HashMap<usize, DerivationId> = HashMap::new();
+    let mut pos = start;
+    while pos < steps.len() {
+        let step = &steps[pos];
+        let Some(&occ) = occ_of.get(&step.rule) else {
+            break;
+        };
+        if assignments.contains_key(&occ) || !mode_ok(step.rule, step.contributors) {
+            break;
+        }
+        assignments.insert(occ, step.derivation);
+        pos += 1;
+    }
+    let consumed = pos - start;
+    if consumed == 0 {
+        return None;
+    }
+
+    // Back the unassigned occurrences with side derivations.
+    let mut side_pool: Vec<DerivationId> = steps[start..pos]
+        .iter()
+        .flat_map(|s| s.sides.iter().copied())
+        .collect();
+    let mut side_used = 0usize;
+    for (occ, &rule) in path.rules.iter().enumerate() {
+        if assignments.contains_key(&occ) {
+            continue;
+        }
+        let found = side_pool.iter().position(|&d| {
+            let der = graph.derivation(d);
+            der.rule == rule && mode_ok(rule, der.contributors)
+        });
+        match found {
+            Some(i) => {
+                assignments.insert(occ, side_pool.remove(i));
+                side_used += 1;
+            }
+            None => return None,
+        }
+    }
+
+    Some(PathCover {
+        path_index,
+        assignments,
+        consumed,
+        side_used,
+    })
+}
+
+/// Instantiates the template of one cover piece against the chase graph:
+/// every token class is replaced by the constant(s) bound to its variables
+/// in the assigned derivations (Sec. 4.3, "template-wise substitution").
+pub fn instantiate(template: &Template, piece: &PathCover, graph: &ChaseGraph) -> String {
+    let mut out = String::new();
+    for seg in &template.segments {
+        match seg {
+            Segment::Text(t) => out.push_str(t),
+            Segment::Token(c) => {
+                let class = &template.classes[*c];
+                match token_values(class, piece, graph) {
+                    Some(values) => out.push_str(&render_values(class, &values)),
+                    None => {
+                        // No binding recorded (foreign graph): keep the
+                        // marker visible rather than inventing text.
+                        out.push('<');
+                        out.push_str(&class.display);
+                        out.push('>');
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collects the values of a token class from the assigned derivations.
+fn token_values(class: &TokenClass, piece: &PathCover, graph: &ChaseGraph) -> Option<Vec<Value>> {
+    for &(occ, var) in &class.members {
+        let Some(&did) = piece.assignments.get(&occ) else {
+            continue;
+        };
+        let der = graph.derivation(did);
+        if let Some(v) = der.bindings.get(&var) {
+            return Some(vec![*v]);
+        }
+        // Entity mentions deduplicate (the same debtor listed once), but
+        // numeric contributions repeat (two 6% stakes really are "6% and
+        // 6%", not "6%").
+        let mut vals: Vec<Value> = Vec::new();
+        for cb in &der.contributor_bindings {
+            if let Some(v) = cb.get(&var) {
+                let duplicate_entity = matches!(v, Value::Str(_)) && vals.contains(v);
+                if !duplicate_entity {
+                    vals.push(*v);
+                }
+            }
+        }
+        if !vals.is_empty() {
+            return Some(vals);
+        }
+    }
+    None
+}
+
+fn render_values(class: &TokenClass, values: &[Value]) -> String {
+    let rendered: Vec<String> = values.iter().map(|v| class.format.render(v)).collect();
+    match rendered.len() {
+        0 => String::new(),
+        1 => rendered.into_iter().next().expect("one element"),
+        2 => format!("{} and {}", rendered[0], rendered[1]),
+        _ => {
+            let (last, init) = rendered.split_last().expect("non-empty");
+            format!("{} and {}", init.join(", "), last)
+        }
+    }
+}
+
+/// Convenience: looks a variable's value up across a derivation's bindings
+/// (group bindings first, then contributors). Used by diagnostics.
+pub fn lookup_binding(graph: &ChaseGraph, did: DerivationId, var: Symbol) -> Option<Value> {
+    let der = graph.derivation(did);
+    der.bindings.get(&var).copied().or_else(|| {
+        der.contributor_bindings
+            .iter()
+            .find_map(|cb| cb.get(&var).copied())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glossary::DomainGlossary;
+    use crate::structural::analyze;
+    use vadalog::{chase, parse_program, Database, DerivationPolicy, Fact};
+
+    fn example_4_3_figure_8() -> (
+        Program,
+        StructuralAnalysis,
+        vadalog::ChaseOutcome,
+        vadalog::FactId,
+    ) {
+        let parsed = parse_program(
+            r#"
+            alpha: shock(f, s), has_capital(f, p1), s > p1 -> default(f).
+            beta: default(d), debts(d, c, v), e = sum(v) -> risk(c, e).
+            gamma: has_capital(c, p2), risk(c, e), p2 < e -> default(c).
+
+            % Fig. 8 EDB
+            shock("A", 6).
+            has_capital("A", 5).
+            debts("A", "B", 7).
+            has_capital("B", 2).
+            debts("B", "C", 2).
+            debts("B", "C", 9).
+            has_capital("C", 10).
+        "#,
+        )
+        .unwrap();
+        let analysis = analyze(&parsed.program, "default").unwrap();
+        let db: Database = parsed.facts.into_iter().collect();
+        let out = chase(&parsed.program, db).unwrap();
+        let target = out
+            .lookup(&Fact::new("default", vec!["C".into()]))
+            .expect("Default(C) derived");
+        (parsed.program, analysis, out, target)
+    }
+
+    #[test]
+    fn tau_of_figure_8_is_covered_by_pi2_and_dashed_cycle() {
+        let (program, analysis, out, target) = example_4_3_figure_8();
+        let proof = out.graph.proof(target, DerivationPolicy::Richest);
+        let tau = proof.linearize(&out.graph);
+        let labels: Vec<&str> = tau
+            .iter()
+            .map(|s| program.rule(s.rule).label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["alpha", "beta", "gamma", "beta", "gamma"]);
+
+        let steps = step_infos(&out.graph, &tau, DerivationPolicy::Richest);
+        let c = cover(&program, &analysis, &out.graph, &steps).unwrap();
+        assert_eq!(c.pieces.len(), 2);
+        // Piece 1: Π2 (solid three-rule simple path), covering α, β, γ.
+        let p1 = &analysis.paths[c.pieces[0].path_index];
+        assert_eq!(p1.rules.len(), 3);
+        assert!(p1.dashed.is_empty());
+        assert_eq!(c.pieces[0].consumed, 3);
+        // Piece 2: the dashed cycle Γ2 (Risk(C,11) has two contributors).
+        let p2 = &analysis.paths[c.pieces[1].path_index];
+        assert_eq!(p2.kind, PathKind::Cycle);
+        assert_eq!(p2.dashed.len(), 1);
+        assert_eq!(c.pieces[1].consumed, 2);
+    }
+
+    #[test]
+    fn instantiation_substitutes_constants() {
+        let (program, analysis, out, target) = example_4_3_figure_8();
+        let proof = out.graph.proof(target, DerivationPolicy::Richest);
+        let tau = proof.linearize(&out.graph);
+        let steps = step_infos(&out.graph, &tau, DerivationPolicy::Richest);
+        let c = cover(&program, &analysis, &out.graph, &steps).unwrap();
+
+        let glossary = DomainGlossary::new();
+        let piece = &c.pieces[1];
+        let template = crate::template::generate(
+            &program,
+            &glossary,
+            &analysis.paths[piece.path_index],
+            piece.path_index,
+            crate::template::TemplateStyle::Deterministic,
+        );
+        let text = instantiate(&template, piece, &out.graph);
+        // The dashed cycle explains Risk(C, 11) from debts 2 and 9.
+        assert!(text.contains("11"), "got: {text}");
+        assert!(text.contains("2 and 9"), "got: {text}");
+        assert!(text.contains('B'), "got: {text}");
+        assert!(text.contains('C'), "got: {text}");
+        assert!(!text.contains('<'), "unsubstituted token in: {text}");
+    }
+
+    #[test]
+    fn single_step_proof_uses_pi1() {
+        let (program, analysis, out, _) = example_4_3_figure_8();
+        // Default("A") is derived by alpha alone.
+        let target = out.lookup(&Fact::new("default", vec!["A".into()])).unwrap();
+        let proof = out.graph.proof(target, DerivationPolicy::Richest);
+        let tau = proof.linearize(&out.graph);
+        let steps = step_infos(&out.graph, &tau, DerivationPolicy::Richest);
+        let c = cover(&program, &analysis, &out.graph, &steps).unwrap();
+        assert_eq!(c.pieces.len(), 1);
+        assert_eq!(analysis.paths[c.pieces[0].path_index].rules.len(), 1);
+    }
+
+    #[test]
+    fn empty_tau_yields_empty_cover() {
+        let (program, analysis, out, _) = example_4_3_figure_8();
+        let steps = step_infos(&out.graph, &[], DerivationPolicy::Richest);
+        let c = cover(&program, &analysis, &out.graph, &steps).unwrap();
+        assert!(c.pieces.is_empty());
+        let _ = out;
+    }
+
+    #[test]
+    fn render_values_joins_lists() {
+        let class = TokenClass {
+            display: "v".into(),
+            members: vec![],
+            list: true,
+            format: crate::glossary::ValueFormat::Plain,
+        };
+        assert_eq!(render_values(&class, &[Value::Int(2)]), "2");
+        assert_eq!(
+            render_values(&class, &[Value::Int(2), Value::Int(9)]),
+            "2 and 9"
+        );
+        assert_eq!(
+            render_values(&class, &[Value::Int(1), Value::Int(2), Value::Int(3)]),
+            "1, 2 and 3"
+        );
+    }
+}
+
+#[cfg(test)]
+mod cover_from_tests {
+    use super::*;
+    use vadalog::{chase, parse_program, Database, DerivationPolicy, Fact};
+
+    /// A three-link control chain: τ = [o1, o3, o3].
+    fn chain() -> (Program, StructuralAnalysis, vadalog::ChaseOutcome, Vec<StepInfo>) {
+        let parsed = parse_program(
+            r#"
+            o1: own(x, y, s), s > 0.5 -> control(x, y).
+            o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).
+
+            own("A", "B", 0.9).
+            own("B", "C", 0.9).
+            own("C", "D", 0.9).
+        "#,
+        )
+        .unwrap();
+        let analysis = crate::structural::analyze(&parsed.program, "control").unwrap();
+        let db: Database = parsed.facts.into_iter().collect();
+        let out = chase(&parsed.program, db).unwrap();
+        let id = out
+            .lookup(&Fact::new("control", vec!["A".into(), "D".into()]))
+            .unwrap();
+        let proof = out.graph.proof(id, DerivationPolicy::Richest);
+        let tau = proof.linearize(&out.graph);
+        let steps = step_infos(&out.graph, &tau, DerivationPolicy::Richest);
+        (parsed.program, analysis, out, steps)
+    }
+
+    #[test]
+    fn cover_from_zero_equals_cover() {
+        let (program, analysis, out, steps) = chain();
+        let a = cover(&program, &analysis, &out.graph, &steps).unwrap();
+        let b = cover_from(&program, &analysis, &out.graph, &steps, 0).unwrap();
+        assert_eq!(a.pieces.len(), b.pieces.len());
+    }
+
+    #[test]
+    fn cover_from_mid_uses_cycles_only() {
+        let (program, analysis, out, steps) = chain();
+        assert_eq!(steps.len(), 3);
+        let c = cover_from(&program, &analysis, &out.graph, &steps, 1).unwrap();
+        assert!(!c.pieces.is_empty());
+        for piece in &c.pieces {
+            assert_eq!(
+                analysis.paths[piece.path_index].kind,
+                PathKind::Cycle,
+                "mid-proof coverage must use cycles"
+            );
+        }
+        let covered: usize = c.pieces.iter().map(|p| p.consumed).sum();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn cover_from_past_the_end_is_empty() {
+        let (program, analysis, out, steps) = chain();
+        let c = cover_from(&program, &analysis, &out.graph, &steps, steps.len()).unwrap();
+        assert!(c.pieces.is_empty());
+        let c = cover_from(&program, &analysis, &out.graph, &steps, steps.len() + 5).unwrap();
+        assert!(c.pieces.is_empty());
+    }
+}

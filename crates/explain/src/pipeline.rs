@@ -1,0 +1,614 @@
+//! The automated explanation pipeline (Sec. 4.4).
+//!
+//! One [`ExplanationPipeline`] is built per deployed knowledge-graph
+//! application: it runs the structural analysis, generates deterministic
+//! and fluent explanation templates once, optionally passes them through
+//! an [`Enhancer`] under the anti-omission check, and then answers
+//! *explanation queries* Q_e for any fact derived by a chase run — without
+//! ever exposing instance data to the enhancer.
+
+use crate::enhance::{checked_enhance, Enhancer};
+use crate::error::ExplainError;
+use crate::glossary::DomainGlossary;
+use crate::mapping::{cover_from, instantiate, step_infos, PathCover};
+use crate::structural::{analyze_with, AnalysisConfig, StructuralAnalysis};
+use crate::template::{generate, single_rule_path, Template, TemplateStyle};
+use vadalog::{ChaseOutcome, DerivationId, DerivationPolicy, Fact, FactId, Program, RuleId};
+
+/// Which template flavour an explanation query uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TemplateFlavor {
+    /// The deterministic rule-by-rule templates (verbose, complete).
+    Deterministic,
+    /// The enhanced templates (fluent, token-checked; the default).
+    #[default]
+    Enhanced,
+}
+
+/// An answered explanation query.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The explained fact.
+    pub fact: Fact,
+    /// The natural-language explanation.
+    pub text: String,
+    /// Labels of the reasoning paths composed (e.g. `["{o1,o3}", "{o3}*"]`).
+    pub paths: Vec<String>,
+    /// Length of the explained inference in chase steps.
+    pub chase_steps: usize,
+    /// All facts supporting the explanation (the proof's premises and
+    /// conclusions), for front ends that render the matching KG fragment
+    /// next to the text (cf. the study's visualizations).
+    pub support: Vec<Fact>,
+}
+
+/// Pipeline construction statistics (template generation telemetry).
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Number of reasoning paths (including dashed variants).
+    pub paths: usize,
+    /// Enhancement fallbacks (templates kept deterministic because every
+    /// enhancement attempt lost tokens).
+    pub enhancement_fallbacks: usize,
+    /// Total enhancement retries performed.
+    pub enhancement_retries: u32,
+}
+
+/// The per-application explanation pipeline.
+#[derive(Debug)]
+pub struct ExplanationPipeline {
+    program: Program,
+    analysis: StructuralAnalysis,
+    deterministic: Vec<Template>,
+    enhanced: Vec<Template>,
+    /// Per-rule fallback templates (solid, dashed), used for side
+    /// derivations no reasoning path absorbs.
+    fallbacks: Vec<(Template, Template)>,
+    policy: DerivationPolicy,
+    stats: PipelineStats,
+}
+
+impl ExplanationPipeline {
+    /// Builds the pipeline for `program` and the goal predicate, using the
+    /// built-in fluent generator as the (privacy-preserving) enhancement.
+    pub fn new(
+        program: Program,
+        goal: &str,
+        glossary: &DomainGlossary,
+    ) -> Result<ExplanationPipeline, ExplainError> {
+        Self::build(program, goal, glossary, None, &AnalysisConfig::default())
+    }
+
+    /// Builds the pipeline, additionally passing each fluent template
+    /// through `enhancer` under the token-completeness check (at most
+    /// `max_retries` attempts per template, falling back to the fluent
+    /// deterministic generation).
+    pub fn with_enhancer(
+        program: Program,
+        goal: &str,
+        glossary: &DomainGlossary,
+        enhancer: &dyn Enhancer,
+        max_retries: u32,
+    ) -> Result<ExplanationPipeline, ExplainError> {
+        Self::build(
+            program,
+            goal,
+            glossary,
+            Some((enhancer, max_retries)),
+            &AnalysisConfig::default(),
+        )
+    }
+
+    fn build(
+        program: Program,
+        goal: &str,
+        glossary: &DomainGlossary,
+        enhancer: Option<(&dyn Enhancer, u32)>,
+        config: &AnalysisConfig,
+    ) -> Result<ExplanationPipeline, ExplainError> {
+        let analysis = analyze_with(&program, goal, config)?;
+        let mut deterministic = Vec::with_capacity(analysis.paths.len());
+        let mut enhanced = Vec::with_capacity(analysis.paths.len());
+        let mut stats = PipelineStats {
+            paths: analysis.paths.len(),
+            ..PipelineStats::default()
+        };
+        for (i, path) in analysis.paths.iter().enumerate() {
+            let det = generate(&program, glossary, path, i, TemplateStyle::Deterministic);
+            let fluent = generate(&program, glossary, path, i, TemplateStyle::Fluent);
+            let enh = match enhancer {
+                None => fluent,
+                Some((e, retries)) => {
+                    let out = checked_enhance(&fluent, e, retries);
+                    stats.enhancement_retries += out.retries;
+                    if out.fell_back {
+                        stats.enhancement_fallbacks += 1;
+                    }
+                    out.template
+                }
+            };
+            deterministic.push(det);
+            enhanced.push(enh);
+        }
+        let fallbacks = (0..program.len())
+            .map(|i| {
+                let rule = RuleId(i);
+                let has_agg = program.rule(rule).has_aggregate();
+                let solid = single_rule_path(&program, rule, false);
+                let dashed = single_rule_path(&program, rule, has_agg);
+                (
+                    generate(
+                        &program,
+                        glossary,
+                        &solid,
+                        usize::MAX,
+                        TemplateStyle::Fluent,
+                    ),
+                    generate(
+                        &program,
+                        glossary,
+                        &dashed,
+                        usize::MAX,
+                        TemplateStyle::Fluent,
+                    ),
+                )
+            })
+            .collect();
+        Ok(ExplanationPipeline {
+            program,
+            analysis,
+            deterministic,
+            enhanced,
+            fallbacks,
+            policy: DerivationPolicy::Richest,
+            stats,
+        })
+    }
+
+    /// Overrides the derivation-selection policy (default: richest).
+    pub fn with_policy(mut self, policy: DerivationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The program driving the pipeline.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The structural analysis (reasoning paths).
+    pub fn analysis(&self) -> &StructuralAnalysis {
+        &self.analysis
+    }
+
+    /// The generated templates of the given flavour, one per path.
+    pub fn templates(&self, flavor: TemplateFlavor) -> &[Template] {
+        match flavor {
+            TemplateFlavor::Deterministic => &self.deterministic,
+            TemplateFlavor::Enhanced => &self.enhanced,
+        }
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Replaces the enhanced template at `index` with `text`, enforcing
+    /// the token-completeness check. On failure returns the missing token
+    /// display names and keeps the previous template (used by the
+    /// human-in-the-loop review of [`crate::review`]).
+    pub fn replace_enhanced_template(
+        &mut self,
+        index: usize,
+        text: &str,
+    ) -> Result<(), Vec<String>> {
+        let Some(current) = self.enhanced.get(index) else {
+            return Err(vec![format!("no template with index {index}")]);
+        };
+        let segments = current.reparse(text)?;
+        let replaced = current.with_segments(segments);
+        self.enhanced[index] = replaced;
+        Ok(())
+    }
+
+    /// Produces the *business report* of a chase run: one explanation per
+    /// derived fact of the goal predicate, in derivation order — the
+    /// "natural language business reports" the paper's applications feed
+    /// to compliance staff and auditors (Sec. 5).
+    pub fn report(
+        &self,
+        outcome: &ChaseOutcome,
+        flavor: TemplateFlavor,
+    ) -> Result<Vec<Explanation>, ExplainError> {
+        let goal = self.analysis.goal;
+        outcome
+            .database
+            .facts_of(goal)
+            .iter()
+            .filter(|&&id| outcome.graph.is_derived(id))
+            .map(|&id| self.explain_id(outcome, id, flavor))
+            .collect()
+    }
+
+    /// Renders a report as a plain-text document with one section per
+    /// explained fact.
+    pub fn render_report(
+        &self,
+        outcome: &ChaseOutcome,
+        flavor: TemplateFlavor,
+    ) -> Result<String, ExplainError> {
+        let explanations = self.report(outcome, flavor)?;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Business report — {} derived {} fact(s)\n\n",
+            explanations.len(),
+            self.analysis.goal
+        ));
+        for (i, e) in explanations.iter().enumerate() {
+            out.push_str(&format!(
+                "{}. {} ({} inference steps)\n{}\n\n",
+                i + 1,
+                e.fact,
+                e.chase_steps,
+                e.text
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Answers the explanation query Q_e = {fact} with enhanced templates.
+    pub fn explain(
+        &self,
+        outcome: &ChaseOutcome,
+        fact: &Fact,
+    ) -> Result<Explanation, ExplainError> {
+        self.explain_with(outcome, fact, TemplateFlavor::Enhanced)
+    }
+
+    /// Answers the explanation query with an explicit template flavour.
+    pub fn explain_with(
+        &self,
+        outcome: &ChaseOutcome,
+        fact: &Fact,
+        flavor: TemplateFlavor,
+    ) -> Result<Explanation, ExplainError> {
+        let id = outcome
+            .lookup(fact)
+            .ok_or(ExplainError::UnknownFact(FactId(u32::MAX)))?;
+        self.explain_id(outcome, id, flavor)
+    }
+
+    /// Answers the explanation query for a fact id.
+    ///
+    /// The proof spine is covered by one simple path plus cycles
+    /// (Sec. 4.3). Side branches of the proof (e.g. the second ownership
+    /// branch of a joint control, or the second channel of a two-channel
+    /// cascade) that are not absorbed by a selected path are explained
+    /// recursively and prepended as preconditions, so the explanation
+    /// contains *every* constant of the proof — the completeness guarantee
+    /// of Sec. 6.3.
+    pub fn explain_id(
+        &self,
+        outcome: &ChaseOutcome,
+        id: FactId,
+        flavor: TemplateFlavor,
+    ) -> Result<Explanation, ExplainError> {
+        if outcome.database.len() <= id.0 as usize {
+            return Err(ExplainError::UnknownFact(id));
+        }
+        if !outcome.graph.is_derived(id) {
+            return Err(ExplainError::ExtensionalFact(id));
+        }
+
+        let mut visited = std::collections::HashSet::new();
+        let mut texts: Vec<String> = Vec::new();
+        let mut paths: Vec<String> = Vec::new();
+        let chase_steps =
+            self.explain_rec(outcome, id, flavor, &mut visited, &mut texts, &mut paths, 0)?;
+
+        let support = outcome
+            .graph
+            .proof(id, self.policy)
+            .facts()
+            .into_iter()
+            .map(|f| outcome.database.fact(f).clone())
+            .collect();
+
+        Ok(Explanation {
+            fact: outcome.database.fact(id).clone(),
+            text: texts.join(" "),
+            paths,
+            chase_steps,
+            support,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn explain_rec(
+        &self,
+        outcome: &ChaseOutcome,
+        id: FactId,
+        flavor: TemplateFlavor,
+        visited: &mut std::collections::HashSet<vadalog::DerivationId>,
+        texts: &mut Vec<String>,
+        paths: &mut Vec<String>,
+        depth: u32,
+    ) -> Result<usize, ExplainError> {
+        if depth > 64 {
+            return Ok(0);
+        }
+        let proof = outcome.graph.proof(id, self.policy);
+        let tau = proof.linearize(&outcome.graph);
+        let steps = step_infos(&outcome.graph, &tau, self.policy);
+        // A recursive call may find that a prefix of its spine was already
+        // told by the caller's cover; the story resumes mid-proof with
+        // reasoning cycles only.
+        let start = steps
+            .iter()
+            .position(|s| !visited.contains(&s.derivation))
+            .unwrap_or(steps.len());
+        let covering = cover_from(&self.program, &self.analysis, &outcome.graph, &steps, start)?;
+
+        // Everything verbalized by the selected pieces.
+        for s in &steps {
+            visited.insert(s.derivation);
+        }
+        for piece in &covering.pieces {
+            visited.extend(piece.assignments.values().copied());
+        }
+
+        // Side branches not absorbed by any piece: preconditions of this
+        // story, explained first. When a side fact's own sub-proof cannot
+        // be covered by the enumerated paths (its predicate is not the
+        // goal of any path), it is verbalized rule by rule — completeness
+        // never depends on path coverage.
+        for s in &steps {
+            for &side in &s.sides {
+                if visited.contains(&side) {
+                    continue;
+                }
+                // The recursion marks the side derivation itself (it is
+                // the last spine step of the side fact's proof); the
+                // single-rule fallback marks it explicitly.
+                let conclusion = outcome.graph.derivation(side).conclusion;
+                match self.explain_rec(
+                    outcome,
+                    conclusion,
+                    flavor,
+                    visited,
+                    texts,
+                    paths,
+                    depth + 1,
+                ) {
+                    Ok(_) => {}
+                    Err(ExplainError::NoCoveringPath { .. }) => {
+                        if visited.insert(side) {
+                            self.explain_single(outcome, side, visited, texts, paths, depth + 1);
+                        }
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+
+        let templates = self.templates(flavor);
+        for piece in &covering.pieces {
+            texts.push(instantiate(
+                &templates[piece.path_index],
+                piece,
+                &outcome.graph,
+            ));
+            paths.push(self.analysis.paths[piece.path_index].label(&self.program));
+        }
+        Ok(tau.len())
+    }
+
+    /// Verbalizes one derivation with its rule's fallback template,
+    /// explaining unvisited derived premises first (depth-first).
+    fn explain_single(
+        &self,
+        outcome: &ChaseOutcome,
+        did: DerivationId,
+        visited: &mut std::collections::HashSet<DerivationId>,
+        texts: &mut Vec<String>,
+        paths: &mut Vec<String>,
+        depth: u32,
+    ) {
+        if depth > 128 {
+            return;
+        }
+        let der = outcome.graph.derivation(did);
+        let (rule, contributors, premises) = (der.rule, der.contributors, der.premises.clone());
+        for p in premises {
+            if !outcome.graph.is_derived(p) {
+                continue;
+            }
+            if let Some(pd) = outcome.graph.choose_derivation(p, self.policy) {
+                if visited.insert(pd) {
+                    self.explain_single(outcome, pd, visited, texts, paths, depth + 1);
+                }
+            }
+        }
+        let (solid, dashed) = &self.fallbacks[rule.0];
+        let template = if contributors > 1 { dashed } else { solid };
+        let piece = PathCover {
+            path_index: usize::MAX,
+            assignments: std::iter::once((0usize, did)).collect(),
+            consumed: 0,
+            side_used: 0,
+        };
+        texts.push(instantiate(template, &piece, &outcome.graph));
+        paths.push(format!("[{}]", self.program.rule(rule).label));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glossary::{GlossaryEntry, ValueFormat};
+    use vadalog::{chase, parse_program, Database};
+
+    /// Example 4.3 with the Fig. 8 EDB and the Fig. 7 glossary.
+    fn setup() -> (ExplanationPipeline, ChaseOutcome) {
+        let parsed = parse_program(
+            r#"
+            alpha: shock(f, s), has_capital(f, p1), s > p1 -> default(f).
+            beta: default(d), debts(d, c, v), e = sum(v) -> risk(c, e).
+            gamma: has_capital(c, p2), risk(c, e), p2 < e -> default(c).
+
+            shock("A", 6).
+            has_capital("A", 5).
+            debts("A", "B", 7).
+            has_capital("B", 2).
+            debts("B", "C", 2).
+            debts("B", "C", 9).
+            has_capital("C", 10).
+        "#,
+        )
+        .unwrap();
+        let glossary = DomainGlossary::new()
+            .with(GlossaryEntry::new(
+                "has_capital",
+                &[("f", ValueFormat::Plain), ("p", ValueFormat::MillionsEuro)],
+                "<f> is a financial institution with capital of <p>",
+            ))
+            .with(GlossaryEntry::new(
+                "shock",
+                &[("f", ValueFormat::Plain), ("s", ValueFormat::MillionsEuro)],
+                "a shock amounting to <s> affects <f>",
+            ))
+            .with(GlossaryEntry::new(
+                "default",
+                &[("f", ValueFormat::Plain)],
+                "<f> is in default",
+            ))
+            .with(GlossaryEntry::new(
+                "debts",
+                &[
+                    ("d", ValueFormat::Plain),
+                    ("c", ValueFormat::Plain),
+                    ("v", ValueFormat::MillionsEuro),
+                ],
+                "<d> has an amount <v> of debts with <c>",
+            ))
+            .with(GlossaryEntry::new(
+                "risk",
+                &[("c", ValueFormat::Plain), ("e", ValueFormat::MillionsEuro)],
+                "<c> is at risk of defaulting given its loan of <e> of exposures to a defaulted debtor",
+            ));
+        let pipeline =
+            ExplanationPipeline::new(parsed.program.clone(), "default", &glossary).unwrap();
+        let db: Database = parsed.facts.into_iter().collect();
+        let outcome = chase(&parsed.program, db).unwrap();
+        (pipeline, outcome)
+    }
+
+    #[test]
+    fn example_4_8_explanation_content() {
+        let (pipeline, outcome) = setup();
+        let q = Fact::new("default", vec!["C".into()]);
+        let e = pipeline.explain(&outcome, &q).unwrap();
+        // The explanation of Example 4.8 mentions: the 6M shock on A, A's
+        // 5M capital, the 7M debt to B, B's 2M capital, the 2M and 9M
+        // loans, the 11M total, and C's 10M capital.
+        for needle in [
+            "6M euros",
+            "5M euros",
+            "7M euros",
+            "2M euros",
+            "9M euros",
+            "11M euros",
+            "10M euros",
+            "A",
+            "B",
+            "C",
+        ] {
+            assert!(e.text.contains(needle), "missing {needle} in: {}", e.text);
+        }
+        assert_eq!(e.chase_steps, 5);
+        assert_eq!(e.paths.len(), 2);
+        // The support spans the whole Fig. 8 proof: 7 EDB + 5 derived.
+        assert_eq!(e.support.len(), 12);
+        // Π2 then the dashed cycle.
+        assert_eq!(e.paths[0], "{alpha,beta,gamma}");
+        assert_eq!(e.paths[1], "{beta,gamma}*");
+        assert!(!e.text.contains('<'), "unsubstituted token: {}", e.text);
+    }
+
+    #[test]
+    fn deterministic_flavor_is_more_verbose() {
+        let (pipeline, outcome) = setup();
+        let q = Fact::new("default", vec!["C".into()]);
+        let det = pipeline
+            .explain_with(&outcome, &q, TemplateFlavor::Deterministic)
+            .unwrap();
+        let enh = pipeline
+            .explain_with(&outcome, &q, TemplateFlavor::Enhanced)
+            .unwrap();
+        assert!(det.text.len() > enh.text.len());
+    }
+
+    #[test]
+    fn extensional_facts_are_rejected() {
+        let (pipeline, outcome) = setup();
+        let q = Fact::new("shock", vec!["A".into(), 6i64.into()]);
+        let id = outcome.lookup(&q).unwrap();
+        assert!(matches!(
+            pipeline.explain_id(&outcome, id, TemplateFlavor::Enhanced),
+            Err(ExplainError::ExtensionalFact(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_facts_are_rejected() {
+        let (pipeline, outcome) = setup();
+        let q = Fact::new("default", vec!["ZZZ".into()]);
+        assert!(matches!(
+            pipeline.explain(&outcome, &q),
+            Err(ExplainError::UnknownFact(_))
+        ));
+    }
+
+    #[test]
+    fn all_derived_defaults_are_explainable() {
+        let (pipeline, outcome) = setup();
+        for (id, fact) in outcome.facts_of("default") {
+            if !outcome.graph.is_derived(id) {
+                continue;
+            }
+            let e = pipeline
+                .explain_id(&outcome, id, TemplateFlavor::Enhanced)
+                .unwrap_or_else(|err| panic!("explaining {fact}: {err}"));
+            assert!(!e.text.is_empty());
+            assert!(!e.text.contains('<'), "{}: {}", fact, e.text);
+        }
+    }
+
+    #[test]
+    fn report_covers_all_derived_goal_facts() {
+        let (pipeline, outcome) = setup();
+        let report = pipeline.report(&outcome, TemplateFlavor::Enhanced).unwrap();
+        // Defaults of A, B and C.
+        assert_eq!(report.len(), 3);
+        let rendered = pipeline
+            .render_report(&outcome, TemplateFlavor::Enhanced)
+            .unwrap();
+        assert!(rendered.starts_with("Business report — 3 derived default fact(s)"));
+        for entity in ["\"A\"", "\"B\"", "\"C\""] {
+            assert!(rendered.contains(entity), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn pipeline_exposes_templates_and_stats() {
+        let (pipeline, _) = setup();
+        assert_eq!(pipeline.stats().paths, pipeline.analysis().paths.len());
+        assert_eq!(
+            pipeline.templates(TemplateFlavor::Deterministic).len(),
+            pipeline.templates(TemplateFlavor::Enhanced).len()
+        );
+        // Stats: built-in fluent generation never falls back.
+        assert_eq!(pipeline.stats().enhancement_fallbacks, 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The verbalizer: deterministic translation of Vadalog syntax into
+//! natural-language fragments (Sec. 4.2).
+//!
+//! Each element of the rule syntax maps to an NL counterpart: conjunction
+//! to "and", `>` to "is higher than", `sum` to "is given by the sum of",
+//! and atoms to their domain-glossary patterns. Output is a list of
+//! [`RawSeg`]s: literal text interleaved with rule variables, which the
+//! template generator later resolves into tokens.
+
+use crate::glossary::{DomainGlossary, ValueFormat};
+use vadalog::{AggFunc, Atom, CmpOp, Condition, Expr, Symbol, Term, Value};
+
+/// A fragment of verbalized rule text: literal text or a rule variable.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RawSeg {
+    /// Literal text.
+    Text(String),
+    /// A rule variable, to be resolved into a token.
+    Var(Symbol),
+}
+
+impl RawSeg {
+    /// Convenience text constructor.
+    pub fn text(s: impl Into<String>) -> RawSeg {
+        RawSeg::Text(s.into())
+    }
+}
+
+/// NL rendering of a comparison operator.
+pub fn cmp_words(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Gt => "is higher than",
+        CmpOp::Lt => "is lower than",
+        CmpOp::Ge => "is at least",
+        CmpOp::Le => "is at most",
+        CmpOp::Eq => "equals",
+        CmpOp::Ne => "differs from",
+    }
+}
+
+/// NL rendering of an aggregation function.
+pub fn agg_words(func: AggFunc) -> &'static str {
+    match func {
+        AggFunc::Sum => "the sum of",
+        AggFunc::Prod => "the product of",
+        AggFunc::Min => "the minimum of",
+        AggFunc::Max => "the maximum of",
+        AggFunc::Count => "the number of",
+    }
+}
+
+/// NL rendering of an arithmetic operator.
+pub fn arith_words(op: vadalog::ArithOp) -> &'static str {
+    match op {
+        vadalog::ArithOp::Add => "plus",
+        vadalog::ArithOp::Sub => "minus",
+        vadalog::ArithOp::Mul => "times",
+        vadalog::ArithOp::Div => "divided by",
+    }
+}
+
+/// Renders a constant value under a format, for inlining into text.
+pub fn constant_text(value: &Value, format: ValueFormat) -> String {
+    format.render(value)
+}
+
+/// Verbalizes an atom through the glossary.
+///
+/// With a glossary entry, the entry's pattern is expanded: each `<param>`
+/// placeholder becomes the variable at that argument position (or the
+/// formatted constant, inlined as text). Without an entry, a generic but
+/// complete rendering is produced so explanations never silently drop
+/// information.
+pub fn atom_segments(atom: &Atom, glossary: &DomainGlossary) -> Vec<RawSeg> {
+    if let Some(entry) = glossary.entry(atom.predicate) {
+        if entry.arity() == atom.arity() {
+            return expand_pattern(
+                atom,
+                &entry.pattern,
+                |name| entry.params.iter().position(|p| p.name == name),
+                |pos| entry.params[pos].format,
+            );
+        }
+    }
+    generic_atom_segments(atom)
+}
+
+fn expand_pattern(
+    atom: &Atom,
+    pattern: &str,
+    position_of: impl Fn(&str) -> Option<usize>,
+    format_of: impl Fn(usize) -> ValueFormat,
+) -> Vec<RawSeg> {
+    let mut out = Vec::new();
+    let mut text = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '<' {
+            let mut name = String::new();
+            let mut closed = false;
+            for c2 in chars.by_ref() {
+                if c2 == '>' {
+                    closed = true;
+                    break;
+                }
+                name.push(c2);
+            }
+            match (closed, position_of(&name)) {
+                (true, Some(pos)) if pos < atom.terms.len() => {
+                    if !text.is_empty() {
+                        out.push(RawSeg::Text(std::mem::take(&mut text)));
+                    }
+                    match &atom.terms[pos] {
+                        Term::Var(v) => out.push(RawSeg::Var(*v)),
+                        Term::Const(val) => {
+                            text.push_str(&constant_text(val, format_of(pos)));
+                        }
+                    }
+                }
+                _ => {
+                    // Unknown placeholder: keep it literally.
+                    text.push('<');
+                    text.push_str(&name);
+                    if closed {
+                        text.push('>');
+                    }
+                }
+            }
+        } else {
+            text.push(c);
+        }
+    }
+    if !text.is_empty() {
+        out.push(RawSeg::Text(text));
+    }
+    out
+}
+
+/// Fallback atom rendering when the glossary has no entry: the predicate
+/// name with underscores spaced out, applied to its arguments.
+pub fn generic_atom_segments(atom: &Atom) -> Vec<RawSeg> {
+    let mut out = Vec::new();
+    let pred_words = atom.predicate.as_str().replace('_', " ");
+    out.push(RawSeg::Text(format!(
+        "the relation \"{}\" holds for ",
+        pred_words
+    )));
+    for (i, t) in atom.terms.iter().enumerate() {
+        if i > 0 {
+            out.push(RawSeg::text(if i + 1 == atom.terms.len() {
+                " and "
+            } else {
+                ", "
+            }));
+        }
+        match t {
+            Term::Var(v) => out.push(RawSeg::Var(*v)),
+            Term::Const(val) => out.push(RawSeg::Text(constant_text(val, ValueFormat::Plain))),
+        }
+    }
+    out
+}
+
+/// Verbalizes an expression.
+pub fn expr_segments(expr: &Expr, format: ValueFormat, out: &mut Vec<RawSeg>) {
+    match expr {
+        Expr::Const(v) => out.push(RawSeg::Text(constant_text(v, format))),
+        Expr::Var(v) => out.push(RawSeg::Var(*v)),
+        Expr::Binary { op, left, right } => {
+            expr_segments(left, format, out);
+            out.push(RawSeg::Text(format!(" {} ", arith_words(*op))));
+            expr_segments(right, format, out);
+        }
+    }
+}
+
+/// Verbalizes a condition, e.g. `s > p1` as "`s` is higher than `p1`".
+///
+/// `format` renders constant operands (e.g. thresholds as percentages in
+/// the company-control program).
+pub fn condition_segments(cond: &Condition, format: ValueFormat) -> Vec<RawSeg> {
+    let mut out = Vec::new();
+    expr_segments(&cond.left, format, &mut out);
+    out.push(RawSeg::Text(format!(" {} ", cmp_words(cond.op))));
+    expr_segments(&cond.right, format, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glossary::GlossaryEntry;
+
+    fn glossary() -> DomainGlossary {
+        DomainGlossary::new()
+            .with(GlossaryEntry::new(
+                "has_capital",
+                &[("f", ValueFormat::Plain), ("p", ValueFormat::MillionsEuro)],
+                "<f> is a financial institution with capital of <p>",
+            ))
+            .with(GlossaryEntry::new(
+                "risk",
+                &[
+                    ("c", ValueFormat::Plain),
+                    ("e", ValueFormat::MillionsEuro),
+                    ("t", ValueFormat::Plain),
+                ],
+                "<c> is at risk of defaulting given its <t>-term loans of <e> euros of exposures to a defaulted debtor",
+            ))
+    }
+
+    fn text_of(segs: &[RawSeg]) -> String {
+        segs.iter()
+            .map(|s| match s {
+                RawSeg::Text(t) => t.clone(),
+                RawSeg::Var(v) => format!("<{}>", v),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn atom_expands_through_glossary() {
+        let atom = Atom::new("has_capital", vec![Term::var("c"), Term::var("p2")]);
+        let segs = atom_segments(&atom, &glossary());
+        assert_eq!(
+            text_of(&segs),
+            "<c> is a financial institution with capital of <p2>"
+        );
+    }
+
+    #[test]
+    fn constants_are_inlined_with_format() {
+        // risk(c, es, "short"): the channel constant is inlined.
+        let atom = Atom::new(
+            "risk",
+            vec![Term::var("c"), Term::var("es"), Term::constant("short")],
+        );
+        let segs = atom_segments(&atom, &glossary());
+        let t = text_of(&segs);
+        assert!(t.contains("short-term loans"), "got: {t}");
+        assert!(t.contains("<es>"));
+    }
+
+    #[test]
+    fn missing_entry_falls_back_to_generic() {
+        let atom = Atom::new("unknown_rel", vec![Term::var("a"), Term::var("b")]);
+        let segs = atom_segments(&atom, &glossary());
+        let t = text_of(&segs);
+        assert!(t.contains("unknown rel"));
+        assert!(t.contains("<a>"));
+        assert!(t.contains("<b>"));
+    }
+
+    #[test]
+    fn arity_mismatch_falls_back_to_generic() {
+        let atom = Atom::new("has_capital", vec![Term::var("x")]);
+        let segs = atom_segments(&atom, &glossary());
+        assert!(text_of(&segs).contains("has capital"));
+    }
+
+    #[test]
+    fn conditions_use_operator_words() {
+        let c = Condition::new(Expr::var("s"), CmpOp::Gt, Expr::var("p1"));
+        assert_eq!(
+            text_of(&condition_segments(&c, ValueFormat::Plain)),
+            "<s> is higher than <p1>"
+        );
+        let c2 = Condition::new(Expr::var("ts"), CmpOp::Gt, Expr::constant(0.5f64));
+        assert_eq!(
+            text_of(&condition_segments(&c2, ValueFormat::Percent)),
+            "<ts> is higher than 50%"
+        );
+    }
+
+    #[test]
+    fn expressions_verbalize_arithmetic() {
+        let e = Expr::binary(
+            vadalog::ArithOp::Add,
+            Expr::var("a"),
+            Expr::binary(vadalog::ArithOp::Mul, Expr::var("b"), Expr::constant(2i64)),
+        );
+        let mut segs = Vec::new();
+        expr_segments(&e, ValueFormat::Plain, &mut segs);
+        assert_eq!(text_of(&segs), "<a> plus <b> times 2");
+    }
+
+    #[test]
+    fn all_operator_words_are_distinct() {
+        let ops = [
+            CmpOp::Gt,
+            CmpOp::Lt,
+            CmpOp::Ge,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ];
+        let words: std::collections::HashSet<_> = ops.iter().map(|&o| cmp_words(o)).collect();
+        assert_eq!(words.len(), ops.len());
+        let fns = [
+            AggFunc::Sum,
+            AggFunc::Prod,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+        ];
+        let words: std::collections::HashSet<_> = fns.iter().map(|&f| agg_words(f)).collect();
+        assert_eq!(words.len(), fns.len());
+    }
+
+    #[test]
+    fn unknown_placeholders_stay_literal() {
+        let g = DomainGlossary::new().with(GlossaryEntry::new(
+            "p",
+            &[("x", ValueFormat::Plain)],
+            "<x> relates to <typo>",
+        ));
+        let atom = Atom::new("p", vec![Term::var("a")]);
+        let segs = atom_segments(&atom, &g);
+        assert_eq!(text_of(&segs), "<a> relates to <typo>");
+    }
+}

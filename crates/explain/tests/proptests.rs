@@ -1,0 +1,150 @@
+//! Property-based tests of the explain crate: invariants of the
+//! structural analysis, template generation and the anti-omission check
+//! over randomized rule programs.
+
+use explain::{analyze, generate, DomainGlossary, PathKind, Supply, Template, TemplateStyle};
+use proptest::prelude::*;
+use vadalog::{parse_program, Program};
+
+/// A random layered program: predicates p0..p_depth with 1-2 rules per
+/// layer, optional recursion back into the last layer, optional final
+/// aggregation. Always valid; returns (text, goal predicate).
+fn program_text() -> impl Strategy<Value = (String, String)> {
+    (
+        1usize..4,
+        prop::collection::vec(any::<bool>(), 3),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(depth, extras, recursive, aggregate)| {
+            let mut text = String::new();
+            let mut label = 0usize;
+            for k in 0..depth {
+                label += 1;
+                text.push_str(&format!("r{label}: p{k}(x, v) -> p{}(x, v).\n", k + 1));
+                if extras.get(k).copied().unwrap_or(false) {
+                    label += 1;
+                    text.push_str(&format!("r{label}: q{k}(x, v) -> p{}(x, v).\n", k + 1));
+                }
+            }
+            if recursive {
+                label += 1;
+                text.push_str(&format!(
+                    "r{label}: p{depth}(x, v), link(x, y) -> p{depth}(y, v).\n"
+                ));
+            }
+            let goal = if aggregate {
+                label += 1;
+                text.push_str(&format!(
+                    "r{label}: p{depth}(x, v), t = sum(v) -> total(x, t).\n"
+                ));
+                "total".to_owned()
+            } else {
+                format!("p{depth}")
+            };
+            (text, goal)
+        })
+}
+
+fn check_template_tokens(program: &Program, template: &Template) {
+    let rendered = template.render();
+    // Every class appears in the rendered text.
+    assert!(template.missing_tokens(&rendered).is_empty());
+    // Reparse round-trips.
+    let segments = template.reparse(&rendered).expect("reparse");
+    assert_eq!(template.with_segments(segments).render(), rendered);
+    let _ = program;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Structural-analysis invariants on random layered programs.
+    #[test]
+    fn analysis_invariants((text, goal) in program_text()) {
+        let program = parse_program(&text).unwrap().program;
+        let analysis = analyze(&program, &goal).unwrap();
+
+        for path in &analysis.paths {
+            // Rules are distinct.
+            let mut rules = path.rules.clone();
+            rules.sort_unstable();
+            rules.dedup();
+            prop_assert_eq!(rules.len(), path.rules.len());
+
+            // The sink derives a critical node.
+            let sink_head = program
+                .rule(path.sink())
+                .head
+                .atom()
+                .unwrap()
+                .predicate;
+            prop_assert!(analysis.critical.contains(&sink_head));
+
+            // Dashed rules are aggregate rules of the path.
+            for &d in &path.dashed {
+                prop_assert!(path.rules.contains(&d));
+                prop_assert!(program.rule(d).has_aggregate());
+            }
+
+            // Cycles carry an entry critical predicate; supply shapes are
+            // aligned with the rules' positive bodies.
+            if path.kind == PathKind::Cycle {
+                prop_assert!(path.entry.is_some());
+            }
+            prop_assert_eq!(path.supply.len(), path.rules.len());
+            for (i, &r) in path.rules.iter().enumerate() {
+                prop_assert_eq!(
+                    path.supply[i].len(),
+                    program.rule(r).positive_body().count()
+                );
+                for s in &path.supply[i] {
+                    if let Supply::Internal(producers) = s {
+                        prop_assert!(!producers.is_empty());
+                        for &p in producers {
+                            prop_assert!(p < i, "producers precede consumers");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every generated template (both styles, every path) is token-closed
+    /// and reparse round-trips.
+    #[test]
+    fn templates_are_token_closed((text, goal) in program_text()) {
+        let program = parse_program(&text).unwrap().program;
+        let analysis = analyze(&program, &goal).unwrap();
+        let glossary = DomainGlossary::new();
+        for (i, path) in analysis.paths.iter().enumerate() {
+            for style in [TemplateStyle::Deterministic, TemplateStyle::Fluent] {
+                let t = generate(&program, &glossary, path, i, style);
+                check_template_tokens(&program, &t);
+                // Display names are unique.
+                let mut names: Vec<&str> =
+                    t.classes.iter().map(|c| c.display.as_str()).collect();
+                let before = names.len();
+                names.sort_unstable();
+                names.dedup();
+                prop_assert_eq!(before, names.len());
+            }
+        }
+    }
+
+    /// The fluent style never loses a token class relative to the
+    /// deterministic style.
+    #[test]
+    fn fluent_style_preserves_classes((text, goal) in program_text()) {
+        let program = parse_program(&text).unwrap().program;
+        let analysis = analyze(&program, &goal).unwrap();
+        let glossary = DomainGlossary::new();
+        for (i, path) in analysis.paths.iter().enumerate() {
+            let det = generate(&program, &glossary, path, i, TemplateStyle::Deterministic);
+            let fluent = generate(&program, &glossary, path, i, TemplateStyle::Fluent);
+            prop_assert_eq!(det.classes.len(), fluent.classes.len());
+            let rendered = fluent.render();
+            prop_assert!(fluent.missing_tokens(&rendered).is_empty());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # finkg
+//!
+//! The financial knowledge-graph applications of the paper (Sec. 5) and
+//! the synthetic data layer used by its evaluation (Sec. 6):
+//!
+//! * [`apps::control`] — company control (σ1–σ3);
+//! * [`apps::stress`] — two-channel stress test (σ4–σ7);
+//! * [`apps::simple_stress`] — the single-channel Example 4.3 (α–γ);
+//! * [`apps::close_links`] — the close-link application of the expert
+//!   study;
+//! * [`apps::golden_power`] — golden-power screening of foreign stakes in
+//!   strategic assets, layered on the control substrate;
+//! * [`scenario`] — the representative synthetic cluster of Fig. 12/13;
+//! * [`generator`] — seeded workload generators with exact-proof-length
+//!   bundles (real supervisory data is confidential; like the paper, all
+//!   experiments run on artificial data);
+//! * [`viz`] — proof visualizations and the four error archetypes of the
+//!   comprehension study.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps {
+    //! The rule-based KG applications, each with its program and domain
+    //! glossary.
+    pub mod close_links;
+    pub mod control;
+    pub mod golden_power;
+    pub mod simple_stress;
+    pub mod stress;
+}
+
+pub mod generator;
+pub mod scenario;
+pub mod viz;
+
+pub use generator::{
+    control_bundle, control_bundle_aggregated, proofs_with_steps, random_debt_network,
+    random_ownership, stress_bundle, Bundle,
+};
+pub use viz::{inject_error, ErrorArchetype, VizEdge, VizGraph, VizNode, ALL_ARCHETYPES};

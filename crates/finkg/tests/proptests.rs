@@ -1,0 +1,100 @@
+//! Property-based tests of the finkg crate: workload-generator guarantees
+//! and error-archetype detectability over randomized parameters.
+
+use finkg::apps::{control, stress};
+use finkg::{inject_error, VizGraph, ALL_ARCHETYPES};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vadalog::{chase, DerivationPolicy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Control bundles embed proofs of exactly the requested length, for
+    /// any seed and count.
+    #[test]
+    fn control_bundle_lengths_are_exact(
+        steps in 1usize..10,
+        count in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let bundle = finkg::control_bundle(steps, count, seed);
+        let out = chase(&control::program(), bundle.database).unwrap();
+        prop_assert_eq!(bundle.targets.len(), count);
+        for target in &bundle.targets {
+            let id = out.lookup(target).expect("target derived");
+            let tau = out
+                .graph
+                .proof(id, DerivationPolicy::Richest)
+                .linearize(&out.graph);
+            prop_assert_eq!(tau.len(), steps);
+        }
+    }
+
+    /// Stress bundles embed proofs of exactly the requested length, both
+    /// parities (odd = default target, even = risk target).
+    #[test]
+    fn stress_bundle_lengths_are_exact(
+        steps in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let bundle = finkg::stress_bundle(steps, 2, seed);
+        let out = chase(&stress::program(), bundle.database).unwrap();
+        for target in &bundle.targets {
+            let id = out.lookup(target).expect("target derived");
+            let tau = out
+                .graph
+                .proof(id, DerivationPolicy::Richest)
+                .linearize(&out.graph);
+            prop_assert_eq!(tau.len(), steps);
+        }
+    }
+
+    /// Every applicable error injection produces a structurally different
+    /// graph (a distractor is never accidentally identical).
+    #[test]
+    fn injections_always_differ(seed in 0u64..500) {
+        let out = chase(
+            &finkg::apps::simple_stress::program(),
+            finkg::apps::simple_stress::figure_8_database(),
+        )
+        .unwrap();
+        let id = out
+            .lookup(&vadalog::Fact::new("default", vec!["C".into()]))
+            .unwrap();
+        let graph = VizGraph::from_proof(&out, id);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for archetype in ALL_ARCHETYPES {
+            if let Some(bad) = inject_error(&graph, archetype, &mut rng) {
+                prop_assert!(!bad.same_structure(&graph), "{:?}", archetype);
+            }
+        }
+    }
+
+    /// Random networks chase to fixpoint without errors for any seed.
+    #[test]
+    fn random_networks_always_terminate(
+        n in 5usize..60,
+        out_deg in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let own = finkg::random_ownership(n, out_deg, seed);
+        prop_assert!(chase(&control::program(), own).is_ok());
+        let debt = finkg::random_debt_network(n, out_deg, 2, seed);
+        prop_assert!(chase(&stress::program(), debt).is_ok());
+    }
+
+    /// Ownership shares generated for direct-majority chains are always
+    /// majorities, so chain targets are always derived.
+    #[test]
+    fn chain_links_are_majorities(steps in 1usize..8, seed in 0u64..200) {
+        let bundle = finkg::control_bundle(steps, 1, seed);
+        for (_, fact) in bundle.database.iter() {
+            if fact.predicate == vadalog::Symbol::new("own") {
+                let share = fact.values[2].as_f64().unwrap();
+                prop_assert!(share > 0.5 && share < 1.0, "share {share}");
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Phrase tables of the simulated LLM: paraphrase variants of the
+//! verbalizer's stock phrases.
+
+/// Alternatives for sentence-initial connectives. The first entry of each
+/// group is the verbalizer's own phrasing (kept as one of the choices).
+pub const OPENERS: &[&[&str]] = &[
+    &["Since ", "Given that ", "Because ", "As "],
+    &[
+        "As a result, since ",
+        "Consequently, as ",
+        "It follows that, since ",
+        "Hence, as ",
+    ],
+    &[
+        "In turn, since ",
+        "Subsequently, given that ",
+        "Further, because ",
+    ],
+    &["Then, since ", "Next, as ", "Afterwards, because "],
+];
+
+/// Mid-sentence phrase substitutions `(from, to)` applied probabilistically.
+pub const REWRITES: &[(&str, &[&str])] = &[
+    (
+        ", then ",
+        &[", then ", ", it follows that ", ", therefore ", ", so "],
+    ),
+    (
+        " is higher than ",
+        &[" is higher than ", " exceeds ", " is greater than "],
+    ),
+    (
+        " is lower than ",
+        &[" is lower than ", " is below ", " falls short of "],
+    ),
+    (" is at least ", &[" is at least ", " is no less than "]),
+    (" is at most ", &[" is at most ", " does not exceed "]),
+    (
+        " is in default",
+        &[" is in default", " defaults", " fails the stress test"],
+    ),
+    (", and ", &[", and ", ", while ", ", and moreover "]),
+    (
+        " given by the sum of ",
+        &[" given by the sum of ", " totalling ", " adding up from "],
+    ),
+    (" owns ", &[" owns ", " holds ", " possesses "]),
+    (
+        " exercises control over ",
+        &[
+            " exercises control over ",
+            " controls ",
+            " has decision power over ",
+        ],
+    ),
+    (
+        " is at risk of defaulting ",
+        &[
+            " is at risk of defaulting ",
+            " faces default risk ",
+            " risks failure ",
+        ],
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rewrite_group_contains_identity() {
+        for (from, tos) in REWRITES {
+            assert!(tos.contains(from), "group for {from:?} lacks identity");
+        }
+    }
+
+    #[test]
+    fn opener_groups_are_non_empty() {
+        for group in OPENERS {
+            assert!(!group.is_empty());
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! # llm-sim
+//!
+//! A deterministic, seeded *simulated LLM*: the stand-in for the paper's
+//! ChatGPT baseline (gpt-3.5-turbo), which this reproduction cannot call.
+//!
+//! The experiments of Sec. 6 use the LLM as a black-box text rewriter with
+//! two prompts — "generate a paraphrased version" and "generate a
+//! summarized version" — whose relevant behaviours are:
+//!
+//! * rewritten text is fluent and varies between runs;
+//! * *omissions*: constants of the input are dropped with a probability
+//!   that grows with input length, more aggressively when summarizing
+//!   (Fig. 17's measured phenomenon);
+//! * occasionally a token of a *template* is dropped too, which exercises
+//!   the pipeline's anti-omission check (Sec. 4.4).
+//!
+//! The simulator reproduces exactly these behaviours with seeded
+//! pseudo-randomness: sentence-level drops (summary), clause-level drops
+//! (both prompts, rarer for paraphrase) and phrase-level rewriting from a
+//! lexicon. Everything is deterministic given `(seed, prompt, input, run)`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexicon;
+
+use explain::Enhancer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hash::{Hash, Hasher};
+
+/// The two prompts of the paper's experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Prompt {
+    /// "Generate a paraphrased version of the following text: ..."
+    Paraphrase,
+    /// "Generate a summarized version of the following text: ..."
+    Summarize,
+}
+
+/// Tunable omission behaviour (defaults calibrated to the shapes of
+/// Fig. 17: omissions ≈ 0 for short proofs, growing with length, summary
+/// well above paraphrase).
+#[derive(Clone, Copy, Debug)]
+pub struct OmissionModel {
+    /// Per-sentence drop probability slope for summarization, per input
+    /// sentence beyond the first.
+    pub summary_sentence_slope: f64,
+    /// Cap on the summary per-sentence drop probability.
+    pub summary_sentence_cap: f64,
+    /// Per-clause drop probability slope for both prompts.
+    pub clause_slope: f64,
+    /// Cap on the per-clause drop probability (paraphrase).
+    pub clause_cap_paraphrase: f64,
+    /// Cap on the per-clause drop probability (summary).
+    pub clause_cap_summary: f64,
+    /// Per-mention constant-abstraction probability slope for paraphrase
+    /// (a numeric mention is replaced by a vague phrase, the typical LLM
+    /// omission).
+    pub constant_slope_paraphrase: f64,
+    /// Per-mention constant-abstraction probability slope for summary.
+    pub constant_slope_summary: f64,
+    /// Cap on the constant-abstraction probability (paraphrase).
+    pub constant_cap_paraphrase: f64,
+    /// Cap on the constant-abstraction probability (summary).
+    pub constant_cap_summary: f64,
+}
+
+impl Default for OmissionModel {
+    fn default() -> OmissionModel {
+        OmissionModel {
+            summary_sentence_slope: 0.035,
+            summary_sentence_cap: 0.55,
+            clause_slope: 0.012,
+            clause_cap_paraphrase: 0.22,
+            clause_cap_summary: 0.35,
+            constant_slope_paraphrase: 0.03,
+            constant_slope_summary: 0.06,
+            constant_cap_paraphrase: 0.35,
+            constant_cap_summary: 0.55,
+        }
+    }
+}
+
+/// The simulated LLM.
+#[derive(Clone, Debug)]
+pub struct SimulatedLlm {
+    seed: u64,
+    prompt: Prompt,
+    model: OmissionModel,
+}
+
+impl SimulatedLlm {
+    /// A simulator answering the given prompt, seeded for reproducibility.
+    pub fn new(prompt: Prompt, seed: u64) -> SimulatedLlm {
+        SimulatedLlm {
+            seed,
+            prompt,
+            model: OmissionModel::default(),
+        }
+    }
+
+    /// Overrides the omission behaviour.
+    pub fn with_model(mut self, model: OmissionModel) -> SimulatedLlm {
+        self.model = model;
+        self
+    }
+
+    /// The prompt this instance answers.
+    pub fn prompt(&self) -> Prompt {
+        self.prompt
+    }
+
+    /// Rewrites `text` (one "run" of the LLM; `run` differentiates
+    /// repeated runs on the same input, like re-sampling an API).
+    pub fn rewrite(&self, text: &str, run: u64) -> String {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        text.hash(&mut hasher);
+        self.prompt.hash(&mut hasher);
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ hasher.finish() ^ run.wrapping_mul(0x9E37_79B9));
+
+        let sentences = split_sentences(text);
+        let n = sentences.len();
+
+        let sentence_drop = match self.prompt {
+            Prompt::Paraphrase => 0.0,
+            Prompt::Summarize => (self.model.summary_sentence_slope * n.saturating_sub(1) as f64)
+                .min(self.model.summary_sentence_cap),
+        };
+        let clause_cap = match self.prompt {
+            Prompt::Paraphrase => self.model.clause_cap_paraphrase,
+            Prompt::Summarize => self.model.clause_cap_summary,
+        };
+        let clause_drop = (self.model.clause_slope * n.saturating_sub(2) as f64).min(clause_cap);
+        let (constant_slope, constant_cap) = match self.prompt {
+            Prompt::Paraphrase => (
+                self.model.constant_slope_paraphrase,
+                self.model.constant_cap_paraphrase,
+            ),
+            Prompt::Summarize => (
+                self.model.constant_slope_summary,
+                self.model.constant_cap_summary,
+            ),
+        };
+        let constant_drop = (constant_slope * n.saturating_sub(2) as f64).min(constant_cap);
+
+        let mut out = Vec::new();
+        for (i, s) in sentences.iter().enumerate() {
+            // Never drop the concluding sentence: the LLM keeps the
+            // "answer" and loses supporting detail, as observed in the
+            // paper (omissions hit intermediate constants).
+            let is_last = i + 1 == n;
+            if !is_last && rng.random_bool(sentence_drop) {
+                continue;
+            }
+            out.push(self.rewrite_sentence(s, clause_drop, constant_drop, &mut rng));
+        }
+        out.join(" ")
+    }
+
+    fn rewrite_sentence(
+        &self,
+        sentence: &str,
+        clause_drop: f64,
+        constant_drop: f64,
+        rng: &mut StdRng,
+    ) -> String {
+        // Clause dropping: split on ", and " and probabilistically drop
+        // middle clauses.
+        let clauses: Vec<&str> = sentence.split(", and ").collect();
+        let mut kept: Vec<&str> = Vec::with_capacity(clauses.len());
+        for (i, c) in clauses.iter().enumerate() {
+            let is_edge = i == 0 || i + 1 == clauses.len();
+            if !is_edge && rng.random_bool(clause_drop) {
+                continue;
+            }
+            kept.push(c);
+        }
+        if kept.is_empty() {
+            kept.push(clauses[0]);
+        }
+        let mut s = kept.join(", and ");
+
+        // Phrase rewriting from the lexicon.
+        for group in lexicon::OPENERS {
+            if let Some(rest) = s.strip_prefix(group[0]) {
+                let choice = group[rng.random_range(0..group.len())];
+                s = format!("{choice}{rest}");
+                break;
+            }
+        }
+        for (from, tos) in lexicon::REWRITES {
+            if s.contains(from) {
+                let choice = tos[rng.random_range(0..tos.len())];
+                if choice != *from {
+                    s = s.replace(from, choice);
+                }
+            }
+        }
+
+        // Constant abstraction: numeric mentions are occasionally replaced
+        // by vague phrases ("owns a certain share of ..."), the typical
+        // way LLM rewrites shed detail.
+        if constant_drop > 0.0 {
+            s = s
+                .split(' ')
+                .map(|w| {
+                    let numeric = w.chars().next().is_some_and(|c| c.is_ascii_digit());
+                    if numeric && rng.random_bool(constant_drop) {
+                        "a certain amount"
+                    } else {
+                        w
+                    }
+                })
+                .collect::<Vec<&str>>()
+                .join(" ");
+        }
+        s
+    }
+}
+
+impl Enhancer for SimulatedLlm {
+    fn enhance(&self, text: &str, attempt: u32) -> String {
+        self.rewrite(text, u64::from(attempt))
+    }
+
+    fn name(&self) -> &str {
+        match self.prompt {
+            Prompt::Paraphrase => "simulated-llm-paraphrase",
+            Prompt::Summarize => "simulated-llm-summarize",
+        }
+    }
+}
+
+/// Splits text into sentences (on `". "`), keeping the final period.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text.trim();
+    while let Some(pos) = rest.find(". ") {
+        out.push(rest[..=pos].to_owned());
+        rest = rest[pos + 2..].trim_start();
+    }
+    if !rest.is_empty() {
+        out.push(rest.to_owned());
+    }
+    out
+}
+
+/// Fraction of the given constants that survive in `text` (the measurement
+/// of Fig. 17: "ratio between the number of constants present in the
+/// textual explanation and the number of facts required by the correct
+/// inference"). Returns 1.0 for an empty constant list.
+pub fn retained_ratio(text: &str, constants: &[String]) -> f64 {
+    if constants.is_empty() {
+        return 1.0;
+    }
+    let hits = constants
+        .iter()
+        .filter(|c| text.contains(c.as_str()))
+        .count();
+    hits as f64 / constants.len() as f64
+}
+
+/// Complement of [`retained_ratio`]: the omitted-information ratio.
+pub fn omission_ratio(text: &str, constants: &[String]) -> f64 {
+    1.0 - retained_ratio(text, constants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_text(sentences: usize) -> String {
+        (0..sentences)
+            .map(|i| {
+                format!(
+                    "Since E{i} owns {}% shares of E{}, and E{i} is solid, then E{i} exercises control over E{}.",
+                    50 + i,
+                    i + 1,
+                    i + 1
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    #[test]
+    fn rewriting_is_deterministic_per_seed_and_run() {
+        let llm = SimulatedLlm::new(Prompt::Paraphrase, 7);
+        let t = sample_text(4);
+        assert_eq!(llm.rewrite(&t, 0), llm.rewrite(&t, 0));
+        let a = llm.rewrite(&t, 0);
+        let b = llm.rewrite(&t, 1);
+        assert_ne!(a, b, "different runs should re-sample");
+    }
+
+    #[test]
+    fn short_inputs_lose_nothing() {
+        let llm = SimulatedLlm::new(Prompt::Paraphrase, 1);
+        let t = sample_text(1);
+        let constants: Vec<String> = vec!["50%".into(), "E0".into(), "E1".into()];
+        for run in 0..20 {
+            let out = llm.rewrite(&t, run);
+            assert_eq!(retained_ratio(&out, &constants), 1.0, "run {run}: {out}");
+        }
+    }
+
+    #[test]
+    fn summaries_shrink_long_inputs() {
+        let llm = SimulatedLlm::new(Prompt::Summarize, 3);
+        let t = sample_text(18);
+        let mut shorter = 0;
+        for run in 0..10 {
+            if llm.rewrite(&t, run).len() < t.len() {
+                shorter += 1;
+            }
+        }
+        assert!(shorter >= 9, "summaries should compress: {shorter}/10");
+    }
+
+    #[test]
+    fn omissions_grow_with_length_and_summary_beats_paraphrase() {
+        let constants_of =
+            |n: usize| -> Vec<String> { (0..n).map(|i| format!("{}%", 50 + i)).collect() };
+        let avg_omission = |prompt: Prompt, n: usize| -> f64 {
+            let llm = SimulatedLlm::new(prompt, 11);
+            let t = sample_text(n);
+            let cs = constants_of(n);
+            let total: f64 = (0..30)
+                .map(|r| omission_ratio(&llm.rewrite(&t, r), &cs))
+                .sum();
+            total / 30.0
+        };
+        let para_short = avg_omission(Prompt::Paraphrase, 3);
+        let para_long = avg_omission(Prompt::Paraphrase, 20);
+        let sum_long = avg_omission(Prompt::Summarize, 20);
+        assert!(para_short <= 0.05, "short paraphrase omits: {para_short}");
+        assert!(para_long > para_short, "{para_long} vs {para_short}");
+        assert!(sum_long > para_long, "{sum_long} vs {para_long}");
+        assert!(sum_long > 0.2, "long summaries omit plenty: {sum_long}");
+    }
+
+    #[test]
+    fn last_sentence_is_never_dropped() {
+        let llm = SimulatedLlm::new(Prompt::Summarize, 5);
+        let t = sample_text(12);
+        for run in 0..10 {
+            let out = llm.rewrite(&t, run);
+            assert!(out.contains("E12"), "run {run} lost the conclusion: {out}");
+        }
+    }
+
+    #[test]
+    fn split_sentences_round_trips() {
+        let t = "A b c. D e f. G h.";
+        let s = split_sentences(t);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.join(" "), t);
+    }
+
+    #[test]
+    fn retained_ratio_counts_distinct_constants() {
+        let cs: Vec<String> = vec!["7M".into(), "11M".into()];
+        assert_eq!(retained_ratio("total of 11M euros", &cs), 0.5);
+        assert_eq!(omission_ratio("nothing here", &cs), 1.0);
+        assert_eq!(retained_ratio("anything", &[]), 1.0);
+    }
+
+    #[test]
+    fn enhancer_trait_is_wired() {
+        let llm = SimulatedLlm::new(Prompt::Paraphrase, 2);
+        let out = Enhancer::enhance(&llm, "Since a, then b.", 0);
+        assert!(!out.is_empty());
+        assert_eq!(Enhancer::name(&llm), "simulated-llm-paraphrase");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the simulated LLM: determinism, calibrated
+//! omission behaviour, and its interaction with the explain crate's
+//! anti-omission enhancement loop.
+
+use explain::{analyze, checked_enhance, generate, DomainGlossary, TemplateStyle};
+use llm_sim::{omission_ratio, OmissionModel, Prompt, SimulatedLlm};
+use proptest::prelude::*;
+use vadalog::parse_program;
+
+fn sample_text(sentences: usize) -> String {
+    (0..sentences)
+        .map(|i| {
+            format!(
+                "Since E{i} owns {}% shares of E{}, and E{i} is well capitalized, then E{i} exercises control over E{}.",
+                51 + (i % 40),
+                i + 1,
+                i + 1
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same (seed, prompt, input, run) -> same output, for any seed.
+    #[test]
+    fn rewriting_is_a_pure_function(seed in 0u64..1000, run in 0u64..50, n in 1usize..12) {
+        for prompt in [Prompt::Paraphrase, Prompt::Summarize] {
+            let t = sample_text(n);
+            let a = SimulatedLlm::new(prompt, seed).rewrite(&t, run);
+            let b = SimulatedLlm::new(prompt, seed).rewrite(&t, run);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Outputs are never empty and always keep the conclusion's entity.
+    #[test]
+    fn conclusions_always_survive(seed in 0u64..300, n in 2usize..15, run in 0u64..5) {
+        for prompt in [Prompt::Paraphrase, Prompt::Summarize] {
+            let t = sample_text(n);
+            let out = SimulatedLlm::new(prompt, seed).rewrite(&t, run);
+            prop_assert!(!out.is_empty());
+            prop_assert!(out.contains(&format!("E{n}")), "{out}");
+        }
+    }
+
+    /// A more aggressive omission model never omits less, on average.
+    #[test]
+    fn omission_model_is_monotone(seed in 0u64..100) {
+        let t = sample_text(16);
+        let constants: Vec<String> = (0..16).map(|i| format!("{}%", 51 + (i % 40))).collect();
+        let mild = OmissionModel {
+            summary_sentence_slope: 0.01,
+            constant_slope_summary: 0.01,
+            ..OmissionModel::default()
+        };
+        let harsh = OmissionModel {
+            summary_sentence_slope: 0.08,
+            constant_slope_summary: 0.12,
+            ..OmissionModel::default()
+        };
+        let avg = |model: OmissionModel| -> f64 {
+            let llm = SimulatedLlm::new(Prompt::Summarize, seed).with_model(model);
+            (0..20)
+                .map(|r| omission_ratio(&llm.rewrite(&t, r), &constants))
+                .sum::<f64>()
+                / 20.0
+        };
+        prop_assert!(avg(harsh) >= avg(mild) - 1e-9);
+    }
+
+    /// The checked-enhancement loop never yields a template with missing
+    /// tokens, whatever the LLM does (retries or fallback).
+    #[test]
+    fn checked_enhancement_never_loses_tokens(seed in 0u64..200, retries in 0u32..4) {
+        let program = parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).",
+        )
+        .unwrap()
+        .program;
+        let analysis = analyze(&program, "control").unwrap();
+        let glossary = DomainGlossary::new();
+        // An aggressive summarizing LLM: likely to drop tokens.
+        let llm = SimulatedLlm::new(Prompt::Summarize, seed).with_model(OmissionModel {
+            summary_sentence_slope: 0.2,
+            summary_sentence_cap: 0.6,
+            constant_slope_summary: 0.2,
+            ..OmissionModel::default()
+        });
+        for (i, path) in analysis.paths.iter().enumerate() {
+            let template = generate(&program, &glossary, path, i, TemplateStyle::Fluent);
+            let out = checked_enhance(&template, &llm, retries);
+            let rendered = out.template.render();
+            prop_assert!(
+                out.template.missing_tokens(&rendered).is_empty(),
+                "lost tokens: {rendered}"
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Boxplot five-number summaries, as used by Figures 17 and 18.
+
+use crate::descriptive::{mean, quantile};
+
+/// A boxplot summary of one sample.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Boxplot {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Sample maximum.
+    pub max: f64,
+    /// Arithmetic mean (shown as a marker in the paper's plots).
+    pub mean: f64,
+}
+
+impl Boxplot {
+    /// Summarizes a non-empty sample; `None` for empty input.
+    pub fn of(xs: &[f64]) -> Option<Boxplot> {
+        Some(Boxplot {
+            n: xs.len(),
+            min: quantile(xs, 0.0)?,
+            q1: quantile(xs, 0.25)?,
+            median: quantile(xs, 0.5)?,
+            q3: quantile(xs, 0.75)?,
+            max: quantile(xs, 1.0)?,
+            mean: mean(xs)?,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Renders as a compact table row: `min q1 median q3 max mean`.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_number_summary() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = Boxplot::of(&xs).unwrap();
+        assert_eq!(b.n, 5);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.mean, 3.0);
+        assert_eq!(b.iqr(), 2.0);
+    }
+
+    #[test]
+    fn empty_sample_has_no_summary() {
+        assert!(Boxplot::of(&[]).is_none());
+    }
+
+    #[test]
+    fn constant_sample_collapses() {
+        let b = Boxplot::of(&[7.0; 10]).unwrap();
+        assert_eq!(b.min, b.max);
+        assert_eq!(b.iqr(), 0.0);
+    }
+
+    #[test]
+    fn row_renders_six_columns() {
+        let b = Boxplot::of(&[0.0, 1.0]).unwrap();
+        assert_eq!(b.row().split_whitespace().count(), 6);
+    }
+}

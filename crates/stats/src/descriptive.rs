@@ -1,0 +1,87 @@
+//! Descriptive statistics over `f64` samples.
+
+/// Arithmetic mean. Returns `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Unbiased sample variance (n-1 denominator). Returns `None` for fewer
+/// than two observations.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// The q-quantile (0 ≤ q ≤ 1) with linear interpolation between order
+/// statistics (type-7, the default of R and NumPy).
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Some(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+}
+
+/// Median (0.5-quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_hand_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        // Sample variance: sum of squares 32, / 7.
+        let v = variance(&xs).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[1.0]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(mean(&[3.5]), Some(3.5));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(quantile(&xs, 0.25), Some(1.75));
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range() {
+        assert_eq!(quantile(&[1.0], 1.5), None);
+        assert_eq!(quantile(&[1.0], -0.1), None);
+    }
+
+    #[test]
+    fn median_of_odd_length_is_middle() {
+        assert_eq!(median(&[9.0, 1.0, 5.0]), Some(5.0));
+    }
+}

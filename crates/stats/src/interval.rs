@@ -1,0 +1,68 @@
+//! Confidence intervals for proportions (used to report the
+//! comprehension-study accuracies of Fig. 14 with their uncertainty).
+
+/// The Wilson score interval for a binomial proportion at confidence given
+/// by the standard-normal quantile `z` (1.96 for 95%).
+///
+/// Robust for small samples and extreme proportions, unlike the normal
+/// (Wald) approximation. Returns `None` for `n == 0`.
+pub fn wilson_interval(successes: usize, n: usize, z: f64) -> Option<(f64, f64)> {
+    if n == 0 {
+        return None;
+    }
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let centre = (p + z2 / (2.0 * n_f)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    Some(((centre - half).max(0.0), (centre + half).min(1.0)))
+}
+
+/// Convenience: the 95% Wilson interval.
+pub fn wilson95(successes: usize, n: usize) -> Option<(f64, f64)> {
+    wilson_interval(successes, n, 1.959_963_985)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_the_point_estimate() {
+        let (lo, hi) = wilson95(113, 120).unwrap();
+        let p = 113.0 / 120.0;
+        assert!(lo < p && p < hi);
+        assert!(lo > 0.85 && hi < 1.0, "({lo}, {hi})");
+    }
+
+    #[test]
+    fn extreme_proportions_stay_in_bounds() {
+        let (lo, hi) = wilson95(0, 10).unwrap();
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.35);
+        let (lo, hi) = wilson95(10, 10).unwrap();
+        assert_eq!(hi, 1.0);
+        assert!(lo > 0.65 && lo < 1.0);
+    }
+
+    #[test]
+    fn wider_for_smaller_samples() {
+        let (lo_s, hi_s) = wilson95(8, 10).unwrap();
+        let (lo_l, hi_l) = wilson95(80, 100).unwrap();
+        assert!(hi_s - lo_s > hi_l - lo_l);
+    }
+
+    #[test]
+    fn zero_n_has_no_interval() {
+        assert!(wilson95(0, 0).is_none());
+    }
+
+    #[test]
+    fn matches_reference_value() {
+        // Known reference: 45/50 at 95% -> approximately (0.787, 0.952).
+        let (lo, hi) = wilson95(45, 50).unwrap();
+        assert!((lo - 0.787).abs() < 0.01, "{lo}");
+        assert!((hi - 0.952).abs() < 0.01, "{hi}");
+    }
+}

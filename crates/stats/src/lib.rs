@@ -1,0 +1,19 @@
+//! # stats
+//!
+//! The statistics toolkit backing the paper's evaluation: descriptive
+//! statistics, boxplot five-number summaries (Fig. 17/18) and the
+//! two-sided Wilcoxon signed-rank test for paired Likert ratings
+//! (Sec. 6.2).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod boxplot;
+pub mod descriptive;
+pub mod interval;
+pub mod wilcoxon;
+
+pub use boxplot::Boxplot;
+pub use descriptive::{mean, median, quantile, std_dev, variance};
+pub use interval::{wilson95, wilson_interval};
+pub use wilcoxon::{standard_normal_cdf, wilcoxon_signed_rank, WilcoxonError, WilcoxonResult};

@@ -1,0 +1,259 @@
+//! The two-sided Wilcoxon signed-rank test for paired samples, as used by
+//! the expert user study (Sec. 6.2) to compare Likert ratings of two
+//! explanation methods.
+//!
+//! Zero differences are dropped (Wilcoxon's original treatment); tied
+//! absolute differences receive average ranks; the p-value uses the exact
+//! permutation distribution for small tie-free samples and the normal
+//! approximation with tie correction and continuity correction otherwise
+//! (the standard behaviour of R's `wilcox.test`).
+
+/// The result of a Wilcoxon signed-rank test.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct WilcoxonResult {
+    /// Number of non-zero paired differences.
+    pub n: usize,
+    /// Sum of ranks of positive differences (W+).
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences (W-).
+    pub w_minus: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// True iff the p-value came from the exact distribution.
+    pub exact: bool,
+}
+
+/// Errors of the test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WilcoxonError {
+    /// The two samples have different lengths.
+    LengthMismatch,
+    /// After dropping zero differences no observations remain.
+    NoNonZeroDifferences,
+}
+
+impl std::fmt::Display for WilcoxonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WilcoxonError::LengthMismatch => write!(f, "paired samples differ in length"),
+            WilcoxonError::NoNonZeroDifferences => {
+                write!(f, "all paired differences are zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WilcoxonError {}
+
+/// Runs the two-sided test on paired samples `x`, `y`.
+pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> Result<WilcoxonResult, WilcoxonError> {
+    if x.len() != y.len() {
+        return Err(WilcoxonError::LengthMismatch);
+    }
+    let diffs: Vec<f64> = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    if diffs.is_empty() {
+        return Err(WilcoxonError::NoNonZeroDifferences);
+    }
+    let n = diffs.len();
+
+    // Rank |d| with average ranks for ties.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        diffs[i]
+            .abs()
+            .partial_cmp(&diffs[j].abs())
+            .expect("no NaN differences")
+    });
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0f64;
+    let mut has_ties = false;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[order[j + 1]].abs() == diffs[order[i]].abs() {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0; // ranks are 1-based
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            has_ties = true;
+            tie_correction += t.powi(3) - t;
+        }
+        for &k in &order[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let total = n as f64 * (n as f64 + 1.0) / 2.0;
+    let w_minus = total - w_plus;
+
+    let (p_value, exact) = if !has_ties && n <= 25 {
+        (exact_p_value(n, w_plus.min(w_minus)), true)
+    } else {
+        (normal_p_value(n, w_plus, tie_correction), false)
+    };
+
+    Ok(WilcoxonResult {
+        n,
+        w_plus,
+        w_minus,
+        p_value: p_value.min(1.0),
+        exact,
+    })
+}
+
+/// Exact two-sided p-value: P(W <= w_obs) * 2 under the null, computed by
+/// dynamic programming over the 2^n sign assignments (rank sums are
+/// integers when there are no ties).
+fn exact_p_value(n: usize, w_obs: f64) -> f64 {
+    let max_sum = n * (n + 1) / 2;
+    // counts[s] = number of sign assignments with positive-rank sum s.
+    let mut counts = vec![0u64; max_sum + 1];
+    counts[0] = 1;
+    for rank in 1..=n {
+        for s in (rank..=max_sum).rev() {
+            counts[s] += counts[s - rank];
+        }
+    }
+    let total: f64 = (counts.iter().sum::<u64>()) as f64;
+    let w = w_obs.floor() as usize;
+    let cumulative: u64 = counts[..=w.min(max_sum)].iter().sum();
+    (2.0 * cumulative as f64 / total).min(1.0)
+}
+
+/// Normal approximation with tie and continuity corrections.
+fn normal_p_value(n: usize, w_plus: f64, tie_correction: f64) -> f64 {
+    let nf = n as f64;
+    let mu = nf * (nf + 1.0) / 4.0;
+    let sigma2 = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    if sigma2 <= 0.0 {
+        return 1.0;
+    }
+    let z = (w_plus - mu).abs() - 0.5;
+    let z = z.max(0.0) / sigma2.sqrt();
+    2.0 * (1.0 - standard_normal_cdf(z))
+}
+
+/// Φ(z) via the Abramowitz–Stegun 7.1.26 erf approximation (|err| < 1.5e-7).
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_no_test() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(
+            wilcoxon_signed_rank(&x, &x),
+            Err(WilcoxonError::NoNonZeroDifferences)
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        assert_eq!(
+            wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]),
+            Err(WilcoxonError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn exact_small_sample_matches_reference() {
+        // Tie-free alternating differences +1, -2, +3, ..., -10.
+        let y = [0.0; 10];
+        let x: Vec<f64> = (1..=10)
+            .map(|i| if i % 2 == 1 { i as f64 } else { -(i as f64) })
+            .collect();
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!(r.exact);
+        assert_eq!(r.n, 10);
+        assert_eq!(r.w_plus, 25.0); // ranks 1+3+5+7+9
+        assert_eq!(r.w_minus, 30.0);
+        // Near the null mean of 27.5: far from significant.
+        assert!(r.p_value > 0.7, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn exact_one_sided_extreme_matches_hand_count() {
+        // All five differences positive and distinct: W- = 0, and the
+        // two-sided exact p-value is 2 * P(W <= 0) = 2/32.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [0.0; 5];
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!(r.exact);
+        assert_eq!(r.w_minus, 0.0);
+        assert!((r.p_value - 2.0 / 32.0).abs() < 1e-12, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn strongly_shifted_samples_are_significant() {
+        let x: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v + 5.0 + (v % 3.0) * 0.1).collect();
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!(r.p_value < 0.001, "p = {}", r.p_value);
+        assert_eq!(r.w_plus, 0.0);
+    }
+
+    #[test]
+    fn ties_use_normal_approximation() {
+        // Likert-style data with many ties.
+        let x = [4.0, 3.0, 5.0, 4.0, 4.0, 3.0, 5.0, 2.0, 4.0, 4.0, 3.0, 5.0];
+        let y = [3.0, 4.0, 4.0, 4.0, 5.0, 3.0, 4.0, 3.0, 4.0, 3.0, 4.0, 4.0];
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!(!r.exact);
+        assert!(r.p_value > 0.3, "similar samples: p = {}", r.p_value);
+    }
+
+    #[test]
+    fn rank_sums_are_complementary() {
+        let x = [1.0, 5.0, 3.0, 8.0, 2.0];
+        let y = [2.0, 3.0, 7.0, 1.0, 9.0];
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        let total = r.n as f64 * (r.n as f64 + 1.0) / 2.0;
+        assert_eq!(r.w_plus + r.w_minus, total);
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!(standard_normal_cdf(-6.0) < 1e-8);
+    }
+
+    #[test]
+    fn exact_distribution_is_symmetric() {
+        // p-value for the midpoint statistic is ~1.
+        let p = exact_p_value(6, 10.0); // mean of W under null is 10.5
+        assert!(p > 0.9);
+        let p_extreme = exact_p_value(6, 0.0);
+        // P(W=0) = 1/64, two-sided = 2/64.
+        assert!((p_extreme - 2.0 / 64.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! # studies
+//!
+//! Simulated reproductions of the paper's two user studies (Sec. 6.1 and
+//! 6.2). Humans cannot be recruited by a reproduction, so both studies are
+//! replaced by explicit participant models whose inputs are the *actual
+//! texts and graphs produced by the pipeline*:
+//!
+//! * [`comprehension`] — 24 noisy readers matching explanations against
+//!   proof visualizations with injected error archetypes (Fig. 14);
+//! * [`expert`] — 14 biased Likert graders scoring the three explanation
+//!   methods on measured features, compared pairwise with the Wilcoxon
+//!   signed-rank test (Fig. 16).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cases;
+pub mod comprehension;
+pub mod expert;
+pub mod util;
+
+pub use cases::{comprehension_cases, expert_cases, Case};
+pub use comprehension::{ComprehensionConfig, ComprehensionOutcome};
+pub use expert::{ExpertConfig, ExpertOutcome, Method};
+pub use util::proof_constants;

@@ -1,0 +1,146 @@
+//! Atoms (in rules) and facts (ground atoms in the database).
+
+use crate::symbol::Symbol;
+use crate::term::Term;
+use crate::value::Value;
+use std::fmt;
+
+/// An atom `R(t1, ..., tn)` over a predicate `R` and terms `ti`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// The predicate symbol.
+    pub predicate: Symbol,
+    /// The argument terms (constants or variables).
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom from a predicate name and terms.
+    pub fn new(predicate: &str, terms: Vec<Term>) -> Atom {
+        Atom {
+            predicate: Symbol::new(predicate),
+            terms,
+        }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterator over the variables of the atom, in positional order
+    /// (duplicates preserved).
+    pub fn variables(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", t)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A ground atom: a tuple of values under a predicate.
+///
+/// Facts are stored once in the [`crate::database::Database`] and referred
+/// to by [`crate::database::FactId`] elsewhere.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Fact {
+    /// The predicate symbol.
+    pub predicate: Symbol,
+    /// The ground argument values.
+    pub values: Vec<Value>,
+}
+
+impl Fact {
+    /// Builds a fact from a predicate name and values.
+    pub fn new(predicate: &str, values: Vec<Value>) -> Fact {
+        Fact {
+            predicate: Symbol::new(predicate),
+            values,
+        }
+    }
+
+    /// The arity of the fact.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff the fact contains at least one labelled null.
+    pub fn has_nulls(&self) -> bool {
+        self.values.iter().any(Value::is_null)
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match v {
+                Value::Str(s) => write!(f, "{:?}", s.as_str())?,
+                other => write!(f, "{}", other)?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro-free fact constructor used pervasively in tests and
+/// examples: `fact("own", &["A".into(), "B".into(), 0.6.into()])`.
+pub fn fact(predicate: &str, values: &[Value]) -> Fact {
+    Fact::new(predicate, values.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_display_mixes_terms() {
+        let a = Atom::new(
+            "own",
+            vec![Term::var("x"), Term::constant("B"), Term::var("s")],
+        );
+        assert_eq!(a.to_string(), "own(x,\"B\",s)");
+        assert_eq!(a.arity(), 3);
+    }
+
+    #[test]
+    fn atom_variables_in_order_with_duplicates() {
+        let a = Atom::new(
+            "control",
+            vec![Term::var("x"), Term::var("x"), Term::var("y")],
+        );
+        let vars: Vec<_> = a.variables().map(|v| v.as_str()).collect();
+        assert_eq!(vars, vec!["x", "x", "y"]);
+    }
+
+    #[test]
+    fn fact_display_and_nulls() {
+        let f = Fact::new("risk", vec![Value::str("C"), Value::Int(11)]);
+        assert_eq!(f.to_string(), "risk(\"C\",11)");
+        assert!(!f.has_nulls());
+        let g = Fact::new("p", vec![Value::Null(3)]);
+        assert!(g.has_nulls());
+    }
+
+    #[test]
+    fn fact_equality_is_structural() {
+        let a = fact("own", &["A".into(), "B".into()]);
+        let b = fact("own", &["A".into(), "B".into()]);
+        let c = fact("own", &["A".into(), "C".into()]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,260 @@
+//! The fact store: deduplicated facts with per-predicate and positional
+//! indexes.
+
+use crate::atom::Fact;
+use crate::symbol::Symbol;
+use crate::value::Value;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Identifier of a fact inside a [`Database`]. Ids are dense and stable:
+/// the i-th inserted distinct fact has id `i`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FactId(pub u32);
+
+impl std::fmt::Display for FactId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A deduplicated store of facts.
+///
+/// Lookups can be restricted by bound argument positions; positional hash
+/// indexes are created lazily the first time a (predicate, position) pair
+/// is probed and maintained incrementally afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    facts: Vec<Fact>,
+    dedup: HashMap<Fact, FactId>,
+    by_predicate: HashMap<Symbol, Vec<FactId>>,
+    /// Lazily-built positional indexes: (predicate, position) -> value -> ids.
+    positional: HashMap<(Symbol, usize), HashMap<Value, Vec<FactId>>>,
+    /// Facts superseded by a fuller monotonic aggregate: still stored (the
+    /// chase graph references them) but excluded from matching.
+    inactive: std::collections::HashSet<FactId>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Inserts `fact`, returning its id and whether it was new.
+    pub fn insert(&mut self, fact: Fact) -> (FactId, bool) {
+        if let Some(&id) = self.dedup.get(&fact) {
+            return (id, false);
+        }
+        let id = FactId(u32::try_from(self.facts.len()).expect("fact id overflow"));
+        self.by_predicate
+            .entry(fact.predicate)
+            .or_default()
+            .push(id);
+        // Maintain any existing positional indexes for this predicate.
+        for ((pred, pos), index) in self.positional.iter_mut() {
+            if *pred == fact.predicate {
+                if let Some(v) = fact.values.get(*pos) {
+                    index.entry(*v).or_default().push(id);
+                }
+            }
+        }
+        self.dedup.insert(fact.clone(), id);
+        self.facts.push(fact);
+        (id, true)
+    }
+
+    /// Convenience: inserts a fact built from a predicate and values.
+    pub fn add(&mut self, predicate: &str, values: &[Value]) -> FactId {
+        self.insert(Fact::new(predicate, values.to_vec())).0
+    }
+
+    /// The fact with the given id.
+    pub fn fact(&self, id: FactId) -> &Fact {
+        &self.facts[id.0 as usize]
+    }
+
+    /// The id of `fact`, if present.
+    pub fn lookup(&self, fact: &Fact) -> Option<FactId> {
+        self.dedup.get(fact).copied()
+    }
+
+    /// True iff `fact` is present.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.dedup.contains_key(fact)
+    }
+
+    /// Total number of (distinct) facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True iff the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// All fact ids for `predicate`, in insertion order.
+    pub fn facts_of(&self, predicate: Symbol) -> &[FactId] {
+        self.by_predicate.get(&predicate).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates over all facts with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact)> {
+        self.facts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FactId(i as u32), f))
+    }
+
+    /// Fact ids of `predicate` whose argument at `position` equals `value`,
+    /// served from a (lazily created) positional index.
+    ///
+    /// Requires `&mut self` because the index may need to be built; use
+    /// [`Database::facts_of`] plus filtering for read-only access.
+    pub fn facts_with(&mut self, predicate: Symbol, position: usize, value: &Value) -> &[FactId] {
+        match self.positional.entry((predicate, position)) {
+            Entry::Occupied(e) => e.into_mut().get(value).map_or(&[], Vec::as_slice),
+            Entry::Vacant(e) => {
+                let mut index: HashMap<Value, Vec<FactId>> = HashMap::new();
+                if let Some(ids) = self.by_predicate.get(&predicate) {
+                    for &id in ids {
+                        if let Some(v) = self.facts[id.0 as usize].values.get(position) {
+                            index.entry(*v).or_default().push(id);
+                        }
+                    }
+                }
+                e.insert(index).get(value).map_or(&[], Vec::as_slice)
+            }
+        }
+    }
+
+    /// Marks a fact as superseded: it stays in the store (ids and
+    /// provenance remain valid) but no longer participates in matching.
+    pub fn deactivate(&mut self, id: FactId) {
+        self.inactive.insert(id);
+    }
+
+    /// True iff `id` participates in matching.
+    pub fn is_active(&self, id: FactId) -> bool {
+        !self.inactive.contains(&id)
+    }
+
+    /// Number of deactivated (superseded) facts.
+    pub fn inactive_count(&self) -> usize {
+        self.inactive.len()
+    }
+
+    /// Finds an *active* fact of `predicate` matching `pattern`, where
+    /// `None` entries are wildcards. Used by the restricted-chase
+    /// satisfaction check and safe negation.
+    pub fn find_matching(&self, predicate: Symbol, pattern: &[Option<Value>]) -> Option<FactId> {
+        self.facts_of(predicate).iter().copied().find(|&id| {
+            if !self.is_active(id) {
+                return false;
+            }
+            let f = self.fact(id);
+            f.values.len() == pattern.len()
+                && f.values
+                    .iter()
+                    .zip(pattern)
+                    .all(|(v, p)| p.is_none_or(|pv| *v == pv))
+        })
+    }
+}
+
+impl FromIterator<Fact> for Database {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Database {
+        let mut db = Database::new();
+        for f in iter {
+            db.insert(f);
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut db = Database::new();
+        let a = db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        let b = db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        let c = db.add("own", &["A".into(), "C".into(), 0.4.into()]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn facts_of_returns_in_insertion_order() {
+        let mut db = Database::new();
+        db.add("p", &[1i64.into()]);
+        db.add("q", &[9i64.into()]);
+        db.add("p", &[2i64.into()]);
+        let ids = db.facts_of(Symbol::new("p"));
+        let vals: Vec<_> = ids.iter().map(|&id| db.fact(id).values[0]).collect();
+        assert_eq!(vals, vec![Value::Int(1), Value::Int(2)]);
+        assert!(db.facts_of(Symbol::new("zzz")).is_empty());
+    }
+
+    #[test]
+    fn positional_index_is_built_lazily_and_maintained() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        db.add("own", &["C".into(), "B".into(), 0.3.into()]);
+        let pred = Symbol::new("own");
+        // First probe builds the index.
+        let hits = db.facts_with(pred, 1, &Value::str("B")).to_vec();
+        assert_eq!(hits.len(), 2);
+        // Inserting afterwards keeps the index fresh.
+        db.add("own", &["D".into(), "B".into(), 0.2.into()]);
+        let hits = db.facts_with(pred, 1, &Value::str("B"));
+        assert_eq!(hits.len(), 3);
+        let misses = db.facts_with(pred, 1, &Value::str("Z"));
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn find_matching_treats_none_as_wildcard() {
+        let mut db = Database::new();
+        db.add("risk", &["C".into(), 11i64.into()]);
+        let pred = Symbol::new("risk");
+        assert!(db
+            .find_matching(pred, &[Some(Value::str("C")), None])
+            .is_some());
+        assert!(db
+            .find_matching(pred, &[Some(Value::str("C")), Some(Value::Int(11))])
+            .is_some());
+        assert!(db
+            .find_matching(pred, &[Some(Value::str("X")), None])
+            .is_none());
+        // Arity mismatch never matches.
+        assert!(db.find_matching(pred, &[None]).is_none());
+    }
+
+    #[test]
+    fn lookup_and_contains_agree() {
+        let mut db = Database::new();
+        let f = Fact::new("company", vec![Value::str("A")]);
+        assert!(!db.contains(&f));
+        let (id, fresh) = db.insert(f.clone());
+        assert!(fresh);
+        assert_eq!(db.lookup(&f), Some(id));
+        assert!(db.contains(&f));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let db: Database = vec![
+            Fact::new("p", vec![Value::Int(1)]),
+            Fact::new("p", vec![Value::Int(1)]),
+            Fact::new("p", vec![Value::Int(2)]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(db.len(), 2);
+    }
+}

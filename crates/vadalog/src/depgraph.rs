@@ -1,0 +1,284 @@
+//! The dependency graph D(Σ) of a program.
+//!
+//! Nodes are predicates; for every rule with head `a` and positive body
+//! atom `a'` there is an edge `a' -> a` labelled by the rule (Sec. 3 of the
+//! paper). The graph drives the structural analysis of the `explain` crate.
+
+use crate::program::Program;
+use crate::rule::RuleId;
+use crate::symbol::Symbol;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A rule-labelled edge `from -> to` of the dependency graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DepEdge {
+    /// The body predicate.
+    pub from: Symbol,
+    /// The head predicate.
+    pub to: Symbol,
+    /// The rule inducing the edge.
+    pub rule: RuleId,
+}
+
+/// The dependency graph of a program.
+#[derive(Clone, Debug)]
+pub struct DependencyGraph {
+    nodes: Vec<Symbol>,
+    edges: Vec<DepEdge>,
+    outgoing: HashMap<Symbol, Vec<usize>>,
+    incoming: HashMap<Symbol, Vec<usize>>,
+    extensional: HashSet<Symbol>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph of `program`.
+    pub fn build(program: &Program) -> DependencyGraph {
+        let mut nodes: Vec<Symbol> = Vec::new();
+        let mut seen = HashSet::new();
+        let push_node = |nodes: &mut Vec<Symbol>, seen: &mut HashSet<Symbol>, s: Symbol| {
+            if seen.insert(s) {
+                nodes.push(s);
+            }
+        };
+
+        let mut edges = Vec::new();
+        for (i, rule) in program.rules().iter().enumerate() {
+            let Some(head) = rule.head.atom() else {
+                continue; // constraints do not contribute edges
+            };
+            push_node(&mut nodes, &mut seen, head.predicate);
+            for body in rule.positive_body() {
+                push_node(&mut nodes, &mut seen, body.predicate);
+                edges.push(DepEdge {
+                    from: body.predicate,
+                    to: head.predicate,
+                    rule: RuleId(i),
+                });
+            }
+        }
+
+        let mut outgoing: HashMap<Symbol, Vec<usize>> = HashMap::new();
+        let mut incoming: HashMap<Symbol, Vec<usize>> = HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            outgoing.entry(e.from).or_default().push(i);
+            incoming.entry(e.to).or_default().push(i);
+        }
+
+        let extensional = nodes
+            .iter()
+            .copied()
+            .filter(|&p| program.is_extensional(p))
+            .collect();
+
+        DependencyGraph {
+            nodes,
+            edges,
+            outgoing,
+            incoming,
+            extensional,
+        }
+    }
+
+    /// All predicate nodes, in first-occurrence order.
+    pub fn nodes(&self) -> &[Symbol] {
+        &self.nodes
+    }
+
+    /// All rule-labelled edges.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of `node`.
+    pub fn outgoing(&self, node: Symbol) -> impl Iterator<Item = &DepEdge> {
+        self.outgoing
+            .get(&node)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.edges[i])
+    }
+
+    /// Incoming edges of `node`.
+    pub fn incoming(&self, node: Symbol) -> impl Iterator<Item = &DepEdge> {
+        self.incoming
+            .get(&node)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.edges[i])
+    }
+
+    /// True iff `node` is extensional (never derived).
+    pub fn is_extensional(&self, node: Symbol) -> bool {
+        self.extensional.contains(&node)
+    }
+
+    /// Root nodes: extensional predicates (they do not depend on other
+    /// nodes and appear in rules whose bodies contain no intensional
+    /// predicate support).
+    pub fn roots(&self) -> Vec<Symbol> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|n| self.is_extensional(*n))
+            .collect()
+    }
+
+    /// True iff the graph has a cycle (i.e. the program is recursive).
+    pub fn is_cyclic(&self) -> bool {
+        // Kahn's algorithm: the graph is cyclic iff topological sorting
+        // consumes fewer nodes than exist.
+        let mut indeg: HashMap<Symbol, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
+        for e in &self.edges {
+            if e.from != e.to {
+                *indeg.get_mut(&e.to).expect("edge target is a node") += 1;
+            } else {
+                return true; // self-loop
+            }
+        }
+        let mut queue: VecDeque<Symbol> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut consumed = 0usize;
+        while let Some(n) = queue.pop_front() {
+            consumed += 1;
+            for e in self.outgoing(n) {
+                if e.from == e.to {
+                    continue;
+                }
+                let d = indeg.get_mut(&e.to).expect("edge target is a node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        consumed < self.nodes.len()
+    }
+
+    /// True iff there is a (possibly empty) path from `from` to `to`
+    /// ("`to` depends on `from`" when non-empty).
+    pub fn reaches(&self, from: Symbol, to: Symbol) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for e in self.outgoing(n) {
+                if e.to == to {
+                    return true;
+                }
+                stack.push(e.to);
+            }
+        }
+        false
+    }
+
+    /// Number of distinct rules deriving `node` (rule-labelled in-degree,
+    /// counting each rule once even if several of its body atoms point at
+    /// `node`).
+    pub fn deriving_rule_count(&self, node: Symbol) -> usize {
+        let mut rules: Vec<RuleId> = self.incoming(node).map(|e| e.rule).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        rules.len()
+    }
+
+    /// Out-degree of `node` counting edges (the criticality measure of
+    /// Def. 4.1; see DESIGN.md for the reading used).
+    pub fn out_degree(&self, node: Symbol) -> usize {
+        self.outgoing.get(&node).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::expr::{CmpOp, Condition, Expr};
+    use crate::rule::{AggFunc, RuleBuilder};
+    use crate::term::Term;
+
+    /// The simplified stress test of Example 4.3 (rules α, β, γ).
+    fn example_4_3() -> Program {
+        Program::new(vec![
+            RuleBuilder::new("alpha")
+                .body(Atom::new("shock", vec![Term::var("f"), Term::var("s")]))
+                .body(Atom::new(
+                    "has_capital",
+                    vec![Term::var("f"), Term::var("p1")],
+                ))
+                .condition(Condition::new(Expr::var("s"), CmpOp::Gt, Expr::var("p1")))
+                .head(Atom::new("default", vec![Term::var("f")])),
+            RuleBuilder::new("beta")
+                .body(Atom::new("default", vec![Term::var("d")]))
+                .body(Atom::new(
+                    "debts",
+                    vec![Term::var("d"), Term::var("c"), Term::var("v")],
+                ))
+                .aggregate(AggFunc::Sum, "e", Expr::var("v"))
+                .head(Atom::new("risk", vec![Term::var("c"), Term::var("e")])),
+            RuleBuilder::new("gamma")
+                .body(Atom::new(
+                    "has_capital",
+                    vec![Term::var("c"), Term::var("p2")],
+                ))
+                .body(Atom::new("risk", vec![Term::var("c"), Term::var("e")]))
+                .condition(Condition::new(Expr::var("p2"), CmpOp::Lt, Expr::var("e")))
+                .head(Atom::new("default", vec![Term::var("c")])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure_3_dependency_graph() {
+        let g = DependencyGraph::build(&example_4_3());
+        // Nodes: default, shock, has_capital, risk, debts.
+        assert_eq!(g.nodes().len(), 5);
+        // Edges: shock->default, has_capital->default (alpha),
+        //        default->risk, debts->risk (beta),
+        //        has_capital->default, risk->default (gamma).
+        assert_eq!(g.edges().len(), 6);
+        let roots = g.roots();
+        assert!(roots.contains(&Symbol::new("shock")));
+        assert!(roots.contains(&Symbol::new("has_capital")));
+        assert!(roots.contains(&Symbol::new("debts")));
+        assert!(!roots.contains(&Symbol::new("default")));
+        assert!(g.is_cyclic());
+    }
+
+    #[test]
+    fn deriving_rule_counts_match_example() {
+        let g = DependencyGraph::build(&example_4_3());
+        // default derived by alpha and gamma; risk by beta only.
+        assert_eq!(g.deriving_rule_count(Symbol::new("default")), 2);
+        assert_eq!(g.deriving_rule_count(Symbol::new("risk")), 1);
+        assert_eq!(g.deriving_rule_count(Symbol::new("shock")), 0);
+    }
+
+    #[test]
+    fn reachability_follows_edges() {
+        let g = DependencyGraph::build(&example_4_3());
+        assert!(g.reaches(Symbol::new("shock"), Symbol::new("risk")));
+        assert!(g.reaches(Symbol::new("risk"), Symbol::new("default")));
+        assert!(!g.reaches(Symbol::new("default"), Symbol::new("shock")));
+        assert!(g.reaches(Symbol::new("default"), Symbol::new("default")));
+    }
+
+    #[test]
+    fn acyclic_program_is_detected() {
+        let p = Program::new(vec![RuleBuilder::new("r")
+            .body(Atom::new("a", vec![Term::var("x")]))
+            .head(Atom::new("b", vec![Term::var("x")]))])
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert!(!g.is_cyclic());
+        assert_eq!(g.out_degree(Symbol::new("a")), 1);
+        assert_eq!(g.out_degree(Symbol::new("b")), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Graphviz (DOT) rendering of dependency graphs and chase graphs — the
+//! visual artefacts of the paper's Figures 3 and 8.
+
+use crate::database::Database;
+use crate::depgraph::DependencyGraph;
+use crate::program::Program;
+use crate::provenance::ChaseGraph;
+
+/// Escapes a DOT string literal.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the dependency graph D(Σ) as DOT: predicate nodes (extensional
+/// ones boxed) with rule-labelled edges (Fig. 3).
+pub fn dependency_graph_dot(graph: &DependencyGraph, program: &Program) -> String {
+    let mut out = String::from("digraph dependency_graph {\n  rankdir=LR;\n");
+    for &node in graph.nodes() {
+        let shape = if graph.is_extensional(node) {
+            "box"
+        } else {
+            "ellipse"
+        };
+        out.push_str(&format!(
+            "  \"{}\" [shape={}];\n",
+            esc(node.as_str()),
+            shape
+        ));
+    }
+    for e in graph.edges() {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+            esc(e.from.as_str()),
+            esc(e.to.as_str()),
+            esc(&program.rule(e.rule).label)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a chase graph as DOT: fact nodes (extensional ones boxed) with
+/// rule-labelled derivation edges (Fig. 8). Every premise of a derivation
+/// points at its conclusion.
+pub fn chase_graph_dot(graph: &ChaseGraph, db: &Database, program: &Program) -> String {
+    let mut out = String::from("digraph chase_graph {\n  rankdir=TB;\n");
+    let mut mentioned = std::collections::HashSet::new();
+    for der in graph.derivations() {
+        mentioned.insert(der.conclusion);
+        mentioned.extend(der.premises.iter().copied());
+    }
+    let mut nodes: Vec<_> = mentioned.into_iter().collect();
+    nodes.sort();
+    for id in &nodes {
+        let shape = if graph.is_extensional(*id) {
+            "box"
+        } else {
+            "ellipse"
+        };
+        out.push_str(&format!(
+            "  f{} [label=\"{}\", shape={}];\n",
+            id.0,
+            esc(&db.fact(*id).to_string()),
+            shape
+        ));
+    }
+    for der in graph.derivations() {
+        for p in &der.premises {
+            out.push_str(&format!(
+                "  f{} -> f{} [label=\"{}\"];\n",
+                p.0,
+                der.conclusion.0,
+                esc(&program.rule(der.rule).label)
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::chase;
+    use crate::parser::parse_program;
+
+    fn setup() -> (Program, crate::engine::ChaseOutcome) {
+        let parsed = parse_program(
+            r#"
+            o1: own(x, y, s), s > 0.5 -> control(x, y).
+            own("A", "B", 0.6).
+        "#,
+        )
+        .unwrap();
+        let db: Database = parsed.facts.clone().into_iter().collect();
+        let out = chase(&parsed.program, db).unwrap();
+        (parsed.program, out)
+    }
+
+    #[test]
+    fn dependency_graph_dot_lists_nodes_and_edges() {
+        let (program, _) = setup();
+        let g = DependencyGraph::build(&program);
+        let dot = dependency_graph_dot(&g, &program);
+        assert!(dot.starts_with("digraph dependency_graph {"));
+        assert!(dot.contains("\"own\" [shape=box]"));
+        assert!(dot.contains("\"control\" [shape=ellipse]"));
+        assert!(dot.contains("\"own\" -> \"control\" [label=\"o1\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn chase_graph_dot_shows_derivations() {
+        let (program, out) = setup();
+        let dot = chase_graph_dot(&out.graph, &out.database, &program);
+        assert!(dot.contains("own(\\\"A\\\",\\\"B\\\",0.6)"));
+        assert!(dot.contains("control(\\\"A\\\",\\\"B\\\")"));
+        assert!(dot.contains("[label=\"o1\"]"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        assert_eq!(esc("a\"b"), "a\\\"b");
+        assert_eq!(esc("a\\b"), "a\\\\b");
+    }
+}

@@ -1,0 +1,527 @@
+//! Body matching: enumerating homomorphisms from rule bodies into the
+//! database.
+
+use crate::atom::Atom;
+use crate::database::{Database, FactId};
+use crate::error::EvalError;
+use crate::expr::Bindings;
+use crate::rule::Rule;
+use crate::term::Term;
+use crate::value::Value;
+
+/// A homomorphism from a rule body into the database: the variable
+/// bindings plus the matched premise facts (one per positive body atom, in
+/// body order).
+#[derive(Clone, Debug)]
+pub struct BodyMatch {
+    /// The substitution θ.
+    pub bindings: Bindings,
+    /// Matched facts, aligned with the rule's positive body atoms.
+    pub premises: Vec<FactId>,
+}
+
+/// Enumerates all matches of `rule`'s body in `db`.
+///
+/// Evaluation per match, in order: positive atoms (backtracking join, using
+/// positional indexes on already-bound arguments), assignments, negated
+/// atoms, then every condition *not* involving the aggregate result.
+/// Conditions over the aggregate result are the caller's responsibility
+/// (they can only be checked after grouping).
+///
+/// Takes `&mut Database` because positional indexes are built lazily; no
+/// facts are added or removed.
+pub fn match_body(db: &mut Database, rule: &Rule) -> Result<Vec<BodyMatch>, EvalError> {
+    match_body_with(db, rule, true)
+}
+
+/// [`match_body`] with index usage made explicit: with `use_index` false
+/// every atom lookup scans the predicate's facts (the engine-ablation
+/// baseline of the bench crate).
+pub fn match_body_with(
+    db: &mut Database,
+    rule: &Rule,
+    use_index: bool,
+) -> Result<Vec<BodyMatch>, EvalError> {
+    let atoms: Vec<AtomPlan> = rule
+        .positive_body()
+        .map(|atom| AtomPlan { atom, min_fact: 0 })
+        .collect();
+    let mut out = Vec::new();
+    let mut bindings = Bindings::new();
+    let mut premises = Vec::with_capacity(atoms.len());
+    join(
+        db,
+        rule,
+        &atoms,
+        0,
+        use_index,
+        &mut bindings,
+        &mut premises,
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// Semi-naive incremental matching: enumerates only the matches that
+/// involve at least one fact with id >= `watermark` (a fact added since
+/// the rule's previous evaluation).
+///
+/// Implemented as the classic delta expansion: one join per pivot
+/// position, restricting that position to new facts, deduplicated on the
+/// premise vector (a match touching several new facts is produced by
+/// several pivots).
+pub fn match_body_incremental(
+    db: &mut Database,
+    rule: &Rule,
+    watermark: u32,
+) -> Result<Vec<BodyMatch>, EvalError> {
+    let body: Vec<&Atom> = rule.positive_body().collect();
+    let mut out = Vec::new();
+    let mut seen_premises: std::collections::HashSet<Vec<FactId>> =
+        std::collections::HashSet::new();
+    for pivot in 0..body.len() {
+        let atoms: Vec<AtomPlan> = body
+            .iter()
+            .enumerate()
+            .map(|(i, &atom)| AtomPlan {
+                atom,
+                min_fact: if i == pivot { watermark } else { 0 },
+            })
+            .collect();
+        let mut bindings = Bindings::new();
+        let mut premises = Vec::with_capacity(atoms.len());
+        let mut matches = Vec::new();
+        join(
+            db,
+            rule,
+            &atoms,
+            0,
+            true,
+            &mut bindings,
+            &mut premises,
+            &mut matches,
+        )?;
+        for m in matches {
+            if seen_premises.insert(m.premises.clone()) {
+                out.push(m);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One body atom with its candidate restriction.
+struct AtomPlan<'a> {
+    atom: &'a Atom,
+    /// Only facts with id >= this participate (0 = unrestricted).
+    min_fact: u32,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    db: &mut Database,
+    rule: &Rule,
+    atoms: &[AtomPlan<'_>],
+    depth: usize,
+    use_index: bool,
+    bindings: &mut Bindings,
+    premises: &mut Vec<FactId>,
+    out: &mut Vec<BodyMatch>,
+) -> Result<(), EvalError> {
+    if depth == atoms.len() {
+        if let Some(m) = finish_match(db, rule, bindings, premises)? {
+            out.push(m);
+        }
+        return Ok(());
+    }
+    let plan = &atoms[depth];
+    let atom = plan.atom;
+
+    // Pick the first argument position already bound (by a constant or an
+    // earlier atom) to drive an indexed lookup; fall back to a scan.
+    let mut probe: Option<(usize, Value)> = None;
+    if use_index {
+        for (i, t) in atom.terms.iter().enumerate() {
+            match t {
+                Term::Const(v) => {
+                    probe = Some((i, *v));
+                    break;
+                }
+                Term::Var(name) => {
+                    if let Some(v) = bindings.get(name) {
+                        probe = Some((i, *v));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let mut candidates: Vec<FactId> = match probe {
+        Some((pos, val)) => db.facts_with(atom.predicate, pos, &val).to_vec(),
+        None => db.facts_of(atom.predicate).to_vec(),
+    };
+    if plan.min_fact > 0 {
+        candidates.retain(|id| id.0 >= plan.min_fact);
+    }
+    candidates.retain(|&id| db.is_active(id));
+
+    for id in candidates {
+        let mut added: Vec<crate::symbol::Symbol> = Vec::new();
+        let ok = {
+            let fact = db.fact(id);
+            if fact.values.len() != atom.terms.len() {
+                false
+            } else {
+                let mut consistent = true;
+                for (term, value) in atom.terms.iter().zip(&fact.values) {
+                    match term {
+                        Term::Const(c) => {
+                            if c != value {
+                                consistent = false;
+                                break;
+                            }
+                        }
+                        Term::Var(name) => match bindings.get(name) {
+                            Some(bound) => {
+                                if bound != value {
+                                    consistent = false;
+                                    break;
+                                }
+                            }
+                            None => {
+                                bindings.insert(*name, *value);
+                                added.push(*name);
+                            }
+                        },
+                    }
+                }
+                consistent
+            }
+        };
+        if ok {
+            premises.push(id);
+            join(
+                db,
+                rule,
+                atoms,
+                depth + 1,
+                use_index,
+                bindings,
+                premises,
+                out,
+            )?;
+            premises.pop();
+        }
+        for name in added {
+            bindings.remove(&name);
+        }
+    }
+    Ok(())
+}
+
+/// Completes a full-atom match: assignments, negation, pre-aggregate
+/// conditions. Returns the finished match, or `None` if a check failed.
+fn finish_match(
+    db: &Database,
+    rule: &Rule,
+    bindings: &Bindings,
+    premises: &[FactId],
+) -> Result<Option<BodyMatch>, EvalError> {
+    let mut full = bindings.clone();
+
+    for a in &rule.assignments {
+        let v = a.expr.eval(&full)?;
+        full.insert(a.var, v);
+    }
+
+    // Negated atoms: fail the match if any fact matches under θ.
+    for atom in rule.negated_body() {
+        let pattern: Vec<Option<Value>> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => Some(*v),
+                Term::Var(name) => full.get(name).copied(),
+            })
+            .collect();
+        if db.find_matching(atom.predicate, &pattern).is_some() {
+            return Ok(None);
+        }
+    }
+
+    let agg_result = rule.aggregate.as_ref().map(|a| a.result);
+    for c in &rule.conditions {
+        let mut vars = Vec::new();
+        c.collect_vars(&mut vars);
+        let post_aggregate = agg_result.is_some_and(|r| vars.contains(&r));
+        if post_aggregate {
+            continue; // checked by the chase after grouping
+        }
+        if !c.holds(&full)? {
+            return Ok(None);
+        }
+    }
+
+    Ok(Some(BodyMatch {
+        bindings: full,
+        premises: premises.to_vec(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Condition, Expr};
+    use crate::rule::RuleBuilder;
+    use crate::symbol::Symbol;
+
+    fn own_db() -> Database {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        db.add("own", &["A".into(), "C".into(), 0.4.into()]);
+        db.add("own", &["B".into(), "C".into(), 0.3.into()]);
+        db
+    }
+
+    #[test]
+    fn single_atom_matching_binds_all_rows() {
+        let mut db = own_db();
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("y"), Term::var("s")],
+            ))
+            .head(Atom::new("p", vec![Term::var("x")]));
+        let ms = match_body(&mut db, &rule).unwrap();
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn conditions_filter_matches() {
+        let mut db = own_db();
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("y"), Term::var("s")],
+            ))
+            .condition(Condition::new(
+                Expr::var("s"),
+                CmpOp::Gt,
+                Expr::constant(0.5f64),
+            ))
+            .head(Atom::new("control", vec![Term::var("x"), Term::var("y")]));
+        let ms = match_body(&mut db, &rule).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].bindings[&Symbol::new("y")], Value::str("B"));
+    }
+
+    #[test]
+    fn join_respects_shared_variables() {
+        let mut db = own_db();
+        // own(x,z,_), own(z,y,_) : A->B->C is the only 2-hop chain.
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("z"), Term::var("s1")],
+            ))
+            .body(Atom::new(
+                "own",
+                vec![Term::var("z"), Term::var("y"), Term::var("s2")],
+            ))
+            .head(Atom::new("p", vec![Term::var("x"), Term::var("y")]));
+        let ms = match_body(&mut db, &rule).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].bindings[&Symbol::new("x")], Value::str("A"));
+        assert_eq!(ms[0].bindings[&Symbol::new("y")], Value::str("C"));
+        assert_eq!(ms[0].premises.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_in_one_atom_requires_equality() {
+        let mut db = Database::new();
+        db.add("edge", &["A".into(), "A".into()]);
+        db.add("edge", &["A".into(), "B".into()]);
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new("edge", vec![Term::var("x"), Term::var("x")]))
+            .head(Atom::new("loop", vec![Term::var("x")]));
+        let ms = match_body(&mut db, &rule).unwrap();
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn constants_in_body_atoms_filter() {
+        let mut db = own_db();
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::constant("A"), Term::var("y"), Term::var("s")],
+            ))
+            .head(Atom::new("p", vec![Term::var("y")]));
+        let ms = match_body(&mut db, &rule).unwrap();
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn negated_atom_blocks_matches() {
+        let mut db = own_db();
+        db.add("blocked", &["A".into()]);
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("y"), Term::var("s")],
+            ))
+            .body_not(Atom::new("blocked", vec![Term::var("x")]))
+            .head(Atom::new("p", vec![Term::var("x"), Term::var("y")]));
+        let ms = match_body(&mut db, &rule).unwrap();
+        // A's two rows are blocked; only B->C remains.
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].bindings[&Symbol::new("x")], Value::str("B"));
+    }
+
+    #[test]
+    fn assignments_extend_bindings() {
+        let mut db = own_db();
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("y"), Term::var("s")],
+            ))
+            .assign(
+                "pct",
+                Expr::binary(
+                    crate::expr::ArithOp::Mul,
+                    Expr::var("s"),
+                    Expr::constant(100.0f64),
+                ),
+            )
+            .head(Atom::new("p", vec![Term::var("x"), Term::var("pct")]));
+        let ms = match_body(&mut db, &rule).unwrap();
+        let pcts: Vec<f64> = ms
+            .iter()
+            .map(|m| m.bindings[&Symbol::new("pct")].as_f64().unwrap())
+            .collect();
+        assert!(pcts.contains(&60.0));
+    }
+
+    #[test]
+    fn post_aggregate_conditions_are_deferred() {
+        let mut db = own_db();
+        // ts = sum(s), ts > 10 : the condition must NOT filter individual
+        // matches (no single share exceeds 10).
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("y"), Term::var("s")],
+            ))
+            .aggregate(crate::rule::AggFunc::Sum, "ts", Expr::var("s"))
+            .condition(Condition::new(
+                Expr::var("ts"),
+                CmpOp::Gt,
+                Expr::constant(10.0f64),
+            ))
+            .head(Atom::new("p", vec![Term::var("x"), Term::var("ts")]));
+        let ms = match_body(&mut db, &rule).unwrap();
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn scan_mode_agrees_with_indexed_mode() {
+        let mut db = own_db();
+        db.add("own", &["C".into(), "D".into(), 0.7.into()]);
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("z"), Term::var("s1")],
+            ))
+            .body(Atom::new(
+                "own",
+                vec![Term::var("z"), Term::var("y"), Term::var("s2")],
+            ))
+            .head(Atom::new("p", vec![Term::var("x"), Term::var("y")]));
+        let indexed = match_body_with(&mut db, &rule, true).unwrap();
+        let scanned = match_body_with(&mut db, &rule, false).unwrap();
+        assert_eq!(indexed.len(), scanned.len());
+        for (a, b) in indexed.iter().zip(&scanned) {
+            assert_eq!(a.premises, b.premises);
+        }
+    }
+
+    #[test]
+    fn empty_predicate_yields_no_matches() {
+        let mut db = Database::new();
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new("nothing", vec![Term::var("x")]))
+            .head(Atom::new("p", vec![Term::var("x")]));
+        assert!(match_body(&mut db, &rule).unwrap().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+    use crate::rule::RuleBuilder;
+
+    fn two_hop_rule() -> Rule {
+        RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("z"), Term::var("s1")],
+            ))
+            .body(Atom::new(
+                "own",
+                vec![Term::var("z"), Term::var("y"), Term::var("s2")],
+            ))
+            .head(Atom::new("p", vec![Term::var("x"), Term::var("y")]))
+    }
+
+    #[test]
+    fn watermark_zero_equals_full_matching() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        db.add("own", &["B".into(), "C".into(), 0.7.into()]);
+        db.add("own", &["C".into(), "D".into(), 0.8.into()]);
+        let rule = two_hop_rule();
+        let full = match_body(&mut db, &rule).unwrap();
+        let incr = match_body_incremental(&mut db, &rule, 0).unwrap();
+        assert_eq!(full.len(), incr.len());
+    }
+
+    #[test]
+    fn incremental_returns_only_matches_touching_new_facts() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        db.add("own", &["B".into(), "C".into(), 0.7.into()]);
+        let watermark = db.len() as u32; // everything so far is old
+        db.add("own", &["C".into(), "D".into(), 0.8.into()]);
+        let rule = two_hop_rule();
+        let ms = match_body_incremental(&mut db, &rule, watermark).unwrap();
+        // Only B->C->D involves the new fact; A->B->C is old-old.
+        assert_eq!(ms.len(), 1);
+        assert_eq!(
+            ms[0].bindings[&crate::symbol::Symbol::new("y")],
+            Value::str("D")
+        );
+    }
+
+    #[test]
+    fn matches_with_two_new_facts_are_deduplicated() {
+        let mut db = Database::new();
+        let watermark = db.len() as u32;
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        db.add("own", &["B".into(), "C".into(), 0.7.into()]);
+        let rule = two_hop_rule();
+        // Both pivots produce the A->B->C match; it must appear once.
+        let ms = match_body_incremental(&mut db, &rule, watermark).unwrap();
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn future_watermark_yields_nothing() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        db.add("own", &["B".into(), "C".into(), 0.7.into()]);
+        let rule = two_hop_rule();
+        let ms = match_body_incremental(&mut db, &rule, 999).unwrap();
+        assert!(ms.is_empty());
+    }
+}

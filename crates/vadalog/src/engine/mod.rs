@@ -1,0 +1,1164 @@
+//! The chase procedure: forward inference to fixpoint with provenance.
+//!
+//! The engine implements the (restricted) chase of Sec. 3: rules are
+//! applied round by round until no chase step adds knowledge. Monotonic
+//! aggregations are evaluated per round over all currently visible
+//! contributors, so aggregate facts grow towards their fixpoint value and
+//! the full contributor set is recorded as provenance (cf. Fig. 8, where
+//! `Risk(C,11)` is premised on both `Debts(B,C,2)` and `Debts(B,C,9)`).
+
+mod matcher;
+
+pub use matcher::{match_body, match_body_incremental, match_body_with, BodyMatch};
+
+use crate::atom::Fact;
+use crate::database::{Database, FactId};
+use crate::error::{ChaseError, EvalError};
+use crate::expr::Bindings;
+use crate::program::Program;
+use crate::provenance::{ChaseGraph, Derivation};
+use crate::rule::{AggFunc, Head, Rule, RuleId};
+use crate::symbol::Symbol;
+use crate::term::Term;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseConfig {
+    /// Maximum number of full evaluation rounds before giving up.
+    pub max_rounds: usize,
+    /// Maximum number of facts (EDB + derived) before giving up.
+    pub max_facts: usize,
+    /// If true, a violated negative constraint aborts the run with an
+    /// error; otherwise violations are collected in the outcome.
+    pub fail_on_violation: bool,
+    /// Use lazily-built positional indexes during matching (default).
+    /// Disabling falls back to per-predicate scans — the engine-ablation
+    /// baseline.
+    pub use_positional_index: bool,
+    /// Evaluate non-aggregate rules semi-naively: after the first round,
+    /// only matches involving at least one new fact are enumerated
+    /// (default). Aggregate rules always re-match fully, since their
+    /// groups fold over all contributors.
+    pub semi_naive: bool,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> ChaseConfig {
+        ChaseConfig {
+            max_rounds: 10_000,
+            max_facts: 5_000_000,
+            fail_on_violation: false,
+            use_positional_index: true,
+            semi_naive: true,
+        }
+    }
+}
+
+/// The result of a chase run: the augmented database, the chase graph and
+/// run statistics.
+#[derive(Debug)]
+pub struct ChaseOutcome {
+    /// The database closed under the program.
+    pub database: Database,
+    /// Fact-level provenance of every derivation.
+    pub graph: ChaseGraph,
+    /// Number of evaluation rounds executed (including the final fixpoint
+    /// check).
+    pub rounds: usize,
+    /// Number of facts added by the chase.
+    pub derived_facts: usize,
+    /// Labels of violated negative constraints (empty when
+    /// `fail_on_violation` is set and the run succeeded).
+    pub violations: Vec<String>,
+}
+
+impl ChaseOutcome {
+    /// Facts of `predicate` in the closed database.
+    pub fn facts_of(&self, predicate: &str) -> Vec<(FactId, &Fact)> {
+        self.database
+            .facts_of(Symbol::new(predicate))
+            .iter()
+            .map(|&id| (id, self.database.fact(id)))
+            .collect()
+    }
+
+    /// Looks up a fact id in the closed database.
+    pub fn lookup(&self, fact: &Fact) -> Option<FactId> {
+        self.database.lookup(fact)
+    }
+}
+
+/// Runs the chase of `program` over `database` to fixpoint.
+pub fn run_chase(
+    program: &Program,
+    database: Database,
+    config: &ChaseConfig,
+) -> Result<ChaseOutcome, ChaseError> {
+    Chase::new(program, database, config.clone()).run()
+}
+
+/// Runs the chase with the default configuration.
+pub fn chase(program: &Program, database: Database) -> Result<ChaseOutcome, ChaseError> {
+    run_chase(program, database, &ChaseConfig::default())
+}
+
+/// Incrementally extends a previous chase outcome with new extensional
+/// facts and re-chases to fixpoint, reusing the closed database and the
+/// chase graph (no recomputation of already-derived knowledge; new
+/// derivations are appended to the provenance).
+///
+/// Restricted to *monotone* programs (a single stratum): with negation,
+/// added facts could invalidate earlier conclusions, which an incremental
+/// extension cannot retract — such programs return
+/// [`ChaseError::NonMonotoneExtension`].
+pub fn extend_chase(
+    program: &Program,
+    outcome: ChaseOutcome,
+    new_facts: impl IntoIterator<Item = Fact>,
+    config: &ChaseConfig,
+) -> Result<ChaseOutcome, ChaseError> {
+    if program.stratification().strata > 1 {
+        return Err(ChaseError::NonMonotoneExtension);
+    }
+    let ChaseOutcome {
+        mut database,
+        mut graph,
+        violations,
+        ..
+    } = outcome;
+
+    // Watermark BEFORE the new facts: semi-naive evaluation then only
+    // explores matches touching the extension.
+    let watermark = database.len();
+    for f in new_facts {
+        let (id, fresh) = database.insert(f);
+        if fresh {
+            graph.mark_extensional(id);
+        }
+    }
+
+    // Rebuild the engine state from the provenance.
+    let mut seen_derivations = HashSet::new();
+    let mut null_counter = 0u64;
+    let mut agg_current: HashMap<(RuleId, Vec<Value>), FactId> = HashMap::new();
+    for der in graph.derivations() {
+        seen_derivations.insert((der.rule, der.conclusion, der.premises.clone()));
+        let rule = program.rule(der.rule);
+        if rule.aggregate.is_some() {
+            let group: Vec<Value> = rule
+                .aggregate_group_vars()
+                .iter()
+                .filter_map(|v| der.bindings.get(v).copied())
+                .collect();
+            agg_current.insert((der.rule, group), der.conclusion);
+        }
+    }
+    for (_, fact) in database.iter() {
+        for v in &fact.values {
+            if let Value::Null(n) = v {
+                null_counter = null_counter.max(*n);
+            }
+        }
+    }
+
+    let initial_facts = database.len();
+    let engine = Chase {
+        program,
+        db: database,
+        graph,
+        config: config.clone(),
+        null_counter,
+        seen_derivations,
+        last_seen_len: vec![watermark; program.len()],
+        agg_current,
+        violations,
+        initial_facts,
+    };
+    // `initial_facts` counts the pre-extension closure plus the new input
+    // facts, so `derived_facts` of the result counts only the *newly*
+    // derived knowledge.
+    engine.run_in_place()
+}
+
+struct Chase<'p> {
+    program: &'p Program,
+    db: Database,
+    graph: ChaseGraph,
+    config: ChaseConfig,
+    /// Fresh labelled-null counter.
+    null_counter: u64,
+    /// Derivation dedup: naive re-evaluation would otherwise re-record
+    /// every step each round.
+    seen_derivations: HashSet<(RuleId, FactId, Vec<FactId>)>,
+    /// db.len() at the last evaluation of each rule; unchanged length
+    /// means no new facts can have enabled the rule (the store is
+    /// append-only).
+    last_seen_len: Vec<usize>,
+    /// Latest aggregate fact per (rule, group key): a fuller re-aggregation
+    /// supersedes (deactivates) the previous partial fact, so downstream
+    /// rules never sum a partial and a full aggregate of the same group.
+    agg_current: HashMap<(RuleId, Vec<Value>), FactId>,
+    violations: Vec<String>,
+    initial_facts: usize,
+}
+
+impl<'p> Chase<'p> {
+    fn new(program: &'p Program, db: Database, config: ChaseConfig) -> Chase<'p> {
+        let mut graph = ChaseGraph::new();
+        for (id, _) in db.iter() {
+            graph.mark_extensional(id);
+        }
+        let initial_facts = db.len();
+        Chase {
+            program,
+            db,
+            graph,
+            config,
+            null_counter: 0,
+            seen_derivations: HashSet::new(),
+            last_seen_len: vec![usize::MAX; program.len()],
+            agg_current: HashMap::new(),
+            violations: Vec::new(),
+            initial_facts,
+        }
+    }
+
+    fn run(self) -> Result<ChaseOutcome, ChaseError> {
+        self.run_in_place()
+    }
+
+    fn run_in_place(mut self) -> Result<ChaseOutcome, ChaseError> {
+        // Strata are evaluated bottom-up: a negated atom is only checked
+        // once its predicate's stratum has reached fixpoint, giving the
+        // standard perfect-model semantics for stratified negation.
+        let mut round: u32 = 0;
+        for stratum in 0..self.program.stratification().strata {
+            loop {
+                round += 1;
+                if round as usize > self.config.max_rounds {
+                    return Err(ChaseError::RoundLimitExceeded(self.config.max_rounds));
+                }
+                let mut changed = false;
+                for (idx, rule) in self.program.rules().iter().enumerate() {
+                    let rule_id = RuleId(idx);
+                    if self.program.rule_stratum(rule_id) != stratum {
+                        continue;
+                    }
+                    if self.last_seen_len[idx] == self.db.len() {
+                        continue; // nothing new since last evaluation
+                    }
+                    let watermark = self.last_seen_len[idx];
+                    self.last_seen_len[idx] = self.db.len();
+                    changed |= self.apply_rule(rule_id, rule, watermark, round)?;
+                    if self.db.len() > self.config.max_facts {
+                        return Err(ChaseError::FactLimitExceeded(self.config.max_facts));
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        Ok(ChaseOutcome {
+            derived_facts: self.db.len() - self.initial_facts,
+            database: self.db,
+            graph: self.graph,
+            rounds: round as usize,
+            violations: self.violations,
+        })
+    }
+
+    /// Applies one rule exhaustively against the current database.
+    /// `watermark` is the database length at the rule's previous
+    /// evaluation (`usize::MAX` for the first). Returns true if any new
+    /// fact or derivation was recorded.
+    fn apply_rule(
+        &mut self,
+        rule_id: RuleId,
+        rule: &Rule,
+        watermark: usize,
+        round: u32,
+    ) -> Result<bool, ChaseError> {
+        // Semi-naive evaluation applies from the second evaluation on, to
+        // non-aggregate rules only (aggregates fold over all matches).
+        let incremental = self.config.semi_naive
+            && self.config.use_positional_index
+            && watermark != usize::MAX
+            && !rule.has_aggregate()
+            && !rule.is_constraint();
+        let matches = if incremental {
+            match_body_incremental(&mut self.db, rule, watermark as u32)
+        } else {
+            match_body_with(&mut self.db, rule, self.config.use_positional_index)
+        }
+        .map_err(|source| ChaseError::Eval {
+            rule: rule.label.clone(),
+            source,
+        })?;
+        if matches.is_empty() {
+            return Ok(false);
+        }
+
+        if rule.is_constraint() {
+            if !self.violations.iter().any(|l| l == &rule.label) {
+                self.violations.push(rule.label.clone());
+            }
+            if self.config.fail_on_violation {
+                return Err(ChaseError::ConstraintViolated {
+                    rule: rule.label.clone(),
+                });
+            }
+            return Ok(false);
+        }
+
+        let mut changed = false;
+        if rule.aggregate.is_some() {
+            for group in group_matches(rule, &matches).map_err(|source| ChaseError::Eval {
+                rule: rule.label.clone(),
+                source,
+            })? {
+                changed |= self
+                    .fire(
+                        rule_id,
+                        rule,
+                        &group.bindings,
+                        group.premises,
+                        group.contributor_bindings,
+                        round,
+                    )
+                    .map_err(|source| ChaseError::Eval {
+                        rule: rule.label.clone(),
+                        source,
+                    })?;
+            }
+        } else {
+            for m in &matches {
+                changed |= self
+                    .fire(
+                        rule_id,
+                        rule,
+                        &m.bindings,
+                        m.premises.clone(),
+                        Vec::new(),
+                        round,
+                    )
+                    .map_err(|source| ChaseError::Eval {
+                        rule: rule.label.clone(),
+                        source,
+                    })?;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Fires one chase step: instantiates the head, handles existentials
+    /// with the restricted-chase satisfaction check, inserts the fact and
+    /// records the derivation.
+    fn fire(
+        &mut self,
+        rule_id: RuleId,
+        rule: &Rule,
+        bindings: &Bindings,
+        premises: Vec<FactId>,
+        contributor_bindings: Vec<Bindings>,
+        round: u32,
+    ) -> Result<bool, EvalError> {
+        let Head::Atom(head) = &rule.head else {
+            return Ok(false);
+        };
+
+        let existentials: HashSet<Symbol> = rule.existential_variables().into_iter().collect();
+
+        if !existentials.is_empty() {
+            // Restricted chase: skip the step if the head is already
+            // satisfied by an existing fact (existential positions are
+            // wildcards, consistently per variable).
+            let pattern: Vec<Option<Value>> = head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => Some(*v),
+                    Term::Var(v) if existentials.contains(v) => None,
+                    Term::Var(v) => bindings.get(v).copied(),
+                })
+                .collect();
+            if self.db.find_matching(head.predicate, &pattern).is_some() {
+                return Ok(false);
+            }
+        }
+
+        // Fresh nulls, one per existential variable of this firing.
+        let mut null_for: HashMap<Symbol, Value> = HashMap::new();
+        let values: Vec<Value> = head
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => Ok(*v),
+                Term::Var(v) => {
+                    if let Some(val) = bindings.get(v) {
+                        Ok(*val)
+                    } else if existentials.contains(v) {
+                        Ok(*null_for.entry(*v).or_insert_with(|| {
+                            self.null_counter += 1;
+                            Value::Null(self.null_counter)
+                        }))
+                    } else {
+                        Err(EvalError::UnboundVariable(*v))
+                    }
+                }
+            })
+            .collect::<Result<_, _>>()?;
+
+        let fact = Fact {
+            predicate: head.predicate,
+            values,
+        };
+        let (fact_id, fresh) = self.db.insert(fact);
+
+        let key = (rule_id, fact_id, premises.clone());
+        if self.seen_derivations.contains(&key) {
+            return Ok(false);
+        }
+        self.seen_derivations.insert(key);
+
+        // Monotonic-aggregate supersession: the new aggregate fact of a
+        // group replaces (deactivates) the group's previous fact.
+        if rule.aggregate.is_some() {
+            let group: Vec<Value> = rule
+                .aggregate_group_vars()
+                .iter()
+                .filter_map(|v| bindings.get(v).copied())
+                .collect();
+            if let Some(prev) = self.agg_current.insert((rule_id, group), fact_id) {
+                if prev != fact_id {
+                    self.db.deactivate(prev);
+                }
+            }
+        }
+        let contributors = contributor_bindings.len().max(1) as u32;
+        self.graph.record(Derivation {
+            rule: rule_id,
+            premises,
+            conclusion: fact_id,
+            round,
+            contributors,
+            bindings: bindings.clone(),
+            contributor_bindings,
+        });
+        // A new derivation of an existing fact is knowledge for the chase
+        // graph but must not keep the fixpoint loop alive forever: the
+        // dedup set above already guarantees each derivation is recorded
+        // once, so only fresh facts report change.
+        Ok(fresh)
+    }
+}
+
+/// One aggregated group: the head bindings (group key plus aggregate
+/// result), the union of contributing premises, and the per-contributor
+/// match bindings.
+struct AggGroup {
+    bindings: Bindings,
+    premises: Vec<FactId>,
+    contributor_bindings: Vec<Bindings>,
+}
+
+/// Groups matches by the head variables other than the aggregate result
+/// and folds the aggregate, checking post-aggregate conditions.
+fn group_matches(rule: &Rule, matches: &[BodyMatch]) -> Result<Vec<AggGroup>, EvalError> {
+    let agg = rule.aggregate.as_ref().expect("aggregate rule");
+    if rule.head.atom().is_none() {
+        return Ok(Vec::new());
+    }
+
+    // Group key: head variables except the aggregate result, plus body
+    // variables referenced by post-aggregate conditions (see
+    // `Rule::aggregate_group_vars`).
+    let key_vars: Vec<Symbol> = rule.aggregate_group_vars();
+
+    // Deterministic grouping: preserve first-seen group order.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, m) in matches.iter().enumerate() {
+        let key: Option<Vec<Value>> = key_vars
+            .iter()
+            .map(|v| m.bindings.get(v).copied())
+            .collect();
+        // A key variable may be unbound only if it is existential; such
+        // rules (aggregate + existential group key) group everything
+        // together per distinct bound part.
+        let key = key.unwrap_or_default();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            Vec::new()
+        });
+        entry.push(i);
+    }
+
+    let mut out = Vec::new();
+    for key in order {
+        let idxs = &groups[&key];
+        // Fold the aggregate over each distinct contributing match.
+        let mut inputs = Vec::with_capacity(idxs.len());
+        for &i in idxs {
+            inputs.push(agg.input.eval(&matches[i].bindings)?);
+        }
+        let value = fold_aggregate(agg.func, &inputs)?;
+
+        let mut bindings = Bindings::new();
+        for (v, val) in key_vars.iter().zip(&key) {
+            bindings.insert(*v, *val);
+        }
+        bindings.insert(agg.result, value);
+
+        // Post-aggregate conditions.
+        let mut ok = true;
+        for c in &rule.conditions {
+            let mut vars = Vec::new();
+            c.collect_vars(&mut vars);
+            if vars.contains(&agg.result) {
+                // The condition may also mention group-key variables (all
+                // bound); other body variables are out of scope post-
+                // aggregation and yield an error, which validation of
+                // reasonable programs prevents.
+                if !c.holds(&bindings)? {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+
+        let mut premises: Vec<FactId> = Vec::new();
+        for &i in idxs {
+            for &p in &matches[i].premises {
+                if !premises.contains(&p) {
+                    premises.push(p);
+                }
+            }
+        }
+        out.push(AggGroup {
+            bindings,
+            premises,
+            contributor_bindings: idxs.iter().map(|&i| matches[i].bindings.clone()).collect(),
+        });
+    }
+    Ok(out)
+}
+
+/// Folds an aggregate function over the contributed values.
+fn fold_aggregate(func: AggFunc, inputs: &[Value]) -> Result<Value, EvalError> {
+    match func {
+        AggFunc::Count => Ok(Value::Int(inputs.len() as i64)),
+        AggFunc::Sum | AggFunc::Prod => {
+            let mut acc_i: i64 = if func == AggFunc::Sum { 0 } else { 1 };
+            let mut acc_f: f64 = if func == AggFunc::Sum { 0.0 } else { 1.0 };
+            let mut is_float = false;
+            for v in inputs {
+                match v {
+                    Value::Int(i) => {
+                        if func == AggFunc::Sum {
+                            acc_i = acc_i.wrapping_add(*i);
+                            acc_f += *i as f64;
+                        } else {
+                            acc_i = acc_i.wrapping_mul(*i);
+                            acc_f *= *i as f64;
+                        }
+                    }
+                    Value::Float(f) => {
+                        is_float = true;
+                        if func == AggFunc::Sum {
+                            acc_f += *f;
+                        } else {
+                            acc_f *= *f;
+                        }
+                    }
+                    other => return Err(EvalError::NonNumericOperand(*other)),
+                }
+            }
+            if is_float {
+                if acc_f.is_nan() {
+                    Err(EvalError::NanResult)
+                } else {
+                    Ok(Value::Float(acc_f))
+                }
+            } else {
+                Ok(Value::Int(acc_i))
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<Value> = None;
+            for v in inputs {
+                best = Some(match best {
+                    None => *v,
+                    Some(b) => {
+                        let ord = b
+                            .partial_cmp_values(v)
+                            .ok_or(EvalError::NonNumericOperand(*v))?;
+                        let take_new = match func {
+                            AggFunc::Min => ord == std::cmp::Ordering::Greater,
+                            _ => ord == std::cmp::Ordering::Less,
+                        };
+                        if take_new {
+                            *v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.ok_or(EvalError::NanResult)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::expr::{CmpOp, Condition, Expr};
+    use crate::rule::RuleBuilder;
+
+    fn control_program() -> Program {
+        Program::new(vec![
+            RuleBuilder::new("o1")
+                .body(Atom::new(
+                    "own",
+                    vec![Term::var("x"), Term::var("y"), Term::var("s")],
+                ))
+                .condition(Condition::new(
+                    Expr::var("s"),
+                    CmpOp::Gt,
+                    Expr::constant(0.5f64),
+                ))
+                .head(Atom::new("control", vec![Term::var("x"), Term::var("y")])),
+            RuleBuilder::new("o2")
+                .body(Atom::new("company", vec![Term::var("x")]))
+                .head(Atom::new("control", vec![Term::var("x"), Term::var("x")])),
+            RuleBuilder::new("o3")
+                .body(Atom::new("control", vec![Term::var("x"), Term::var("z")]))
+                .body(Atom::new(
+                    "own",
+                    vec![Term::var("z"), Term::var("y"), Term::var("s")],
+                ))
+                .aggregate(AggFunc::Sum, "ts", Expr::var("s"))
+                .condition(Condition::new(
+                    Expr::var("ts"),
+                    CmpOp::Gt,
+                    Expr::constant(0.5f64),
+                ))
+                .head(Atom::new("control", vec![Term::var("x"), Term::var("y")])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn direct_control_is_derived() {
+        let mut db = Database::new();
+        db.add("company", &["A".into()]);
+        db.add("company", &["B".into()]);
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        let out = chase(&control_program(), db).unwrap();
+        assert!(out
+            .database
+            .contains(&Fact::new("control", vec!["A".into(), "B".into()])));
+    }
+
+    #[test]
+    fn joint_control_through_aggregation() {
+        // The paper's running example (Fig. 15): Irish Bank controls
+        // Madrid Credit with 21% + 36% through controlled intermediaries.
+        let mut db = Database::new();
+        for c in ["irish", "fondo", "french", "madrid"] {
+            db.add("company", &[c.into()]);
+        }
+        db.add("own", &["irish".into(), "fondo".into(), 0.83.into()]);
+        db.add("own", &["irish".into(), "french".into(), 0.54.into()]);
+        db.add("own", &["french".into(), "madrid".into(), 0.21.into()]);
+        db.add("own", &["fondo".into(), "madrid".into(), 0.36.into()]);
+        let out = chase(&control_program(), db).unwrap();
+        let target = Fact::new("control", vec!["irish".into(), "madrid".into()]);
+        let id = out.lookup(&target).expect("joint control derived");
+        // The winning derivation aggregates two contributors.
+        let der = out
+            .graph
+            .derivations_of(id)
+            .iter()
+            .map(|&d| out.graph.derivation(d))
+            .find(|d| d.contributors == 2)
+            .expect("two-contributor aggregation recorded");
+        assert_eq!(out.database.fact(der.conclusion), &target);
+    }
+
+    #[test]
+    fn no_control_below_threshold() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.5.into()]);
+        let out = chase(&control_program(), db).unwrap();
+        assert!(!out
+            .database
+            .contains(&Fact::new("control", vec!["A".into(), "B".into()])));
+    }
+
+    #[test]
+    fn chase_reaches_fixpoint_on_cycles() {
+        // Ownership cycle: A owns B, B owns A, both majority.
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.9.into()]);
+        db.add("own", &["B".into(), "A".into(), 0.9.into()]);
+        let out = chase(&control_program(), db).unwrap();
+        assert!(out
+            .database
+            .contains(&Fact::new("control", vec!["A".into(), "A".into()])));
+        assert!(out
+            .database
+            .contains(&Fact::new("control", vec!["B".into(), "B".into()])));
+    }
+
+    #[test]
+    fn aggregate_premises_cover_all_contributors() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "HUB".into(), 0.6.into()]);
+        db.add("own", &["HUB".into(), "T".into(), 0.3.into()]);
+        db.add("own", &["A".into(), "HUB2".into(), 0.7.into()]);
+        db.add("own", &["HUB2".into(), "T".into(), 0.3.into()]);
+        let out = chase(&control_program(), db).unwrap();
+        let id = out
+            .lookup(&Fact::new("control", vec!["A".into(), "T".into()]))
+            .expect("joint control via two hubs");
+        let best = out
+            .graph
+            .choose_derivation(id, crate::provenance::DerivationPolicy::Richest)
+            .unwrap();
+        let der = out.graph.derivation(best);
+        assert_eq!(der.contributors, 2);
+        // Premises: control(A,HUB), own(HUB,T), control(A,HUB2), own(HUB2,T).
+        assert_eq!(der.premises.len(), 4);
+    }
+
+    #[test]
+    fn existential_rule_invents_nulls_once() {
+        // person(x) -> parent(x, z); parent(x, z) -> person(z)
+        // Restricted chase: one invented parent per person, then the
+        // invented null's own parent is satisfied by... nothing, so a
+        // chain would grow; isomorphism pre-emption stops at the null
+        // because parent(n1, z) is satisfied by checking patterns?  It is
+        // not: this program is genuinely non-terminating under the
+        // oblivious chase; the restricted check stops it because
+        // parent(x,z) for x = n1 is satisfied only if some parent fact
+        // with first argument n1 exists.  It does not, so we rely on the
+        // fact limit to keep the test bounded and assert the engine
+        // reports the overflow rather than hanging.
+        let p = Program::new(vec![
+            RuleBuilder::new("p1")
+                .body(Atom::new("person", vec![Term::var("x")]))
+                .head(Atom::new("parent", vec![Term::var("x"), Term::var("z")])),
+            RuleBuilder::new("p2")
+                .body(Atom::new("parent", vec![Term::var("x"), Term::var("z")]))
+                .head(Atom::new("person", vec![Term::var("z")])),
+        ])
+        .unwrap();
+        let mut db = Database::new();
+        db.add("person", &["alice".into()]);
+        let cfg = ChaseConfig {
+            max_rounds: 50,
+            max_facts: 100,
+            ..ChaseConfig::default()
+        };
+        let result = run_chase(&p, db, &cfg);
+        match result {
+            Err(ChaseError::RoundLimitExceeded(_)) | Err(ChaseError::FactLimitExceeded(_)) => {}
+            Ok(out) => {
+                // Acceptable alternative: engine terminated because each
+                // new person's parent head was satisfied by an existing
+                // fact. Verify nulls were introduced.
+                assert!(out.database.iter().any(|(_, f)| f.has_nulls()));
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn existential_satisfaction_preempts_firing() {
+        // employee(x) -> works_for(x, z); plus an explicit works_for fact:
+        // the restricted chase must not invent a null for alice.
+        let p = Program::new(vec![RuleBuilder::new("w")
+            .body(Atom::new("employee", vec![Term::var("x")]))
+            .head(Atom::new("works_for", vec![Term::var("x"), Term::var("z")]))])
+        .unwrap();
+        let mut db = Database::new();
+        db.add("employee", &["alice".into()]);
+        db.add("works_for", &["alice".into(), "acme".into()]);
+        let out = chase(&p, db).unwrap();
+        assert_eq!(out.derived_facts, 0);
+        assert!(!out.database.iter().any(|(_, f)| f.has_nulls()));
+    }
+
+    #[test]
+    fn constraints_are_collected() {
+        let p = Program::new(vec![RuleBuilder::new("r")
+            .body(Atom::new("own", vec![Term::var("x"), Term::var("x")]))
+            .falsum()])
+        .unwrap();
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "A".into()]);
+        let out = chase(&p, db).unwrap();
+        assert_eq!(out.violations, vec!["r".to_string()]);
+    }
+
+    #[test]
+    fn constraints_can_fail_fast() {
+        let p = Program::new(vec![RuleBuilder::new("r")
+            .body(Atom::new("own", vec![Term::var("x"), Term::var("x")]))
+            .falsum()])
+        .unwrap();
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "A".into()]);
+        let cfg = ChaseConfig {
+            fail_on_violation: true,
+            ..ChaseConfig::default()
+        };
+        assert!(matches!(
+            run_chase(&p, db, &cfg),
+            Err(ChaseError::ConstraintViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn fold_aggregates_cover_all_functions() {
+        let ints = [Value::Int(2), Value::Int(3), Value::Int(4)];
+        assert_eq!(fold_aggregate(AggFunc::Sum, &ints).unwrap(), Value::Int(9));
+        assert_eq!(
+            fold_aggregate(AggFunc::Prod, &ints).unwrap(),
+            Value::Int(24)
+        );
+        assert_eq!(fold_aggregate(AggFunc::Min, &ints).unwrap(), Value::Int(2));
+        assert_eq!(fold_aggregate(AggFunc::Max, &ints).unwrap(), Value::Int(4));
+        assert_eq!(
+            fold_aggregate(AggFunc::Count, &ints).unwrap(),
+            Value::Int(3)
+        );
+        let mixed = [Value::Int(1), Value::Float(0.5)];
+        assert_eq!(
+            fold_aggregate(AggFunc::Sum, &mixed).unwrap(),
+            Value::Float(1.5)
+        );
+        assert!(fold_aggregate(AggFunc::Sum, &[Value::str("x")]).is_err());
+    }
+
+    #[test]
+    fn derived_fact_count_is_reported() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.8.into()]);
+        db.add("own", &["B".into(), "C".into(), 0.8.into()]);
+        let out = chase(&control_program(), db).unwrap();
+        // control(A,B), control(B,C), control(A,C)
+        assert_eq!(out.derived_facts, 3);
+        assert!(out.rounds >= 2);
+    }
+}
+
+#[cfg(test)]
+mod stratified_tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn stratified_negation_computes_complement() {
+        let parsed = parse_program(
+            r#"
+            r1: edge(x, y) -> reach(y).
+            r2: reach(x), edge(x, y) -> reach(y).
+            r3: node(x), not reach(x) -> unreachable(x).
+
+            node("a"). node("b"). node("c"). node("d").
+            edge("a", "b"). edge("b", "c").
+        "#,
+        )
+        .unwrap();
+        let db: Database = parsed.facts.into_iter().collect();
+        let out = chase(&parsed.program, db).unwrap();
+        // b, c are reachable; a and d are not.
+        assert!(out
+            .database
+            .contains(&Fact::new("unreachable", vec!["a".into()])));
+        assert!(out
+            .database
+            .contains(&Fact::new("unreachable", vec!["d".into()])));
+        assert!(!out
+            .database
+            .contains(&Fact::new("unreachable", vec!["b".into()])));
+        assert!(!out
+            .database
+            .contains(&Fact::new("unreachable", vec!["c".into()])));
+    }
+
+    #[test]
+    fn three_strata_evaluate_bottom_up() {
+        let parsed = parse_program(
+            r#"
+            r1: edge(x, y) -> reach(y).
+            r2: reach(x), edge(x, y) -> reach(y).
+            r3: node(x), not reach(x) -> unreachable(x).
+            r4: node(x), not unreachable(x) -> ok(x).
+
+            node("a"). node("b").
+            edge("a", "b").
+        "#,
+        )
+        .unwrap();
+        assert_eq!(parsed.program.stratification().strata, 3);
+        let db: Database = parsed.facts.into_iter().collect();
+        let out = chase(&parsed.program, db).unwrap();
+        assert!(out.database.contains(&Fact::new("ok", vec!["b".into()])));
+        assert!(!out.database.contains(&Fact::new("ok", vec!["a".into()])));
+    }
+
+    #[test]
+    fn negation_with_aggregation_across_strata() {
+        // Entities with no declared debts are "clean"; the count of clean
+        // entities is aggregated in the top stratum.
+        let parsed = parse_program(
+            r#"
+            r1: debt(d, c, v) -> indebted(d).
+            r2: entity(x), not indebted(x) -> clean(x).
+            r3: clean(x), n = count(x) -> clean_count(n).
+
+            entity("a"). entity("b"). entity("c").
+            debt("a", "b", 5).
+        "#,
+        )
+        .unwrap();
+        let db: Database = parsed.facts.into_iter().collect();
+        let out = chase(&parsed.program, db).unwrap();
+        assert!(out
+            .database
+            .contains(&Fact::new("clean_count", vec![2i64.into()])));
+    }
+
+    #[test]
+    fn provenance_spans_strata() {
+        let parsed = parse_program(
+            r#"
+            r1: edge(x, y) -> reach(y).
+            r3: node(x), not reach(x) -> isolated(x).
+
+            node("z").
+            edge("a", "b").
+        "#,
+        )
+        .unwrap();
+        let db: Database = parsed.facts.into_iter().collect();
+        let out = chase(&parsed.program, db).unwrap();
+        let id = out
+            .lookup(&Fact::new("isolated", vec!["z".into()]))
+            .unwrap();
+        let proof = out
+            .graph
+            .proof(id, crate::provenance::DerivationPolicy::Richest);
+        // The proof of isolated("z") rests on node("z") (negation leaves
+        // no positive premise for reach).
+        assert_eq!(proof.steps(), 1);
+    }
+}
+
+#[cfg(test)]
+mod extend_tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::provenance::DerivationPolicy;
+
+    fn control_text() -> &'static str {
+        r#"
+        o1: own(x, y, s), s > 0.5 -> control(x, y).
+        o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).
+        "#
+    }
+
+    #[test]
+    fn extension_derives_the_new_consequences() {
+        let program = parse_program(control_text()).unwrap().program;
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.9.into()]);
+        let first = chase(&program, db).unwrap();
+        assert_eq!(first.derived_facts, 1);
+
+        let extended = extend_chase(
+            &program,
+            first,
+            [Fact::new("own", vec!["B".into(), "C".into(), 0.9.into()])],
+            &ChaseConfig::default(),
+        )
+        .unwrap();
+        // New knowledge: control(B,C) and control(A,C).
+        assert_eq!(extended.derived_facts, 2);
+        assert!(extended
+            .database
+            .contains(&Fact::new("control", vec!["A".into(), "C".into()])));
+    }
+
+    #[test]
+    fn extension_equals_from_scratch_closure() {
+        let program = parse_program(control_text()).unwrap().program;
+        let all: Vec<Fact> = vec![
+            Fact::new("own", vec!["A".into(), "B".into(), 0.8.into()]),
+            Fact::new("own", vec!["B".into(), "C".into(), 0.3.into()]),
+            Fact::new("own", vec!["A".into(), "C".into(), 0.4.into()]),
+            Fact::new("own", vec!["C".into(), "D".into(), 0.9.into()]),
+        ];
+        for split in 0..=all.len() {
+            let scratch = chase(&program, all.clone().into_iter().collect()).unwrap();
+            let base = chase(&program, all[..split].iter().cloned().collect()).unwrap();
+            let ext = extend_chase(
+                &program,
+                base,
+                all[split..].to_vec(),
+                &ChaseConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(scratch.database.len(), ext.database.len(), "split {split}");
+            for (_, fact) in scratch.database.iter() {
+                assert!(ext.database.contains(fact), "split {split}: missing {fact}");
+            }
+        }
+    }
+
+    #[test]
+    fn extension_keeps_and_grows_provenance() {
+        let program = parse_program(control_text()).unwrap().program;
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.9.into()]);
+        let first = chase(&program, db).unwrap();
+        let derivations_before = first.graph.derivations().len();
+
+        let ext = extend_chase(
+            &program,
+            first,
+            [Fact::new("own", vec!["B".into(), "C".into(), 0.9.into()])],
+            &ChaseConfig::default(),
+        )
+        .unwrap();
+        assert!(ext.graph.derivations().len() > derivations_before);
+        // Proofs over the extended graph still linearize.
+        let id = ext
+            .lookup(&Fact::new("control", vec!["A".into(), "C".into()]))
+            .unwrap();
+        let tau = ext
+            .graph
+            .proof(id, DerivationPolicy::Richest)
+            .linearize(&ext.graph);
+        assert_eq!(tau.len(), 2);
+    }
+
+    #[test]
+    fn non_monotone_programs_are_rejected() {
+        let program = parse_program(
+            "r1: a(x) -> b(x).
+             r2: e(x), not b(x) -> c(x).",
+        )
+        .unwrap()
+        .program;
+        let first = chase(&program, Database::new()).unwrap();
+        let err = extend_chase(
+            &program,
+            first,
+            [Fact::new("a", vec!["x".into()])],
+            &ChaseConfig::default(),
+        );
+        assert!(matches!(err, Err(ChaseError::NonMonotoneExtension)));
+    }
+
+    #[test]
+    fn empty_extension_changes_nothing() {
+        let program = parse_program(control_text()).unwrap().program;
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.9.into()]);
+        let first = chase(&program, db).unwrap();
+        let before = first.database.len();
+        let ext = extend_chase(&program, first, [], &ChaseConfig::default()).unwrap();
+        assert_eq!(ext.database.len(), before);
+        assert_eq!(ext.derived_facts, 0);
+    }
+}
+
+#[cfg(test)]
+mod aggregate_supersession_tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// Regression: a partial aggregate (computed before all contributors
+    /// defaulted) must not be double-counted with the fuller aggregate of
+    /// the same group by a downstream sum.
+    #[test]
+    fn partial_aggregates_are_superseded_not_double_counted() {
+        let parsed = parse_program(
+            r#"
+            o4: shock(f, s), has_capital(f, p1), s > p1 -> default(f).
+            o5: default(d), long_term_debts(d, c, v), el = sum(v) -> risk(c, el, "long").
+            o7: risk(c, e, t), has_capital(c, p2), l = sum(e), l > p2 -> default(c).
+
+            shock("A", 10). has_capital("A", 1).
+            has_capital("B", 4). has_capital("C", 7).
+            long_term_debts("A", "B", 5).
+            long_term_debts("A", "C", 3).
+            long_term_debts("B", "C", 3).
+        "#,
+        )
+        .unwrap();
+        let db: Database = parsed.facts.into_iter().collect();
+        let out = chase(&parsed.program, db).unwrap();
+        // A and B default; C's true exposure is 3 + 3 = 6 < 7.
+        assert!(out.database.contains(&Fact::new("default", vec!["A".into()])));
+        assert!(out.database.contains(&Fact::new("default", vec!["B".into()])));
+        assert!(
+            !out.database.contains(&Fact::new("default", vec!["C".into()])),
+            "partial aggregate was double-counted"
+        );
+        // Both risk facts remain in the store (provenance), but the
+        // partial one is inactive.
+        let partial = out
+            .lookup(&Fact::new(
+                "risk",
+                vec!["C".into(), 3i64.into(), "long".into()],
+            ))
+            .expect("partial kept for provenance");
+        let full = out
+            .lookup(&Fact::new(
+                "risk",
+                vec!["C".into(), 6i64.into(), "long".into()],
+            ))
+            .expect("full aggregate derived");
+        assert!(!out.database.is_active(partial));
+        assert!(out.database.is_active(full));
+        assert_eq!(out.database.inactive_count(), 1);
+    }
+
+    /// Facts derived from a later-superseded partial aggregate remain (the
+    /// conditions are monotone, so they stay sound).
+    #[test]
+    fn conclusions_from_partials_survive_supersession() {
+        let parsed = parse_program(
+            r#"
+            o4: shock(f, s), has_capital(f, p1), s > p1 -> default(f).
+            o5: default(d), long_term_debts(d, c, v), el = sum(v) -> risk(c, el, "long").
+            o7: risk(c, e, t), has_capital(c, p2), l = sum(e), l > p2 -> default(c).
+
+            shock("A", 10). has_capital("A", 1).
+            has_capital("B", 4). has_capital("C", 2).
+            long_term_debts("A", "B", 5).
+            long_term_debts("A", "C", 3).
+            long_term_debts("B", "C", 3).
+        "#,
+        )
+        .unwrap();
+        // C's capital (2) is already exceeded by the partial exposure (3):
+        // C defaults early and must stay defaulted after the aggregate is
+        // superseded by 6.
+        let db: Database = parsed.facts.into_iter().collect();
+        let out = chase(&parsed.program, db).unwrap();
+        assert!(out.database.contains(&Fact::new("default", vec!["C".into()])));
+    }
+}

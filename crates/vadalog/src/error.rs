@@ -1,0 +1,225 @@
+//! Error types for the engine, the parser and program validation.
+
+use crate::symbol::Symbol;
+use crate::value::Value;
+use std::fmt;
+
+/// Errors raised while evaluating expressions and conditions.
+#[derive(Clone, PartialEq, Debug)]
+pub enum EvalError {
+    /// A variable referenced by an expression is not bound by the match.
+    UnboundVariable(Symbol),
+    /// Division by zero (integer or float).
+    DivisionByZero,
+    /// Arithmetic was applied to a non-numeric operand.
+    NonNumericOperand(Value),
+    /// Floating-point arithmetic produced `NaN`.
+    NanResult,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable `{}`", v),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::NonNumericOperand(v) => {
+                write!(f, "arithmetic on non-numeric operand `{}`", v)
+            }
+            EvalError::NanResult => write!(f, "arithmetic produced NaN"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Errors raised by program validation (rule safety and well-formedness).
+#[derive(Clone, PartialEq, Debug)]
+pub enum ProgramError {
+    /// A head variable is not bound by the body, an assignment, or an
+    /// aggregate, and is not existentially quantifiable (constraint heads).
+    UnsafeHeadVariable {
+        /// The offending rule label.
+        rule: String,
+        /// The offending variable.
+        var: Symbol,
+    },
+    /// A condition or assignment uses a variable never bound by body atoms
+    /// or earlier assignments.
+    UnboundBodyVariable {
+        /// The offending rule label.
+        rule: String,
+        /// The offending variable.
+        var: Symbol,
+    },
+    /// Two rules share the same label.
+    DuplicateRuleLabel(String),
+    /// A predicate is used with inconsistent arities.
+    ArityMismatch {
+        /// The predicate.
+        predicate: Symbol,
+        /// Arity seen first.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+    /// A rule aggregates over a variable not bound by its body.
+    UnboundAggregateInput {
+        /// The offending rule label.
+        rule: String,
+        /// The aggregated variable.
+        var: Symbol,
+    },
+    /// The program's recursion passes through negation: no stratification
+    /// exists.
+    NotStratifiable,
+    /// A rule body is empty.
+    EmptyBody(String),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnsafeHeadVariable { rule, var } => {
+                write!(f, "rule `{}`: head variable `{}` is unsafe", rule, var)
+            }
+            ProgramError::UnboundBodyVariable { rule, var } => {
+                write!(
+                    f,
+                    "rule `{}`: variable `{}` is not bound by any body atom",
+                    rule, var
+                )
+            }
+            ProgramError::DuplicateRuleLabel(l) => write!(f, "duplicate rule label `{}`", l),
+            ProgramError::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate `{}` used with arity {} but previously {}",
+                predicate, found, expected
+            ),
+            ProgramError::UnboundAggregateInput { rule, var } => write!(
+                f,
+                "rule `{}`: aggregate input `{}` is not bound by the body",
+                rule, var
+            ),
+            ProgramError::NotStratifiable => write!(
+                f,
+                "the program is not stratifiable: recursion passes through negation"
+            ),
+            ProgramError::EmptyBody(l) => write!(f, "rule `{}` has an empty body", l),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Errors raised by the chase engine at run time.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ChaseError {
+    /// Expression evaluation failed inside a rule application.
+    Eval {
+        /// The rule label.
+        rule: String,
+        /// The underlying error.
+        source: EvalError,
+    },
+    /// The configured round limit was reached before fixpoint.
+    RoundLimitExceeded(usize),
+    /// The configured fact limit was reached.
+    FactLimitExceeded(usize),
+    /// A negative constraint was violated.
+    ConstraintViolated {
+        /// The constraint rule label.
+        rule: String,
+    },
+    /// An incremental extension was requested for a program with
+    /// negation (more than one stratum): added facts could invalidate
+    /// earlier conclusions, so the closure must be recomputed from
+    /// scratch.
+    NonMonotoneExtension,
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::Eval { rule, source } => {
+                write!(f, "rule `{}`: {}", rule, source)
+            }
+            ChaseError::RoundLimitExceeded(n) => {
+                write!(f, "chase did not reach fixpoint within {} rounds", n)
+            }
+            ChaseError::FactLimitExceeded(n) => {
+                write!(f, "chase exceeded the fact limit of {}", n)
+            }
+            ChaseError::ConstraintViolated { rule } => {
+                write!(f, "negative constraint `{}` violated", rule)
+            }
+            ChaseError::NonMonotoneExtension => write!(
+                f,
+                "incremental extension requires a negation-free (single-stratum) program"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+/// Errors raised while parsing Vadalog surface syntax.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column of the error.
+    pub column: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_rule_context() {
+        let e = ChaseError::Eval {
+            rule: "o3".into(),
+            source: EvalError::DivisionByZero,
+        };
+        assert!(e.to_string().contains("o3"));
+        assert!(e.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn parse_error_renders_position() {
+        let e = ParseError {
+            line: 3,
+            column: 14,
+            message: "expected `)`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:14: expected `)`");
+    }
+
+    #[test]
+    fn program_error_messages_name_the_predicate() {
+        let e = ProgramError::ArityMismatch {
+            predicate: Symbol::new("own"),
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains("own"));
+    }
+}

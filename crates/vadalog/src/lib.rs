@@ -1,0 +1,81 @@
+//! # vadalog
+//!
+//! A chase-based Datalog±/Vadalog-style reasoning engine with fact-level
+//! provenance, built as the reasoning substrate for template-based
+//! explainable inference (EDBT 2025, "Template-based Explainable Inference
+//! over High-Stakes Financial Knowledge Graphs").
+//!
+//! The crate provides:
+//!
+//! * a rule language with TGDs (existentials as labelled nulls),
+//!   comparison conditions, arithmetic assignments, monotonic aggregations
+//!   (`sum`, `prod`, `min`, `max`, `count`), safe negation over extensional
+//!   predicates, and negative constraints;
+//! * a text [`parser`] for a Vadalog-like surface syntax;
+//! * a [`Database`] fact store with lazy positional indexes;
+//! * the [`engine`]: a restricted chase to fixpoint recording every
+//!   derivation in a [`provenance::ChaseGraph`];
+//! * the [`depgraph::DependencyGraph`] D(Σ) used by structural analysis.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vadalog::prelude::*;
+//!
+//! let parsed = parse_program(r#"
+//!     o1: own(x, y, s), s > 0.5 -> control(x, y).
+//!     o2: company(x) -> control(x, x).
+//!     o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).
+//!     company("A").
+//!     own("A", "B", 0.6).
+//!     own("B", "C", 0.3).
+//!     own("A", "C", 0.4).
+//! "#).unwrap();
+//!
+//! let db: Database = parsed.facts.into_iter().collect();
+//! let out = chase(&parsed.program, db).unwrap();
+//! let target = Fact::new("control", vec!["A".into(), "C".into()]);
+//! assert!(out.database.contains(&target));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod atom;
+pub mod database;
+pub mod depgraph;
+pub mod dot;
+pub mod engine;
+pub mod error;
+pub mod expr;
+pub mod parser;
+pub mod program;
+pub mod provenance;
+pub mod query;
+pub mod rule;
+pub mod stratify;
+pub mod symbol;
+pub mod term;
+pub mod value;
+
+/// Commonly used items, importable with one line.
+pub mod prelude {
+    pub use crate::atom::{fact, Atom, Fact};
+    pub use crate::database::{Database, FactId};
+    pub use crate::depgraph::{DepEdge, DependencyGraph};
+    pub use crate::engine::{chase, extend_chase, run_chase, ChaseConfig, ChaseOutcome};
+    pub use crate::error::{ChaseError, EvalError, ParseError, ProgramError};
+    pub use crate::expr::{ArithOp, Assignment, Bindings, CmpOp, Condition, Expr};
+    pub use crate::parser::{parse_program, ParsedProgram};
+    pub use crate::program::Program;
+    pub use crate::provenance::{
+        ChaseGraph, ChaseStep, Derivation, DerivationId, DerivationPolicy, ProofTree,
+    };
+    pub use crate::rule::{AggFunc, Aggregate, Head, Literal, Rule, RuleBuilder, RuleId};
+    pub use crate::stratify::{stratify, Stratification};
+    pub use crate::symbol::Symbol;
+    pub use crate::term::Term;
+    pub use crate::value::Value;
+}
+
+pub use prelude::*;

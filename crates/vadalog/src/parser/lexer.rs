@@ -1,0 +1,386 @@
+//! Lexer for the Vadalog surface syntax.
+
+use crate::error::ParseError;
+
+/// A lexical token with its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Token kinds of the surface syntax.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// Identifier: predicate, variable, aggregate name, or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal (unescaped content).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `!`
+    Bang,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenizes `input`. Comments run from `%` or `//` to end of line.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $l:expr, $c:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                line: $l,
+                column: $c,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                col += 1;
+                i += 1;
+            }
+            '%' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(TokenKind::LParen, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(TokenKind::RParen, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(TokenKind::Comma, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                push!(TokenKind::Colon, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '+' => {
+                push!(TokenKind::Plus, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push!(TokenKind::Star, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push!(TokenKind::Slash, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    push!(TokenKind::Arrow, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Minus, tl, tc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push!(TokenKind::NotEq, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Bang, tl, tc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push!(TokenKind::EqEq, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Assign, tl, tc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push!(TokenKind::Ge, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Gt, tl, tc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push!(TokenKind::Le, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Lt, tl, tc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' if j + 1 < bytes.len() => {
+                            // Standard escapes (matching Rust's Debug
+                            // output, so `Display` -> parse round-trips).
+                            s.push(match bytes[j + 1] {
+                                'n' => '\n',
+                                't' => '\t',
+                                'r' => '\r',
+                                '0' => '\0',
+                                other => other,
+                            });
+                            j += 2;
+                        }
+                        ch => {
+                            s.push(ch);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(ParseError {
+                        line: tl,
+                        column: tc,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                col += j + 1 - i;
+                i = j + 1;
+                push!(TokenKind::Str(s), tl, tc);
+            }
+            d if d.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_float = false;
+                if j + 1 < bytes.len() && bytes[j] == '.' && bytes[j + 1].is_ascii_digit() {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text: String = bytes[i..j].iter().collect();
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|_| ParseError {
+                        line: tl,
+                        column: tc,
+                        message: format!("invalid float literal `{}`", text),
+                    })?;
+                    push!(TokenKind::Float(v), tl, tc);
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| ParseError {
+                        line: tl,
+                        column: tc,
+                        message: format!("invalid integer literal `{}`", text),
+                    })?;
+                    push!(TokenKind::Int(v), tl, tc);
+                }
+                col += j - i;
+                i = j;
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                col += j - i;
+                i = j;
+                push!(TokenKind::Ident(text), tl, tc);
+            }
+            '.' => {
+                push!(TokenKind::Dot, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            other => {
+                return Err(ParseError {
+                    line: tl,
+                    column: tc,
+                    message: format!("unexpected character `{}`", other),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        column: col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_a_rule() {
+        let ks = kinds("o1: own(x,y,s), s > 0.5 -> control(x,y).");
+        assert_eq!(ks[0], TokenKind::Ident("o1".into()));
+        assert_eq!(ks[1], TokenKind::Colon);
+        assert!(ks.contains(&TokenKind::Arrow));
+        assert!(ks.contains(&TokenKind::Float(0.5)));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        let ks = kinds(">= <= == != > < =");
+        assert_eq!(
+            ks[..7],
+            [
+                TokenKind::Ge,
+                TokenKind::Le,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Gt,
+                TokenKind::Lt,
+                TokenKind::Assign
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let ks = kinds(r#""Irish Bank" "a\"b""#);
+        assert_eq!(ks[0], TokenKind::Str("Irish Bank".into()));
+        assert_eq!(ks[1], TokenKind::Str("a\"b".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("% a comment\no1 // another\n.");
+        assert_eq!(ks[0], TokenKind::Ident("o1".into()));
+        assert_eq!(ks[1], TokenKind::Dot);
+    }
+
+    #[test]
+    fn dot_vs_float_disambiguation() {
+        // `0.5.` is the float 0.5 followed by the rule-terminating dot.
+        let ks = kinds("0.5.");
+        assert_eq!(ks[0], TokenKind::Float(0.5));
+        assert_eq!(ks[1], TokenKind::Dot);
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        let ks = kinds("a - b -> c");
+        assert!(ks.contains(&TokenKind::Minus));
+        assert!(ks.contains(&TokenKind::Arrow));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let ts = tokenize("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].column), (1, 1));
+        assert_eq!((ts[1].line, ts[1].column), (2, 3));
+    }
+
+    #[test]
+    fn unexpected_character_is_reported() {
+        let err = tokenize("p(x) @ q").unwrap_err();
+        assert!(err.message.contains('@'));
+    }
+}

@@ -1,0 +1,186 @@
+//! Stratification of programs with negation.
+//!
+//! A program with negated body atoms is *stratifiable* when no recursion
+//! passes through negation: predicates are assigned strata such that a
+//! rule's head stratum is ≥ the stratum of every positive body predicate
+//! and > the stratum of every negated body predicate. The chase then
+//! evaluates strata bottom-up, so a negated atom is only checked once its
+//! predicate's extension is complete (the classic perfect-model
+//! semantics).
+
+use crate::rule::{Head, Rule};
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+/// The stratification of a rule set: strata per predicate and per rule.
+#[derive(Clone, Debug, Default)]
+pub struct Stratification {
+    /// Stratum of each predicate (extensional predicates sit at 0).
+    pub predicate_stratum: HashMap<Symbol, usize>,
+    /// Stratum of each rule (the stratum of its head predicate;
+    /// constraints run at the top stratum).
+    pub rule_stratum: Vec<usize>,
+    /// Number of strata.
+    pub strata: usize,
+}
+
+/// Computes the stratification, or `None` when recursion passes through
+/// negation.
+///
+/// Iterative constraint propagation: strata start at 0 and are raised
+/// until fixpoint. With `p` predicates, any consistent program stabilizes
+/// within `p` rounds; needing more implies a negative cycle.
+pub fn stratify(rules: &[Rule]) -> Option<Stratification> {
+    let mut preds: Vec<Symbol> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut note = |p: Symbol, preds: &mut Vec<Symbol>| {
+        if seen.insert(p) {
+            preds.push(p);
+        }
+    };
+    for r in rules {
+        for lit in &r.body {
+            note(lit.atom.predicate, &mut preds);
+        }
+        if let Head::Atom(h) = &r.head {
+            note(h.predicate, &mut preds);
+        }
+    }
+
+    let mut stratum: HashMap<Symbol, usize> = preds.iter().map(|&p| (p, 0)).collect();
+    let max_rounds = preds.len() + 1;
+    for round in 0..=max_rounds {
+        let mut changed = false;
+        for r in rules {
+            let Head::Atom(h) = &r.head else {
+                continue; // constraints impose no stratum constraints
+            };
+            let head_stratum = stratum[&h.predicate];
+            let mut required = head_stratum;
+            for lit in &r.body {
+                let b = stratum[&lit.atom.predicate];
+                required = required.max(if lit.negated { b + 1 } else { b });
+            }
+            if required > head_stratum {
+                stratum.insert(h.predicate, required);
+                changed = true;
+            }
+        }
+        if !changed {
+            let max_stratum = stratum.values().copied().max().unwrap_or(0);
+            let rule_stratum = rules
+                .iter()
+                .map(|r| match &r.head {
+                    Head::Atom(h) => stratum[&h.predicate],
+                    // Constraints run last, when everything is derived.
+                    Head::Falsum => max_stratum,
+                })
+                .collect();
+            return Some(Stratification {
+                predicate_stratum: stratum,
+                rule_stratum,
+                strata: max_stratum + 1,
+            });
+        }
+        if round == max_rounds {
+            break;
+        }
+    }
+    None // a stratum exceeded the predicate count: negative cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn rules_of(text: &str) -> Vec<Rule> {
+        parse_program(text).unwrap().program.rules().to_vec()
+    }
+
+    #[test]
+    fn positive_program_is_single_stratum() {
+        let rules = rules_of("r1: a(x) -> b(x). r2: b(x) -> c(x).");
+        let s = stratify(&rules).unwrap();
+        assert_eq!(s.strata, 1);
+        assert_eq!(s.rule_stratum, vec![0, 0]);
+    }
+
+    #[test]
+    fn negation_over_edb_is_stratum_one() {
+        let rules = rules_of("r: node(x), not excluded(x) -> active(x).");
+        let s = stratify(&rules).unwrap();
+        assert_eq!(s.predicate_stratum[&Symbol::new("excluded")], 0);
+        assert_eq!(s.predicate_stratum[&Symbol::new("active")], 1);
+    }
+
+    #[test]
+    fn negation_over_idb_stacks_strata() {
+        // reach is derived; unreachable = node \ reach; isolated uses
+        // unreachable negatively again.
+        let rules = rules_of(
+            "r1: edge(x, y) -> reach(y).
+             r2: reach(x), edge(x, y) -> reach(y).
+             r3: node(x), not reach(x) -> unreachable(x).
+             r4: node(x), not unreachable(x) -> connected(x).",
+        );
+        let s = stratify(&rules).unwrap();
+        let st = |p: &str| s.predicate_stratum[&Symbol::new(p)];
+        assert_eq!(st("reach"), 0);
+        assert_eq!(st("unreachable"), 1);
+        assert_eq!(st("connected"), 2);
+        assert_eq!(s.strata, 3);
+    }
+
+    #[test]
+    fn recursion_through_negation_is_rejected() {
+        // p :- q, not p  (win/lose-style paradox). Built directly: the
+        // validating Program constructor would already reject it.
+        use crate::atom::Atom;
+        use crate::rule::RuleBuilder;
+        use crate::term::Term;
+        let rules = vec![RuleBuilder::new("r")
+            .body(Atom::new("q", vec![Term::var("x")]))
+            .body_not(Atom::new("p", vec![Term::var("x")]))
+            .head(Atom::new("p", vec![Term::var("x")]))];
+        assert!(stratify(&rules).is_none());
+    }
+
+    #[test]
+    fn mutual_negative_recursion_is_rejected() {
+        use crate::atom::Atom;
+        use crate::rule::RuleBuilder;
+        use crate::term::Term;
+        let rules = vec![
+            RuleBuilder::new("r1")
+                .body(Atom::new("e", vec![Term::var("x")]))
+                .body_not(Atom::new("b", vec![Term::var("x")]))
+                .head(Atom::new("a", vec![Term::var("x")])),
+            RuleBuilder::new("r2")
+                .body(Atom::new("e", vec![Term::var("x")]))
+                .body_not(Atom::new("a", vec![Term::var("x")]))
+                .head(Atom::new("b", vec![Term::var("x")])),
+        ];
+        assert!(stratify(&rules).is_none());
+    }
+
+    #[test]
+    fn positive_recursion_stays_in_one_stratum() {
+        let rules = rules_of(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).",
+        );
+        let s = stratify(&rules).unwrap();
+        assert_eq!(s.strata, 1);
+    }
+
+    #[test]
+    fn constraints_run_at_the_top_stratum() {
+        let rules = rules_of(
+            "r1: node(x), not reach(x) -> unreachable(x).
+             c: unreachable(x) -> !.",
+        );
+        let s = stratify(&rules).unwrap();
+        assert_eq!(s.rule_stratum[1], s.strata - 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Interned string symbols.
+//!
+//! Predicates and variable names occur extremely often during matching and
+//! template manipulation; interning turns every comparison and hash into a
+//! `u32` operation. The interner is process-global and append-only, so a
+//! [`Symbol`] is `Copy` and valid for the lifetime of the process.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Two symbols are equal iff their originating strings
+/// are byte-equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    /// Map from string to id. Owns one copy of each string.
+    map: HashMap<&'static str, u32>,
+    /// Id to string. The `&'static` references point into leaked boxes that
+    /// live for the whole process; the interner is append-only by design.
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s` and returns its symbol. Idempotent.
+    pub fn new(s: &str) -> Symbol {
+        let mut guard = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = guard.map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(guard.strings.len()).expect("symbol table overflow");
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        guard.strings.push(leaked);
+        guard.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        let guard = interner().lock().expect("symbol interner poisoned");
+        guard.strings[self.0 as usize]
+    }
+
+    /// The raw interner id. Stable within a process run only.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("control");
+        let b = Symbol::new("control");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "control");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::new("own");
+        let b = Symbol::new("owns");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "own");
+        assert_eq!(b.as_str(), "owns");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Symbol::new("has_capital");
+        assert_eq!(s.to_string(), "has_capital");
+    }
+
+    #[test]
+    fn symbols_are_ordered_consistently() {
+        let a = Symbol::new("zeta-order-test");
+        let b = Symbol::new("alpha-order-test");
+        // Ordering is by interner id (insertion order), not lexicographic;
+        // it only needs to be a total order usable for canonicalization.
+        assert!(a < b || b < a);
+    }
+
+    #[test]
+    fn empty_string_is_internable() {
+        let e = Symbol::new("");
+        assert_eq!(e.as_str(), "");
+        assert_eq!(e, Symbol::new(""));
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::new("concurrent-test").id()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,94 @@
+//! Terms: the building blocks of atoms.
+
+use crate::symbol::Symbol;
+use crate::value::Value;
+use std::fmt;
+
+/// A term occurring in a rule atom: either a constant or a variable.
+///
+/// Labelled nulls never appear in rules, only in facts (see
+/// [`Value::Null`]); hence `Term` has no null variant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A constant value.
+    Const(Value),
+    /// A named variable.
+    Var(Symbol),
+}
+
+impl Term {
+    /// Builds a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Symbol::new(name))
+    }
+
+    /// Builds a constant term from anything convertible to [`Value`].
+    pub fn constant(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// The variable name, if this term is a variable.
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant value, if this term is a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// True iff this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(Value::Str(s)) => write!(f, "{:?}", s.as_str()),
+            Term::Const(v) => write!(f, "{}", v),
+            Term::Var(v) => write!(f, "{}", v),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Term {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_accessors() {
+        let t = Term::var("x");
+        assert!(t.is_var());
+        assert_eq!(t.as_var(), Some(Symbol::new("x")));
+        assert_eq!(t.as_const(), None);
+    }
+
+    #[test]
+    fn const_accessors() {
+        let t = Term::constant(42i64);
+        assert!(!t.is_var());
+        assert_eq!(t.as_const(), Some(&Value::Int(42)));
+        assert_eq!(t.as_var(), None);
+    }
+
+    #[test]
+    fn display_quotes_string_constants() {
+        assert_eq!(Term::constant("B").to_string(), "\"B\"");
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::constant(0.5f64).to_string(), "0.5");
+    }
+}

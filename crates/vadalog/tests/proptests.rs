@@ -1,0 +1,307 @@
+//! Property-based tests of the vadalog crate: parser round-trips, chase
+//! invariants and provenance well-formedness over randomized inputs.
+
+use proptest::prelude::*;
+use vadalog::prelude::*;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// Identifiers usable as predicates and variables.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}"
+}
+
+/// Printable string constants (Rust's Debug escaping round-trips through
+/// the lexer's escape handling).
+fn string_value() -> impl Strategy<Value = Value> {
+    "[ -~]{0,12}".prop_map(|s| Value::str(&s))
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Value::Int(i64::from(i))),
+        // Finite floats with short decimal forms round-trip exactly.
+        (-1_000_000i32..1_000_000, 0u8..100)
+            .prop_map(|(w, f)| { Value::Float(f64::from(w) + f64::from(f) / 100.0) }),
+        string_value(),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn fact_strategy() -> impl Strategy<Value = Fact> {
+    (ident(), prop::collection::vec(value(), 0..4)).prop_map(|(p, vs)| Fact::new(&p, vs))
+}
+
+/// A random valid chain program: rules `pk(x..) -> pk+1(x..)` with
+/// optional conditions, all safe by construction.
+fn chain_program() -> impl Strategy<Value = String> {
+    (2usize..5, prop::collection::vec(0.0f64..1.0, 1..4)).prop_map(|(depth, thresholds)| {
+        let mut text = String::new();
+        for k in 0..depth {
+            let cond = thresholds
+                .get(k % thresholds.len())
+                .map(|t| format!(", s > {:.2}", t))
+                .unwrap_or_default();
+            text.push_str(&format!("r{k}: p{k}(x, s){cond} -> p{}(x, s).\n", k + 1));
+        }
+        text
+    })
+}
+
+// ---------------------------------------------------------------------
+// Parser round-trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fact -> Display -> parse -> the same fact.
+    #[test]
+    fn fact_display_round_trips(fact in fact_strategy()) {
+        let text = format!("{}.", fact);
+        let parsed = parse_program(&text);
+        // Facts with no arguments parse as `p()`: still a fact.
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(parsed.facts.len(), 1);
+        prop_assert_eq!(&parsed.facts[0], &fact);
+    }
+
+    /// Program -> Display -> parse -> structurally equal rules.
+    #[test]
+    fn chain_program_display_round_trips(text in chain_program()) {
+        let first = parse_program(&text).unwrap().program;
+        let printed = first.to_string();
+        let second = parse_program(&printed).unwrap().program;
+        prop_assert_eq!(first.rules(), second.rules());
+    }
+
+    /// The financial programs round-trip too (regression anchor).
+    #[test]
+    fn value_display_round_trips(v in value()) {
+        let fact = Fact::new("p", vec![v]);
+        let text = format!("{}.", fact);
+        let parsed = parse_program(&text).unwrap();
+        prop_assert_eq!(&parsed.facts[0].values[0], &v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chase invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chains propagate exactly the tuples passing every threshold, and
+    /// every derivation's premises precede its conclusion (acyclicity of
+    /// the chase graph).
+    #[test]
+    fn chain_chase_is_sound_and_acyclic(
+        text in chain_program(),
+        inputs in prop::collection::vec((0u8..20, 0.0f64..1.0), 0..12),
+    ) {
+        let parsed = parse_program(&text).unwrap();
+        let mut db = Database::new();
+        for (i, s) in &inputs {
+            db.add("p0", &[format!("e{i}").as_str().into(), Value::Float(*s)]);
+        }
+        let out = chase(&parsed.program, db).unwrap();
+
+        // Acyclic provenance: premises have smaller fact ids than their
+        // conclusion (facts are appended in derivation order).
+        for der in out.graph.derivations() {
+            for p in &der.premises {
+                prop_assert!(p.0 < der.conclusion.0 || out.graph.is_extensional(*p));
+            }
+        }
+
+        // Soundness + completeness of the final predicate: a tuple reaches
+        // p<depth> iff its s passes every rule's condition.
+        let depth = parsed.program.len();
+        let final_pred = Symbol::new(&format!("p{depth}"));
+        let mut expected = 0usize;
+        'outer: for (_, s) in &inputs {
+            for rule in parsed.program.rules() {
+                for c in &rule.conditions {
+                    let mut b = Bindings::new();
+                    b.insert(Symbol::new("s"), Value::Float(*s));
+                    if !c.holds(&b).unwrap() {
+                        continue 'outer;
+                    }
+                }
+            }
+            expected += 1;
+        }
+        // Distinct inputs may collide on (entity, share); compare against
+        // the distinct expected set instead of raw counts.
+        let mut distinct: std::collections::HashSet<(u8, u64)> = Default::default();
+        'outer2: for (i, s) in &inputs {
+            for rule in parsed.program.rules() {
+                for c in &rule.conditions {
+                    let mut b = Bindings::new();
+                    b.insert(Symbol::new("s"), Value::Float(*s));
+                    if !c.holds(&b).unwrap() {
+                        continue 'outer2;
+                    }
+                }
+            }
+            distinct.insert((*i, s.to_bits()));
+        }
+        prop_assert_eq!(out.database.facts_of(final_pred).len(), distinct.len());
+        let _ = expected;
+    }
+
+    /// Every derived fact has at least one derivation and a non-empty
+    /// linearization; extensional facts have none.
+    #[test]
+    fn provenance_is_well_formed(
+        inputs in prop::collection::vec((0u8..12, 0u8..12, 30u8..100), 0..15),
+    ) {
+        let program = parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).",
+        )
+        .unwrap()
+        .program;
+        let mut db = Database::new();
+        for (a, b, s) in &inputs {
+            if a == b { continue; }
+            db.add("own", &[
+                format!("c{a}").as_str().into(),
+                format!("c{b}").as_str().into(),
+                Value::Float(f64::from(*s) / 100.0),
+            ]);
+        }
+        let out = chase(&program, db).unwrap();
+        for (id, _) in out.database.iter() {
+            let derived = out.graph.is_derived(id);
+            let extensional = out.graph.is_extensional(id);
+            prop_assert!(derived != extensional, "fact {} is both/neither", id);
+            if derived {
+                let proof = out.graph.proof(id, DerivationPolicy::Richest);
+                prop_assert!(proof.steps() >= 1);
+                prop_assert!(!proof.linearize(&out.graph).is_empty());
+            }
+        }
+    }
+
+    /// Aggregation sanity: the sum aggregate equals the sum of its
+    /// contributors' inputs, for every recorded aggregate derivation.
+    #[test]
+    fn sum_aggregates_add_up(
+        inputs in prop::collection::vec((0u8..6, 1i64..50), 1..12),
+    ) {
+        let program = parse_program(
+            "r: contrib(g, v), t = sum(v) -> total(g, t).",
+        )
+        .unwrap()
+        .program;
+        let mut db = Database::new();
+        for (g, v) in &inputs {
+            db.add("contrib", &[format!("g{g}").as_str().into(), Value::Int(*v)]);
+        }
+        let out = chase(&program, db).unwrap();
+        for der in out.graph.derivations() {
+            let total = out.database.fact(der.conclusion).values[1]
+                .as_f64()
+                .unwrap();
+            let contributed: f64 = der
+                .contributor_bindings
+                .iter()
+                .map(|b| b[&Symbol::new("v")].as_f64().unwrap())
+                .sum();
+            prop_assert!((total - contributed).abs() < 1e-9);
+            prop_assert_eq!(der.contributors as usize, der.contributor_bindings.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Semi-naive vs naive equivalence
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Semi-naive evaluation derives exactly the same fact set as naive
+    /// re-evaluation, on recursive programs with aggregation and negation.
+    #[test]
+    fn semi_naive_equals_naive(
+        inputs in prop::collection::vec((0u8..10, 0u8..10, 30u8..100), 0..18),
+    ) {
+        let program = parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o2: company(x) -> control(x, x).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).
+             o4: company(x), not controlled(x) -> top(x).
+             o5: control(x, y), x != y -> controlled(y).",
+        )
+        .unwrap()
+        .program;
+        let build = || {
+            let mut db = Database::new();
+            for i in 0..10u8 {
+                db.add("company", &[format!("c{i}").as_str().into()]);
+            }
+            for (a, b, s) in &inputs {
+                if a == b { continue; }
+                db.add("own", &[
+                    format!("c{a}").as_str().into(),
+                    format!("c{b}").as_str().into(),
+                    Value::Float(f64::from(*s) / 100.0),
+                ]);
+            }
+            db
+        };
+        let naive_cfg = ChaseConfig { semi_naive: false, ..ChaseConfig::default() };
+        let naive = run_chase(&program, build(), &naive_cfg).unwrap();
+        let semi = chase(&program, build()).unwrap();
+        prop_assert_eq!(naive.database.len(), semi.database.len());
+        for (_, fact) in naive.database.iter() {
+            prop_assert!(semi.database.contains(fact), "missing {}", fact);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Incremental extension is equivalent to closing everything from
+    /// scratch, for any split point of a random ownership fact set.
+    #[test]
+    fn extend_chase_equals_scratch(
+        inputs in prop::collection::vec((0u8..8, 0u8..8, 30u8..100), 0..14),
+        split_ratio in 0.0f64..1.0,
+    ) {
+        let program = parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).",
+        )
+        .unwrap()
+        .program;
+        let facts: Vec<Fact> = inputs
+            .iter()
+            .filter(|(a, b, _)| a != b)
+            .map(|(a, b, s)| {
+                Fact::new("own", vec![
+                    format!("c{a}").as_str().into(),
+                    format!("c{b}").as_str().into(),
+                    Value::Float(f64::from(*s) / 100.0),
+                ])
+            })
+            .collect();
+        let split = ((facts.len() as f64) * split_ratio) as usize;
+
+        let scratch = chase(&program, facts.clone().into_iter().collect()).unwrap();
+        let base = chase(&program, facts[..split].iter().cloned().collect()).unwrap();
+        let ext = extend_chase(&program, base, facts[split..].to_vec(), &ChaseConfig::default())
+            .unwrap();
+
+        prop_assert_eq!(scratch.database.len(), ext.database.len());
+        for (_, fact) in scratch.database.iter() {
+            prop_assert!(ext.database.contains(fact), "missing {}", fact);
+        }
+    }
+}
