@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use finkg::apps::{control, stress};
-use vadalog::chase;
+use vadalog::ChaseSession;
 
 fn bench_control_chase(c: &mut Criterion) {
     let mut group = c.benchmark_group("chase_company_control");
@@ -12,7 +12,7 @@ fn bench_control_chase(c: &mut Criterion) {
         let db = finkg::random_ownership(n, 3, 7);
         let program = control::program();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| chase(&program, db.clone()).expect("chase"))
+            b.iter(|| ChaseSession::new(&program).run(db.clone()).expect("chase"))
         });
     }
     group.finish();
@@ -25,8 +25,34 @@ fn bench_stress_chase(c: &mut Criterion) {
         let db = finkg::random_debt_network(n, 3, 5, 11);
         let program = stress::program();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| chase(&program, db.clone()).expect("chase"))
+            b.iter(|| ChaseSession::new(&program).run(db.clone()).expect("chase"))
         });
+    }
+    group.finish();
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    // The Fig. 18 scale-up workload (stress-test chase over a large debt
+    // network), swept over worker counts. Output is bitwise identical
+    // across the sweep (see the finkg determinism suite); only wall-time
+    // may differ.
+    let mut group = c.benchmark_group("chase_thread_sweep");
+    group.sample_size(10);
+    let db = finkg::random_debt_network(400, 3, 5, 11);
+    let program = stress::program();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    ChaseSession::new(&program)
+                        .threads(threads)
+                        .run(db.clone())
+                        .expect("chase")
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -48,6 +74,7 @@ criterion_group!(
     benches,
     bench_control_chase,
     bench_stress_chase,
+    bench_thread_sweep,
     bench_structural_analysis
 );
 criterion_main!(benches);

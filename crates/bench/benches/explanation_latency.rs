@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use explain::{ExplanationPipeline, TemplateFlavor};
 use finkg::apps::{control, stress};
-use vadalog::chase;
+use vadalog::ChaseSession;
 
 fn bench_control(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig18a_company_control");
@@ -14,7 +14,9 @@ fn bench_control(c: &mut Criterion) {
         let pipeline =
             ExplanationPipeline::new(control::program(), control::GOAL, &control::glossary())
                 .expect("pipeline");
-        let outcome = chase(&control::program(), bundle.database.clone()).expect("chase");
+        let outcome = ChaseSession::new(&control::program())
+            .run(bundle.database.clone())
+            .expect("chase");
         let id = outcome.lookup(&bundle.targets[0]).expect("derived");
         group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
             b.iter(|| {
@@ -34,7 +36,9 @@ fn bench_stress(c: &mut Criterion) {
         let goal = bundle.targets[0].predicate.as_str();
         let pipeline = ExplanationPipeline::new(stress::program(), goal, &stress::glossary())
             .expect("pipeline");
-        let outcome = chase(&stress::program(), bundle.database.clone()).expect("chase");
+        let outcome = ChaseSession::new(&stress::program())
+            .run(bundle.database.clone())
+            .expect("chase");
         let id = outcome.lookup(&bundle.targets[0]).expect("derived");
         group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
             b.iter(|| {

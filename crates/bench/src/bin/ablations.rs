@@ -17,7 +17,7 @@ use finkg::apps::control;
 use llm_sim::retained_ratio;
 use studies::comprehension::{run as run_comprehension, ComprehensionConfig};
 use studies::proof_constants;
-use vadalog::{chase, run_chase, ChaseConfig, DerivationPolicy};
+use vadalog::{ChaseConfig, ChaseSession, DerivationPolicy};
 
 fn main() {
     ablation_policy();
@@ -42,7 +42,9 @@ fn ablation_policy() {
             let pipeline = ExplanationPipeline::new(program.clone(), control::GOAL, &glossary)
                 .expect("pipeline")
                 .with_policy(policy);
-            let outcome = chase(&program, bundle.database.clone()).expect("chase");
+            let outcome = ChaseSession::new(&program)
+                .run(bundle.database.clone())
+                .expect("chase");
             for target in &bundle.targets {
                 let id = outcome.lookup(target).expect("derived");
                 let e = pipeline
@@ -72,7 +74,9 @@ fn ablation_flavor() {
     let pipeline =
         ExplanationPipeline::new(program.clone(), control::GOAL, &glossary).expect("pipeline");
     let bundle = finkg::control_bundle(12, 5, 3);
-    let outcome = chase(&program, bundle.database.clone()).expect("chase");
+    let outcome = ChaseSession::new(&program)
+        .run(bundle.database.clone())
+        .expect("chase");
     for flavor in [TemplateFlavor::Deterministic, TemplateFlavor::Enhanced] {
         let mut len_total = 0usize;
         let mut complete = true;
@@ -135,12 +139,12 @@ fn ablation_semi_naive() {
         ),
     ] {
         for semi_naive in [true, false] {
-            let cfg = ChaseConfig {
-                semi_naive,
-                ..ChaseConfig::default()
-            };
+            let cfg = ChaseConfig::default().with_semi_naive(semi_naive);
             let t0 = std::time::Instant::now();
-            let out = run_chase(program, db.clone(), &cfg).expect("chase");
+            let out = ChaseSession::new(program)
+                .config(cfg)
+                .run(db.clone())
+                .expect("chase");
             let dt = t0.elapsed();
             println!(
                 "  {name}: semi-naive {}  -> {:>8.2} ms ({} derived facts)",
@@ -168,12 +172,12 @@ fn ablation_index() {
         ),
     ] {
         for use_index in [true, false] {
-            let cfg = ChaseConfig {
-                use_positional_index: use_index,
-                ..ChaseConfig::default()
-            };
+            let cfg = ChaseConfig::default().with_positional_index(use_index);
             let t0 = std::time::Instant::now();
-            let out = run_chase(&program, db.clone(), &cfg).expect("chase");
+            let out = ChaseSession::new(&program)
+                .config(cfg)
+                .run(db.clone())
+                .expect("chase");
             let dt = t0.elapsed();
             println!(
                 "  {name}: index {}  -> {:>8.2} ms ({} derived facts)",

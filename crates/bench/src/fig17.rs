@@ -8,7 +8,7 @@ use finkg::apps::{control, stress};
 use llm_sim::{omission_ratio, Prompt, SimulatedLlm};
 use stats::Boxplot;
 use studies::proof_constants;
-use vadalog::chase;
+use vadalog::ChaseSession;
 
 /// Which application the sweep runs on.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -63,7 +63,9 @@ pub fn run(app: App, steps: &[usize], proofs_per_len: usize, seed: u64) -> Vec<O
         let goal = bundle.targets[0].predicate.as_str();
         let pipeline =
             ExplanationPipeline::new(program.clone(), goal, &glossary).expect("pipeline builds");
-        let outcome = chase(&program, bundle.database.clone()).expect("chase succeeds");
+        let outcome = ChaseSession::new(&program)
+            .run(bundle.database.clone())
+            .expect("chase succeeds");
 
         let mut ratios_para = Vec::with_capacity(proofs_per_len);
         let mut ratios_summ = Vec::with_capacity(proofs_per_len);

@@ -7,7 +7,7 @@ use explain::{ExplanationPipeline, TemplateFlavor};
 use finkg::apps::{control, stress};
 use stats::Boxplot;
 use std::time::Instant;
-use vadalog::chase;
+use vadalog::ChaseSession;
 
 /// One measured point: explanation latency distribution at one proof
 /// length.
@@ -45,7 +45,9 @@ pub fn run(app: App, steps: &[usize], proofs_per_len: usize, seed: u64) -> Vec<L
         let goal = bundle.targets[0].predicate.as_str();
         let pipeline =
             ExplanationPipeline::new(program.clone(), goal, &glossary).expect("pipeline builds");
-        let outcome = chase(&program, bundle.database.clone()).expect("chase succeeds");
+        let outcome = ChaseSession::new(&program)
+            .run(bundle.database.clone())
+            .expect("chase succeeds");
 
         let mut times_us = Vec::with_capacity(proofs_per_len);
         for target in &bundle.targets {

@@ -314,7 +314,7 @@ mod tests {
     use super::*;
     use crate::glossary::DomainGlossary;
     use crate::structural::analyze;
-    use vadalog::{chase, parse_program, Database, DerivationPolicy, Fact};
+    use vadalog::{parse_program, ChaseSession, Database, DerivationPolicy, Fact};
 
     fn example_4_3_figure_8() -> (
         Program,
@@ -341,7 +341,7 @@ mod tests {
         .unwrap();
         let analysis = analyze(&parsed.program, "default").unwrap();
         let db: Database = parsed.facts.into_iter().collect();
-        let out = chase(&parsed.program, db).unwrap();
+        let out = ChaseSession::new(&parsed.program).run(db).unwrap();
         let target = out
             .lookup(&Fact::new("default", vec!["C".into()]))
             .expect("Default(C) derived");
@@ -445,10 +445,15 @@ mod tests {
 #[cfg(test)]
 mod cover_from_tests {
     use super::*;
-    use vadalog::{chase, parse_program, Database, DerivationPolicy, Fact};
+    use vadalog::{parse_program, ChaseSession, Database, DerivationPolicy, Fact};
 
     /// A three-link control chain: τ = [o1, o3, o3].
-    fn chain() -> (Program, StructuralAnalysis, vadalog::ChaseOutcome, Vec<StepInfo>) {
+    fn chain() -> (
+        Program,
+        StructuralAnalysis,
+        vadalog::ChaseOutcome,
+        Vec<StepInfo>,
+    ) {
         let parsed = parse_program(
             r#"
             o1: own(x, y, s), s > 0.5 -> control(x, y).
@@ -462,7 +467,7 @@ mod cover_from_tests {
         .unwrap();
         let analysis = crate::structural::analyze(&parsed.program, "control").unwrap();
         let db: Database = parsed.facts.into_iter().collect();
-        let out = chase(&parsed.program, db).unwrap();
+        let out = ChaseSession::new(&parsed.program).run(db).unwrap();
         let id = out
             .lookup(&Fact::new("control", vec!["A".into(), "D".into()]))
             .unwrap();

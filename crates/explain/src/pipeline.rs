@@ -447,7 +447,7 @@ impl ExplanationPipeline {
 mod tests {
     use super::*;
     use crate::glossary::{GlossaryEntry, ValueFormat};
-    use vadalog::{chase, parse_program, Database};
+    use vadalog::{parse_program, ChaseSession, Database};
 
     /// Example 4.3 with the Fig. 8 EDB and the Fig. 7 glossary.
     fn setup() -> (ExplanationPipeline, ChaseOutcome) {
@@ -500,7 +500,7 @@ mod tests {
         let pipeline =
             ExplanationPipeline::new(parsed.program.clone(), "default", &glossary).unwrap();
         let db: Database = parsed.facts.into_iter().collect();
-        let outcome = chase(&parsed.program, db).unwrap();
+        let outcome = ChaseSession::new(&parsed.program).run(db).unwrap();
         (pipeline, outcome)
     }
 

@@ -12,9 +12,7 @@
 use crate::glossary::DomainGlossary;
 use crate::verbalizer::{atom_segments, cmp_words, RawSeg};
 use vadalog::query::select;
-use vadalog::{
-    Atom, Bindings, ChaseOutcome, Condition, Fact, Program, RuleId, Term, Value,
-};
+use vadalog::{Atom, Bindings, ChaseOutcome, Condition, Fact, Program, RuleId, Term, Value};
 
 /// Why one candidate rule failed to derive the fact.
 #[derive(Clone, Debug, PartialEq)]
@@ -189,10 +187,7 @@ fn substitute(atom: &Atom, bindings: &Bindings) -> Atom {
             .terms
             .iter()
             .map(|t| match t {
-                Term::Var(v) => bindings
-                    .get(v)
-                    .map(|val| Term::Const(*val))
-                    .unwrap_or(*t),
+                Term::Var(v) => bindings.get(v).map(|val| Term::Const(*val)).unwrap_or(*t),
                 c => *c,
             })
             .collect(),
@@ -230,7 +225,7 @@ pub fn is_entity(v: &Value) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vadalog::{chase, parse_program, Database};
+    use vadalog::{parse_program, ChaseSession, Database};
 
     fn setup() -> (Program, DomainGlossary, ChaseOutcome) {
         let parsed = parse_program(
@@ -251,7 +246,7 @@ mod tests {
         )
         .unwrap();
         let db: Database = parsed.facts.clone().into_iter().collect();
-        let outcome = chase(&parsed.program, db).unwrap();
+        let outcome = ChaseSession::new(&parsed.program).run(db).unwrap();
         (parsed.program, glossary, outcome)
     }
 

@@ -60,7 +60,7 @@ pub fn glossary() -> DomainGlossary {
 mod tests {
     use super::*;
     use explain::{analyze, ExplanationPipeline};
-    use vadalog::{chase, Database, Fact};
+    use vadalog::{ChaseSession, Database, Fact};
 
     #[test]
     fn direct_and_indirect_close_links() {
@@ -69,7 +69,7 @@ mod tests {
         db.add("own", &["A".into(), "B".into(), 0.5.into()]);
         db.add("own", &["B".into(), "C".into(), 0.5.into()]);
         db.add("own", &["C".into(), "D".into(), 0.5.into()]);
-        let out = chase(&p, db).unwrap();
+        let out = ChaseSession::new(&p).run(db).unwrap();
         // A-B direct (50%), A-C indirect (25%), A-D indirect (12.5% < 20%).
         assert!(out
             .database
@@ -88,7 +88,7 @@ mod tests {
         let mut db = Database::new();
         db.add("own", &["A".into(), "B".into(), 1.0.into()]);
         db.add("own", &["B".into(), "A".into(), 1.0.into()]);
-        let out = chase(&p, db).unwrap();
+        let out = ChaseSession::new(&p).run(db).unwrap();
         assert!(out
             .database
             .contains(&Fact::new("close_link", vec!["A".into(), "B".into()])));
@@ -103,7 +103,7 @@ mod tests {
         let mut db = Database::new();
         db.add("own", &["A".into(), "B".into(), 0.8.into()]);
         db.add("own", &["B".into(), "C".into(), 0.6.into()]);
-        let out = chase(&p, db).unwrap();
+        let out = ChaseSession::new(&p).run(db).unwrap();
         let e = pipeline
             .explain(&out, &Fact::new("close_link", vec!["A".into(), "C".into()]))
             .unwrap();

@@ -53,7 +53,7 @@ pub fn glossary() -> DomainGlossary {
 mod tests {
     use super::*;
     use explain::{analyze, ExplanationPipeline};
-    use vadalog::{chase, Database, Fact, Symbol};
+    use vadalog::{ChaseSession, Database, Fact, Symbol};
 
     #[test]
     fn program_parses_and_classifies() {
@@ -103,7 +103,7 @@ mod tests {
             "own",
             &["Fondo Italiano".into(), "Madrid Credit".into(), 0.36.into()],
         );
-        let out = chase(&p, db).unwrap();
+        let out = ChaseSession::new(&p).run(db).unwrap();
         let target = Fact::new("control", vec!["Irish Bank".into(), "Madrid Credit".into()]);
         assert!(out.database.contains(&target));
 

@@ -79,7 +79,7 @@ pub fn glossary() -> DomainGlossary {
 mod tests {
     use super::*;
     use explain::{analyze, ExplanationPipeline};
-    use vadalog::{chase, Database, Symbol};
+    use vadalog::{ChaseSession, Database, Symbol};
 
     fn scenario() -> Database {
         let mut db = Database::new();
@@ -101,7 +101,7 @@ mod tests {
 
     #[test]
     fn aggregated_stake_triggers_notification() {
-        let out = chase(&program(), scenario()).unwrap();
+        let out = ChaseSession::new(&program()).run(scenario()).unwrap();
         let hits = out.facts_of(GOAL);
         assert!(
             hits.iter()
@@ -123,7 +123,7 @@ mod tests {
         db.add("foreign", &["F".into()]);
         db.add("strategic", &["S".into()]);
         db.add("own", &["F".into(), "S".into(), 0.05.into()]);
-        let out = chase(&program(), db).unwrap();
+        let out = ChaseSession::new(&program()).run(db).unwrap();
         assert!(out.facts_of(GOAL).is_empty());
     }
 
@@ -132,7 +132,7 @@ mod tests {
         let mut db = Database::new();
         db.add("strategic", &["S".into()]);
         db.add("own", &["Domestic".into(), "S".into(), 0.4.into()]);
-        let out = chase(&program(), db).unwrap();
+        let out = ChaseSession::new(&program()).run(db).unwrap();
         assert!(out.facts_of(GOAL).is_empty());
     }
 
@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn explanation_covers_the_joint_stake_story() {
         let pipeline = ExplanationPipeline::new(program(), GOAL, &glossary()).unwrap();
-        let out = chase(&program(), scenario()).unwrap();
+        let out = ChaseSession::new(&program()).run(scenario()).unwrap();
         let (id, _) = out
             .facts_of(GOAL)
             .into_iter()

@@ -75,11 +75,13 @@ pub fn figure_8_database() -> vadalog::Database {
 mod tests {
     use super::*;
     use explain::ExplanationPipeline;
-    use vadalog::{chase, Fact};
+    use vadalog::{ChaseSession, Fact};
 
     #[test]
     fn figure_8_chase_derives_the_cascade() {
-        let out = chase(&program(), figure_8_database()).unwrap();
+        let out = ChaseSession::new(&program())
+            .run(figure_8_database())
+            .unwrap();
         for entity in ["A", "B", "C"] {
             assert!(out
                 .database
@@ -93,7 +95,9 @@ mod tests {
     #[test]
     fn example_4_8_pipeline_round_trip() {
         let pipeline = ExplanationPipeline::new(program(), GOAL, &glossary()).unwrap();
-        let out = chase(&program(), figure_8_database()).unwrap();
+        let out = ChaseSession::new(&program())
+            .run(figure_8_database())
+            .unwrap();
         let e = pipeline
             .explain(&out, &Fact::new("default", vec!["C".into()]))
             .unwrap();

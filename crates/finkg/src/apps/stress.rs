@@ -74,7 +74,7 @@ pub fn glossary() -> DomainGlossary {
 mod tests {
     use super::*;
     use explain::analyze;
-    use vadalog::{chase, Database, Fact, Symbol};
+    use vadalog::{ChaseSession, Database, Fact, Symbol};
 
     #[test]
     fn structural_analysis_matches_figure_10() {
@@ -102,7 +102,7 @@ mod tests {
         db.add("long_term_debts", &["A".into(), "B".into(), 7i64.into()]);
         db.add("long_term_debts", &["B".into(), "F".into(), 6i64.into()]);
         db.add("short_term_debts", &["B".into(), "F".into(), 5i64.into()]);
-        let out = chase(&p, db).unwrap();
+        let out = ChaseSession::new(&p).run(db).unwrap();
         for entity in ["A", "B", "F"] {
             assert!(
                 out.database
@@ -129,7 +129,7 @@ mod tests {
         db.add("has_capital", &["A".into(), 5i64.into()]);
         db.add("has_capital", &["B".into(), 40i64.into()]);
         db.add("long_term_debts", &["A".into(), "B".into(), 7i64.into()]);
-        let out = chase(&p, db).unwrap();
+        let out = ChaseSession::new(&p).run(db).unwrap();
         assert!(!out
             .database
             .contains(&Fact::new("default", vec!["B".into()])));

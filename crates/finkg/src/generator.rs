@@ -268,13 +268,15 @@ pub fn proofs_with_steps(outcome: &ChaseOutcome, goal: &str, steps: usize) -> Ve
 mod tests {
     use super::*;
     use crate::apps::{control, stress};
-    use vadalog::chase;
+    use vadalog::ChaseSession;
 
     #[test]
     fn control_bundle_has_exact_proof_lengths() {
         for steps in [1usize, 3, 6, 12] {
             let bundle = control_bundle(steps, 3, 42);
-            let out = chase(&control::program(), bundle.database).unwrap();
+            let out = ChaseSession::new(&control::program())
+                .run(bundle.database)
+                .unwrap();
             for target in &bundle.targets {
                 let id = out
                     .lookup(target)
@@ -291,7 +293,9 @@ mod tests {
     #[test]
     fn aggregated_control_bundle_derives_targets() {
         let bundle = control_bundle_aggregated(3, 2, 7);
-        let out = chase(&control::program(), bundle.database).unwrap();
+        let out = ChaseSession::new(&control::program())
+            .run(bundle.database)
+            .unwrap();
         for target in &bundle.targets {
             assert!(out.lookup(target).is_some(), "{target} not derived");
         }
@@ -301,7 +305,9 @@ mod tests {
     fn stress_bundle_odd_steps_target_defaults() {
         for steps in [1usize, 3, 5, 9] {
             let bundle = stress_bundle(steps, 4, 11);
-            let out = chase(&stress::program(), bundle.database).unwrap();
+            let out = ChaseSession::new(&stress::program())
+                .run(bundle.database)
+                .unwrap();
             for target in &bundle.targets {
                 let id = out
                     .lookup(target)
@@ -319,7 +325,9 @@ mod tests {
     fn stress_bundle_even_steps_target_risks() {
         for steps in [2usize, 4, 8] {
             let bundle = stress_bundle(steps, 3, 13);
-            let out = chase(&stress::program(), bundle.database).unwrap();
+            let out = ChaseSession::new(&stress::program())
+                .run(bundle.database)
+                .unwrap();
             for target in &bundle.targets {
                 assert_eq!(target.predicate, Symbol::new("risk"));
                 let id = out
@@ -347,7 +355,7 @@ mod tests {
     #[test]
     fn random_debt_network_chases_to_fixpoint() {
         let db = random_debt_network(40, 3, 3, 5);
-        let out = chase(&stress::program(), db).unwrap();
+        let out = ChaseSession::new(&stress::program()).run(db).unwrap();
         // Some defaults should cascade from three shocks.
         assert!(!out.facts_of("default").is_empty());
     }
@@ -355,7 +363,9 @@ mod tests {
     #[test]
     fn proofs_with_steps_filters_exactly() {
         let bundle = control_bundle(4, 2, 1);
-        let out = chase(&control::program(), bundle.database).unwrap();
+        let out = ChaseSession::new(&control::program())
+            .run(bundle.database)
+            .unwrap();
         let hits = proofs_with_steps(&out, "control", 4);
         assert_eq!(hits.len(), 2);
         assert!(proofs_with_steps(&out, "control", 17).is_empty());

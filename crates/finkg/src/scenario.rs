@@ -46,11 +46,13 @@ mod tests {
     use super::*;
     use crate::apps::{control, stress};
     use explain::ExplanationPipeline;
-    use vadalog::{chase, Fact};
+    use vadalog::{ChaseSession, Fact};
 
     #[test]
     fn control_side_derives_b_controls_d() {
-        let out = chase(&control::program(), database()).unwrap();
+        let out = ChaseSession::new(&control::program())
+            .run(database())
+            .unwrap();
         assert!(out
             .database
             .contains(&Fact::new("control", vec!["B".into(), "E".into()])));
@@ -70,7 +72,9 @@ mod tests {
         let pipeline =
             ExplanationPipeline::new(control::program(), control::GOAL, &control::glossary())
                 .unwrap();
-        let out = chase(&control::program(), database()).unwrap();
+        let out = ChaseSession::new(&control::program())
+            .run(database())
+            .unwrap();
         let e = pipeline
             .explain(&out, &Fact::new("control", vec!["B".into(), "D".into()]))
             .unwrap();
@@ -82,7 +86,9 @@ mod tests {
 
     #[test]
     fn stress_side_cascades_to_f() {
-        let out = chase(&stress::program(), database()).unwrap();
+        let out = ChaseSession::new(&stress::program())
+            .run(database())
+            .unwrap();
         for e in ["A", "B", "C", "F"] {
             assert!(
                 out.database.contains(&Fact::new("default", vec![e.into()])),
@@ -99,7 +105,9 @@ mod tests {
     fn q_e_default_f_mentions_both_channels() {
         let pipeline =
             ExplanationPipeline::new(stress::program(), stress::GOAL, &stress::glossary()).unwrap();
-        let out = chase(&stress::program(), database()).unwrap();
+        let out = ChaseSession::new(&stress::program())
+            .run(database())
+            .unwrap();
         let e = pipeline
             .explain(&out, &Fact::new("default", vec!["F".into()]))
             .unwrap();

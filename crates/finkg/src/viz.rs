@@ -294,14 +294,12 @@ mod tests {
     use super::*;
     use crate::apps::simple_stress;
     use rand::SeedableRng;
-    use vadalog::{chase, Fact};
+    use vadalog::{ChaseSession, Fact};
 
     fn figure_8_viz() -> VizGraph {
-        let out = chase(
-            &simple_stress::program(),
-            simple_stress::figure_8_database(),
-        )
-        .unwrap();
+        let out = ChaseSession::new(&simple_stress::program())
+            .run(simple_stress::figure_8_database())
+            .unwrap();
         let id = out.lookup(&Fact::new("default", vec!["C".into()])).unwrap();
         VizGraph::from_proof(&out, id)
     }

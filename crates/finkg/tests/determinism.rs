@@ -1,0 +1,137 @@
+//! The determinism suite of the parallel chase: for every finkg
+//! application and for seeded generator bundles, chasing at 1, 2 and 8
+//! worker threads yields identical fact sets, identical dense `FactId`
+//! assignment, and isomorphic chase graphs (derivation-for-derivation
+//! equal, in recording order — stronger than isomorphism).
+
+use finkg::apps::{close_links, control, golden_power, simple_stress, stress};
+use finkg::scenario;
+use vadalog::{ChaseOutcome, ChaseSession, Database, Program};
+
+const THREAD_SWEEP: [usize; 2] = [2, 8];
+
+/// A full structural fingerprint of a chase outcome: every fact in id
+/// order with its activity flag, every derivation in recording order,
+/// the round count and the violations. Equal fingerprints mean the
+/// outcomes are interchangeable for every downstream consumer (proofs,
+/// explanations, benches).
+fn fingerprint(out: &ChaseOutcome) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for (id, fact) in out.database.iter() {
+        let _ = writeln!(s, "{id} {fact} active={}", out.database.is_active(id));
+    }
+    for d in out.graph.derivations() {
+        let _ = writeln!(
+            s,
+            "r{} {:?} -> {} round={} contrib={} bindings={}",
+            d.rule.0,
+            d.premises,
+            d.conclusion,
+            d.round,
+            d.contributors,
+            d.bindings.len(),
+        );
+    }
+    let _ = write!(s, "rounds={} violations={:?}", out.rounds, out.violations);
+    s
+}
+
+/// Chases `db` under `program` once per thread count and asserts all
+/// fingerprints equal the single-threaded reference.
+fn assert_thread_invariant(name: &str, program: &Program, db: &Database) {
+    let reference = ChaseSession::new(program)
+        .threads(1)
+        .run(db.clone())
+        .unwrap_or_else(|e| panic!("{name}: single-threaded chase failed: {e}"));
+    let expected = fingerprint(&reference);
+    for threads in THREAD_SWEEP {
+        let out = ChaseSession::new(program)
+            .threads(threads)
+            .run(db.clone())
+            .unwrap_or_else(|e| panic!("{name}: chase at {threads} threads failed: {e}"));
+        assert_eq!(
+            fingerprint(&out),
+            expected,
+            "{name}: outcome diverged at {threads} threads"
+        );
+    }
+}
+
+fn golden_power_scenario() -> Database {
+    let mut db = Database::new();
+    for c in ["OffshoreCo", "HoldCo", "SubA", "SubB", "GridCo"] {
+        db.add("company", &[c.into()]);
+    }
+    db.add("foreign", &["OffshoreCo".into()]);
+    db.add("strategic", &["GridCo".into()]);
+    db.add("own", &["OffshoreCo".into(), "HoldCo".into(), 0.7.into()]);
+    db.add("own", &["HoldCo".into(), "SubA".into(), 0.9.into()]);
+    db.add("own", &["HoldCo".into(), "SubB".into(), 0.6.into()]);
+    db.add("own", &["SubA".into(), "GridCo".into(), 0.06.into()]);
+    db.add("own", &["SubB".into(), "GridCo".into(), 0.06.into()]);
+    db
+}
+
+#[test]
+fn company_control_is_thread_invariant() {
+    assert_thread_invariant(
+        "control/scenario",
+        &control::program(),
+        &scenario::database(),
+    );
+    assert_thread_invariant(
+        "control/random",
+        &control::program(),
+        &finkg::random_ownership(80, 3, 7),
+    );
+}
+
+#[test]
+fn stress_test_is_thread_invariant() {
+    assert_thread_invariant("stress/scenario", &stress::program(), &scenario::database());
+    assert_thread_invariant(
+        "stress/random",
+        &stress::program(),
+        &finkg::random_debt_network(80, 3, 5, 11),
+    );
+}
+
+#[test]
+fn simple_stress_is_thread_invariant() {
+    assert_thread_invariant(
+        "simple_stress/figure8",
+        &simple_stress::program(),
+        &simple_stress::figure_8_database(),
+    );
+}
+
+#[test]
+fn golden_power_is_thread_invariant() {
+    assert_thread_invariant(
+        "golden_power/scenario",
+        &golden_power::program(),
+        &golden_power_scenario(),
+    );
+}
+
+#[test]
+fn close_links_is_thread_invariant() {
+    assert_thread_invariant(
+        "close_links/random",
+        &close_links::program(),
+        &finkg::random_ownership(60, 4, 9),
+    );
+}
+
+#[test]
+fn seeded_control_bundle_is_thread_invariant() {
+    let bundle = finkg::generator::control_bundle(4, 6, 42);
+    assert_thread_invariant("bundle/control", &control::program(), &bundle.database);
+}
+
+#[test]
+fn seeded_stress_bundle_is_thread_invariant() {
+    let bundle = finkg::generator::stress_bundle(4, 6, 43);
+    assert_thread_invariant("bundle/stress", &stress::program(), &bundle.database);
+}

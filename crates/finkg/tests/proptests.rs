@@ -6,7 +6,7 @@ use finkg::{inject_error, VizGraph, ALL_ARCHETYPES};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vadalog::{chase, DerivationPolicy};
+use vadalog::{ChaseSession, DerivationPolicy};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -20,7 +20,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let bundle = finkg::control_bundle(steps, count, seed);
-        let out = chase(&control::program(), bundle.database).unwrap();
+        let out = ChaseSession::new(&control::program()).run(bundle.database).unwrap();
         prop_assert_eq!(bundle.targets.len(), count);
         for target in &bundle.targets {
             let id = out.lookup(target).expect("target derived");
@@ -40,7 +40,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let bundle = finkg::stress_bundle(steps, 2, seed);
-        let out = chase(&stress::program(), bundle.database).unwrap();
+        let out = ChaseSession::new(&stress::program()).run(bundle.database).unwrap();
         for target in &bundle.targets {
             let id = out.lookup(target).expect("target derived");
             let tau = out
@@ -55,11 +55,9 @@ proptest! {
     /// graph (a distractor is never accidentally identical).
     #[test]
     fn injections_always_differ(seed in 0u64..500) {
-        let out = chase(
-            &finkg::apps::simple_stress::program(),
-            finkg::apps::simple_stress::figure_8_database(),
-        )
-        .unwrap();
+        let out = ChaseSession::new(&finkg::apps::simple_stress::program())
+            .run(finkg::apps::simple_stress::figure_8_database())
+            .unwrap();
         let id = out
             .lookup(&vadalog::Fact::new("default", vec!["C".into()]))
             .unwrap();
@@ -80,9 +78,9 @@ proptest! {
         seed in 0u64..500,
     ) {
         let own = finkg::random_ownership(n, out_deg, seed);
-        prop_assert!(chase(&control::program(), own).is_ok());
+        prop_assert!(ChaseSession::new(&control::program()).run(own).is_ok());
         let debt = finkg::random_debt_network(n, out_deg, 2, seed);
-        prop_assert!(chase(&stress::program(), debt).is_ok());
+        prop_assert!(ChaseSession::new(&stress::program()).run(debt).is_ok());
     }
 
     /// Ownership shares generated for direct-majority chains are always

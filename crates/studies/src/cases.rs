@@ -3,7 +3,7 @@
 
 use explain::{DomainGlossary, ExplanationPipeline, TemplateFlavor};
 use finkg::apps::{close_links, control, simple_stress, stress};
-use vadalog::{chase, ChaseOutcome, Database, Fact, FactId};
+use vadalog::{ChaseOutcome, ChaseSession, Database, Fact, FactId};
 
 /// One prepared scenario: pipeline, chase outcome and the fact to explain.
 pub struct Case {
@@ -30,7 +30,9 @@ impl Case {
     ) -> Case {
         let pipeline = ExplanationPipeline::new(program.clone(), goal, &glossary)
             .expect("study scenarios analyze cleanly");
-        let outcome = chase(&program, db).expect("study scenarios chase cleanly");
+        let outcome = ChaseSession::new(&program)
+            .run(db)
+            .expect("study scenarios chase cleanly");
         let target = outcome
             .lookup(&target)
             .unwrap_or_else(|| panic!("{name}: target not derived"));
@@ -152,10 +154,22 @@ pub fn expert_short_control() -> Case {
     for c in ["Irish Bank", "Fondo Italiano", "FrenchPLC", "Madrid Credit"] {
         db.add("company", &[c.into()]);
     }
-    db.add("own", &["Irish Bank".into(), "Fondo Italiano".into(), 0.83.into()]);
-    db.add("own", &["Irish Bank".into(), "FrenchPLC".into(), 0.54.into()]);
-    db.add("own", &["FrenchPLC".into(), "Madrid Credit".into(), 0.21.into()]);
-    db.add("own", &["Fondo Italiano".into(), "Madrid Credit".into(), 0.36.into()]);
+    db.add(
+        "own",
+        &["Irish Bank".into(), "Fondo Italiano".into(), 0.83.into()],
+    );
+    db.add(
+        "own",
+        &["Irish Bank".into(), "FrenchPLC".into(), 0.54.into()],
+    );
+    db.add(
+        "own",
+        &["FrenchPLC".into(), "Madrid Credit".into(), 0.21.into()],
+    );
+    db.add(
+        "own",
+        &["Fondo Italiano".into(), "Madrid Credit".into(), 0.36.into()],
+    );
     Case::build(
         "short control chain (Fig. 15)",
         control::program(),

@@ -38,15 +38,13 @@ pub fn sentences(text: &str) -> Vec<String> {
 mod tests {
     use super::*;
     use finkg::apps::simple_stress;
-    use vadalog::{chase, Fact};
+    use vadalog::{ChaseSession, Fact};
 
     #[test]
     fn constants_cover_the_figure_8_proof() {
-        let out = chase(
-            &simple_stress::program(),
-            simple_stress::figure_8_database(),
-        )
-        .unwrap();
+        let out = ChaseSession::new(&simple_stress::program())
+            .run(simple_stress::figure_8_database())
+            .unwrap();
         let id = out.lookup(&Fact::new("default", vec!["C".into()])).unwrap();
         let cs = proof_constants(&out, id, &simple_stress::glossary());
         for needle in [
@@ -64,11 +62,9 @@ mod tests {
 
     #[test]
     fn constants_are_deduplicated() {
-        let out = chase(
-            &simple_stress::program(),
-            simple_stress::figure_8_database(),
-        )
-        .unwrap();
+        let out = ChaseSession::new(&simple_stress::program())
+            .run(simple_stress::figure_8_database())
+            .unwrap();
         let id = out.lookup(&Fact::new("default", vec!["C".into()])).unwrap();
         let cs = proof_constants(&out, id, &simple_stress::glossary());
         let mut sorted = cs.clone();

@@ -111,22 +111,50 @@ impl Database {
     /// served from a (lazily created) positional index.
     ///
     /// Requires `&mut self` because the index may need to be built; use
-    /// [`Database::facts_of`] plus filtering for read-only access.
+    /// [`Database::probe`] after [`Database::ensure_index`] for read-only
+    /// access (as the parallel chase phase does).
     pub fn facts_with(&mut self, predicate: Symbol, position: usize, value: &Value) -> &[FactId] {
-        match self.positional.entry((predicate, position)) {
-            Entry::Occupied(e) => e.into_mut().get(value).map_or(&[], Vec::as_slice),
-            Entry::Vacant(e) => {
-                let mut index: HashMap<Value, Vec<FactId>> = HashMap::new();
-                if let Some(ids) = self.by_predicate.get(&predicate) {
-                    for &id in ids {
-                        if let Some(v) = self.facts[id.0 as usize].values.get(position) {
-                            index.entry(*v).or_default().push(id);
-                        }
+        self.ensure_index(predicate, position);
+        self.positional[&(predicate, position)]
+            .get(value)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Eagerly builds the positional index on `(predicate, position)` if it
+    /// does not exist yet. Indexes are maintained incrementally by
+    /// [`Database::insert`] afterwards.
+    ///
+    /// The chase engine calls this for every statically-probed
+    /// (predicate, position) pair *before* its parallel matching phase, so
+    /// that a cold index is never built while the store is shared
+    /// read-only across worker threads.
+    pub fn ensure_index(&mut self, predicate: Symbol, position: usize) {
+        if let Entry::Vacant(e) = self.positional.entry((predicate, position)) {
+            let mut index: HashMap<Value, Vec<FactId>> = HashMap::new();
+            if let Some(ids) = self.by_predicate.get(&predicate) {
+                for &id in ids {
+                    if let Some(v) = self.facts[id.0 as usize].values.get(position) {
+                        index.entry(*v).or_default().push(id);
                     }
                 }
-                e.insert(index).get(value).map_or(&[], Vec::as_slice)
             }
+            e.insert(index);
         }
+    }
+
+    /// True iff the positional index on `(predicate, position)` exists.
+    pub fn has_index(&self, predicate: Symbol, position: usize) -> bool {
+        self.positional.contains_key(&(predicate, position))
+    }
+
+    /// Read-only probe of the positional index on `(predicate, position)`:
+    /// returns the matching ids (in insertion order) if the index exists,
+    /// `None` if it was never built. Never builds an index — safe to call
+    /// concurrently from matching workers.
+    pub fn probe(&self, predicate: Symbol, position: usize, value: &Value) -> Option<&[FactId]> {
+        self.positional
+            .get(&(predicate, position))
+            .map(|index| index.get(value).map_or(&[] as &[FactId], Vec::as_slice))
     }
 
     /// Marks a fact as superseded: it stays in the store (ids and
@@ -215,6 +243,26 @@ mod tests {
         assert_eq!(hits.len(), 3);
         let misses = db.facts_with(pred, 1, &Value::str("Z"));
         assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn eager_index_probe_is_read_only() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        db.add("own", &["C".into(), "B".into(), 0.3.into()]);
+        let pred = Symbol::new("own");
+        // Before ensure_index, probe reports the index as missing.
+        assert!(db.probe(pred, 1, &Value::str("B")).is_none());
+        assert!(!db.has_index(pred, 1));
+        db.ensure_index(pred, 1);
+        assert!(db.has_index(pred, 1));
+        let hits = db.probe(pred, 1, &Value::str("B")).unwrap();
+        assert_eq!(hits.len(), 2);
+        // Insertion keeps the eager index fresh, like the lazy one.
+        db.add("own", &["D".into(), "B".into(), 0.2.into()]);
+        assert_eq!(db.probe(pred, 1, &Value::str("B")).unwrap().len(), 3);
+        // A probe for an unseen value hits the index and returns empty.
+        assert_eq!(db.probe(pred, 1, &Value::str("Z")), Some(&[] as &[FactId]));
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub fn chase_graph_dot(graph: &ChaseGraph, db: &Database, program: &Program) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::chase;
+    use crate::engine::ChaseSession;
     use crate::parser::parse_program;
 
     fn setup() -> (Program, crate::engine::ChaseOutcome) {
@@ -93,7 +93,7 @@ mod tests {
         )
         .unwrap();
         let db: Database = parsed.facts.clone().into_iter().collect();
-        let out = chase(&parsed.program, db).unwrap();
+        let out = ChaseSession::new(&parsed.program).run(db).unwrap();
         (parsed.program, out)
     }
 

@@ -1,11 +1,25 @@
 //! Body matching: enumerating homomorphisms from rule bodies into the
 //! database.
+//!
+//! The core join is *read-only*: it probes positional indexes via
+//! [`Database::probe`] (falling back to predicate scans when an index was
+//! never built) and therefore runs safely from many threads over a shared
+//! `&Database` snapshot. The `&mut` entry points kept for compatibility
+//! eagerly build the statically-required indexes and delegate to the
+//! read-only core.
+//!
+//! Work is decomposed into [`MatchChunk`]s — disjoint slices of the
+//! outermost join loop — whose results, concatenated in chunk order,
+//! reproduce the sequential enumeration exactly. This is what makes the
+//! parallel chase phase deterministic: enumeration order is a property of
+//! the chunk list, never of thread scheduling.
 
 use crate::atom::Atom;
 use crate::database::{Database, FactId};
 use crate::error::EvalError;
 use crate::expr::Bindings;
 use crate::rule::Rule;
+use crate::symbol::Symbol;
 use crate::term::Term;
 use crate::value::Value;
 
@@ -20,6 +34,84 @@ pub struct BodyMatch {
     pub premises: Vec<FactId>,
 }
 
+/// One unit of matching work against an immutable database snapshot.
+///
+/// `part`/`parts` slice the outermost candidate loop of the join: chunk
+/// `(i, n)` enumerates the `i`-th of `n` contiguous slices of the first
+/// atom's candidate list. Concatenating the results of chunks
+/// `(0, n) .. (n-1, n)` yields exactly the unchunked enumeration, for any
+/// `n` — the parallel chase phase relies on this invariance.
+#[derive(Clone, Copy, Debug)]
+pub struct MatchChunk {
+    /// Delta restriction: `Some((pivot, watermark))` restricts the
+    /// `pivot`-th positive body atom to facts with id >= `watermark`
+    /// (one pivot per semi-naive expansion step); `None` matches fully.
+    pub pivot: Option<(usize, u32)>,
+    /// Zero-based index of this slice of the outermost candidate loop.
+    pub part: usize,
+    /// Total number of slices the outermost loop is split into.
+    pub parts: usize,
+    /// Probe positional indexes on bound arguments (fall back to scans
+    /// when disabled or when an index is missing).
+    pub use_index: bool,
+}
+
+impl MatchChunk {
+    /// The full, unchunked match of a rule body.
+    pub fn full(use_index: bool) -> MatchChunk {
+        MatchChunk {
+            pivot: None,
+            part: 0,
+            parts: 1,
+            use_index,
+        }
+    }
+
+    /// An unchunked delta expansion for one pivot.
+    pub fn delta(pivot: usize, watermark: u32) -> MatchChunk {
+        MatchChunk {
+            pivot: Some((pivot, watermark)),
+            part: 0,
+            parts: 1,
+            use_index: true,
+        }
+    }
+}
+
+/// The statically-determined positional index probes of a rule body.
+///
+/// At join depth `d` the bound variables are exactly the variables of the
+/// positive atoms `0..d` (every candidate binds all of its atom's
+/// variables), so the probed `(predicate, position)` pair of each atom is
+/// a static property of the rule: the first position holding a constant or
+/// an already-bound variable. The engine eagerly builds precisely these
+/// indexes before its parallel phase.
+pub fn required_indexes(rule: &Rule) -> Vec<(Symbol, usize)> {
+    let mut bound: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for atom in rule.positive_body() {
+        if let Some(pos) = static_probe_position(atom, &bound) {
+            let pair = (atom.predicate, pos);
+            if !out.contains(&pair) {
+                out.push(pair);
+            }
+        }
+        for v in atom.variables() {
+            bound.insert(v);
+        }
+    }
+    out
+}
+
+/// The position of `atom` the join will probe, given the variables bound
+/// by earlier atoms. Mirrors the probe selection inside [`join`].
+fn static_probe_position(atom: &Atom, bound: &std::collections::HashSet<Symbol>) -> Option<usize> {
+    atom.terms.iter().position(|t| match t {
+        Term::Const(_) => true,
+        Term::Var(v) => bound.contains(v),
+    })
+}
+
 /// Enumerates all matches of `rule`'s body in `db`.
 ///
 /// Evaluation per match, in order: positive atoms (backtracking join, using
@@ -28,8 +120,9 @@ pub struct BodyMatch {
 /// Conditions over the aggregate result are the caller's responsibility
 /// (they can only be checked after grouping).
 ///
-/// Takes `&mut Database` because positional indexes are built lazily; no
-/// facts are added or removed.
+/// Takes `&mut Database` to build the rule's positional indexes up front;
+/// no facts are added or removed. Read-only callers with pre-built indexes
+/// (see [`required_indexes`]) can use [`match_chunk`] directly.
 pub fn match_body(db: &mut Database, rule: &Rule) -> Result<Vec<BodyMatch>, EvalError> {
     match_body_with(db, rule, true)
 }
@@ -42,24 +135,12 @@ pub fn match_body_with(
     rule: &Rule,
     use_index: bool,
 ) -> Result<Vec<BodyMatch>, EvalError> {
-    let atoms: Vec<AtomPlan> = rule
-        .positive_body()
-        .map(|atom| AtomPlan { atom, min_fact: 0 })
-        .collect();
-    let mut out = Vec::new();
-    let mut bindings = Bindings::new();
-    let mut premises = Vec::with_capacity(atoms.len());
-    join(
-        db,
-        rule,
-        &atoms,
-        0,
-        use_index,
-        &mut bindings,
-        &mut premises,
-        &mut out,
-    )?;
-    Ok(out)
+    if use_index {
+        for (pred, pos) in required_indexes(rule) {
+            db.ensure_index(pred, pos);
+        }
+    }
+    match_chunk(db, rule, &MatchChunk::full(use_index))
 }
 
 /// Semi-naive incremental matching: enumerates only the matches that
@@ -75,38 +156,58 @@ pub fn match_body_incremental(
     rule: &Rule,
     watermark: u32,
 ) -> Result<Vec<BodyMatch>, EvalError> {
-    let body: Vec<&Atom> = rule.positive_body().collect();
+    for (pred, pos) in required_indexes(rule) {
+        db.ensure_index(pred, pos);
+    }
+    let n_atoms = rule.positive_body().count();
     let mut out = Vec::new();
     let mut seen_premises: std::collections::HashSet<Vec<FactId>> =
         std::collections::HashSet::new();
-    for pivot in 0..body.len() {
-        let atoms: Vec<AtomPlan> = body
-            .iter()
-            .enumerate()
-            .map(|(i, &atom)| AtomPlan {
-                atom,
-                min_fact: if i == pivot { watermark } else { 0 },
-            })
-            .collect();
-        let mut bindings = Bindings::new();
-        let mut premises = Vec::with_capacity(atoms.len());
-        let mut matches = Vec::new();
-        join(
-            db,
-            rule,
-            &atoms,
-            0,
-            true,
-            &mut bindings,
-            &mut premises,
-            &mut matches,
-        )?;
-        for m in matches {
+    for pivot in 0..n_atoms {
+        for m in match_chunk(db, rule, &MatchChunk::delta(pivot, watermark))? {
             if seen_premises.insert(m.premises.clone()) {
                 out.push(m);
             }
         }
     }
+    Ok(out)
+}
+
+/// Runs one [`MatchChunk`] against an immutable database snapshot.
+///
+/// Requires only `&Database`: index probes that miss (index never built)
+/// fall back to a predicate scan, so results never depend on which indexes
+/// exist — only speed does.
+pub fn match_chunk(
+    db: &Database,
+    rule: &Rule,
+    chunk: &MatchChunk,
+) -> Result<Vec<BodyMatch>, EvalError> {
+    let atoms: Vec<AtomPlan> = rule
+        .positive_body()
+        .enumerate()
+        .map(|(i, atom)| AtomPlan {
+            atom,
+            min_fact: match chunk.pivot {
+                Some((pivot, watermark)) if pivot == i => watermark,
+                _ => 0,
+            },
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut bindings = Bindings::new();
+    let mut premises = Vec::with_capacity(atoms.len());
+    join(
+        db,
+        rule,
+        &atoms,
+        0,
+        chunk.use_index,
+        Some((chunk.part, chunk.parts)),
+        &mut bindings,
+        &mut premises,
+        &mut out,
+    )?;
     Ok(out)
 }
 
@@ -117,26 +218,16 @@ struct AtomPlan<'a> {
     min_fact: u32,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn join(
-    db: &mut Database,
-    rule: &Rule,
-    atoms: &[AtomPlan<'_>],
-    depth: usize,
+/// The candidate facts for `atom` under the current bindings, in insertion
+/// (= ascending id) order. Probes the positional index on the first bound
+/// position when available, scans otherwise.
+fn candidates_for(
+    db: &Database,
+    plan: &AtomPlan<'_>,
     use_index: bool,
-    bindings: &mut Bindings,
-    premises: &mut Vec<FactId>,
-    out: &mut Vec<BodyMatch>,
-) -> Result<(), EvalError> {
-    if depth == atoms.len() {
-        if let Some(m) = finish_match(db, rule, bindings, premises)? {
-            out.push(m);
-        }
-        return Ok(());
-    }
-    let plan = &atoms[depth];
+    bindings: &Bindings,
+) -> Vec<FactId> {
     let atom = plan.atom;
-
     // Pick the first argument position already bound (by a constant or an
     // earlier atom) to drive an indexed lookup; fall back to a scan.
     let mut probe: Option<(usize, Value)> = None;
@@ -157,13 +248,67 @@ fn join(
         }
     }
     let mut candidates: Vec<FactId> = match probe {
-        Some((pos, val)) => db.facts_with(atom.predicate, pos, &val).to_vec(),
+        Some((pos, val)) => match db.probe(atom.predicate, pos, &val) {
+            Some(hits) => hits.to_vec(),
+            // Index never built: scan the predicate and filter in place —
+            // same ids, same order, just slower.
+            None => db
+                .facts_of(atom.predicate)
+                .iter()
+                .copied()
+                .filter(|&id| db.fact(id).values.get(pos) == Some(&val))
+                .collect(),
+        },
         None => db.facts_of(atom.predicate).to_vec(),
     };
     if plan.min_fact > 0 {
         candidates.retain(|id| id.0 >= plan.min_fact);
     }
     candidates.retain(|&id| db.is_active(id));
+    candidates
+}
+
+/// The contiguous slice of `len` outermost candidates owned by chunk
+/// `part` of `parts`.
+fn chunk_bounds(len: usize, part: usize, parts: usize) -> (usize, usize) {
+    let parts = parts.max(1);
+    let base = len / parts;
+    let extra = len % parts;
+    // The first `extra` chunks get one additional candidate each.
+    let start = part * base + part.min(extra);
+    let size = base + usize::from(part < extra);
+    (start.min(len), (start + size).min(len))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    db: &Database,
+    rule: &Rule,
+    atoms: &[AtomPlan<'_>],
+    depth: usize,
+    use_index: bool,
+    depth0_slice: Option<(usize, usize)>,
+    bindings: &mut Bindings,
+    premises: &mut Vec<FactId>,
+    out: &mut Vec<BodyMatch>,
+) -> Result<(), EvalError> {
+    if depth == atoms.len() {
+        if let Some(m) = finish_match(db, rule, bindings, premises)? {
+            out.push(m);
+        }
+        return Ok(());
+    }
+    let plan = &atoms[depth];
+    let atom = plan.atom;
+
+    let mut candidates = candidates_for(db, plan, use_index, bindings);
+    if depth == 0 {
+        if let Some((part, parts)) = depth0_slice {
+            let (lo, hi) = chunk_bounds(candidates.len(), part, parts);
+            candidates.truncate(hi);
+            candidates.drain(..lo);
+        }
+    }
 
     for id in candidates {
         let mut added: Vec<crate::symbol::Symbol> = Vec::new();
@@ -206,6 +351,7 @@ fn join(
                 atoms,
                 depth + 1,
                 use_index,
+                None,
                 bindings,
                 premises,
                 out,
@@ -444,6 +590,87 @@ mod tests {
         for (a, b) in indexed.iter().zip(&scanned) {
             assert_eq!(a.premises, b.premises);
         }
+    }
+
+    #[test]
+    fn missing_index_falls_back_to_scan() {
+        // Read-only chunk matching on a cold database (no indexes built)
+        // must agree with the index-building path.
+        let db = own_db();
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::constant("A"), Term::var("y"), Term::var("s")],
+            ))
+            .head(Atom::new("p", vec![Term::var("y")]));
+        assert!(!db.has_index(Symbol::new("own"), 0));
+        let cold = match_chunk(&db, &rule, &MatchChunk::full(true)).unwrap();
+        let mut warm_db = own_db();
+        let warm = match_body(&mut warm_db, &rule).unwrap();
+        assert_eq!(cold.len(), warm.len());
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.premises, b.premises);
+        }
+    }
+
+    #[test]
+    fn chunked_enumeration_equals_sequential_for_any_part_count() {
+        let mut db = own_db();
+        db.add("own", &["C".into(), "D".into(), 0.7.into()]);
+        db.add("own", &["B".into(), "D".into(), 0.2.into()]);
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("z"), Term::var("s1")],
+            ))
+            .body(Atom::new(
+                "own",
+                vec![Term::var("z"), Term::var("y"), Term::var("s2")],
+            ))
+            .head(Atom::new("p", vec![Term::var("x"), Term::var("y")]));
+        let full = match_body(&mut db, &rule).unwrap();
+        for parts in 1..=7 {
+            let mut concat = Vec::new();
+            for part in 0..parts {
+                let chunk = MatchChunk {
+                    pivot: None,
+                    part,
+                    parts,
+                    use_index: true,
+                };
+                concat.extend(match_chunk(&db, &rule, &chunk).unwrap());
+            }
+            assert_eq!(concat.len(), full.len(), "parts {parts}");
+            for (a, b) in concat.iter().zip(&full) {
+                assert_eq!(a.premises, b.premises, "parts {parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn required_indexes_follow_static_binding_order() {
+        // own(x, z, s1) binds x,z,s1; the second atom's first position is
+        // then bound, so only ("own", 0) is required (the first atom has
+        // no bound position at depth 0).
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("z"), Term::var("s1")],
+            ))
+            .body(Atom::new(
+                "own",
+                vec![Term::var("z"), Term::var("y"), Term::var("s2")],
+            ))
+            .head(Atom::new("p", vec![Term::var("x"), Term::var("y")]));
+        assert_eq!(required_indexes(&rule), vec![(Symbol::new("own"), 0)]);
+        // A leading constant is probed at depth 0.
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::constant("A"), Term::var("y"), Term::var("s")],
+            ))
+            .head(Atom::new("p", vec![Term::var("y")]));
+        assert_eq!(required_indexes(&rule), vec![(Symbol::new("own"), 0)]);
     }
 
     #[test]

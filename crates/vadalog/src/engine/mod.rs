@@ -6,10 +6,41 @@
 //! contributors, so aggregate facts grow towards their fixpoint value and
 //! the full contributor set is recorded as provenance (cf. Fig. 8, where
 //! `Risk(C,11)` is premised on both `Debts(B,C,2)` and `Debts(B,C,9)`).
+//!
+//! # Parallel matching, sequential commit
+//!
+//! Each round is split into two phases:
+//!
+//! 1. **Parallel match phase** — every applicable rule's body matches are
+//!    enumerated against the round-start snapshot of the (append-only)
+//!    database, read-only, across a pool of worker threads. Work is
+//!    decomposed into [`MatchChunk`]s (rules × semi-naive pivots ×
+//!    slices of the outermost join loop), whose results are merged in a
+//!    canonical order independent of thread scheduling.
+//! 2. **Sequential commit phase** — rules are committed in rule-id order.
+//!    Before a rule fires, a cheap incremental *top-up* match picks up
+//!    matches that touch facts committed earlier in the same round (by
+//!    lower-id rules), restoring exactly the intra-round visibility of a
+//!    sequential evaluation. The union is filtered against superseded
+//!    facts, sorted by premise-id vector (lexicographic) and fired in
+//!    that order. Aggregation re-grouping, the restricted-chase
+//!    existential satisfaction check, labelled-null invention and
+//!    provenance recording all live in this phase: they read and write
+//!    global state.
+//!
+//! **Determinism contract:** the committed fact set, the dense [`FactId`]
+//! assignment and the chase-graph derivations are *bitwise identical at
+//! any thread count* (including 1): commit order is `(rule id, premise-id
+//! lexicographic)`, a pure function of the database state, never of
+//! scheduling. `threads == 1` executes the same phases inline without
+//! spawning.
 
 mod matcher;
 
-pub use matcher::{match_body, match_body_incremental, match_body_with, BodyMatch};
+pub use matcher::{
+    match_body, match_body_incremental, match_body_with, match_chunk, required_indexes, BodyMatch,
+    MatchChunk,
+};
 
 use crate::atom::Fact;
 use crate::database::{Database, FactId};
@@ -22,8 +53,15 @@ use crate::symbol::Symbol;
 use crate::term::Term;
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Configuration of a chase run.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`ChaseConfig::default`]
+/// and the `with_*` setters, so future knobs (sharding, memory caps) are
+/// non-breaking.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub struct ChaseConfig {
     /// Maximum number of full evaluation rounds before giving up.
@@ -33,15 +71,21 @@ pub struct ChaseConfig {
     /// If true, a violated negative constraint aborts the run with an
     /// error; otherwise violations are collected in the outcome.
     pub fail_on_violation: bool,
-    /// Use lazily-built positional indexes during matching (default).
-    /// Disabling falls back to per-predicate scans — the engine-ablation
-    /// baseline.
+    /// Use positional indexes during matching (default). The engine
+    /// builds every statically-probed index eagerly before the first
+    /// round. Disabling falls back to per-predicate scans — the
+    /// engine-ablation baseline — and to a purely sequential evaluation.
     pub use_positional_index: bool,
     /// Evaluate non-aggregate rules semi-naively: after the first round,
     /// only matches involving at least one new fact are enumerated
     /// (default). Aggregate rules always re-match fully, since their
     /// groups fold over all contributors.
     pub semi_naive: bool,
+    /// Worker threads for the parallel match phase. `0` (default) uses
+    /// the available parallelism of the host; `1` evaluates inline
+    /// without spawning. The chase output is bitwise identical at any
+    /// thread count.
+    pub threads: usize,
 }
 
 impl Default for ChaseConfig {
@@ -52,6 +96,56 @@ impl Default for ChaseConfig {
             fail_on_violation: false,
             use_positional_index: true,
             semi_naive: true,
+            threads: 0,
+        }
+    }
+}
+
+impl ChaseConfig {
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> ChaseConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the round limit.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> ChaseConfig {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the fact limit.
+    pub fn with_max_facts(mut self, max_facts: usize) -> ChaseConfig {
+        self.max_facts = max_facts;
+        self
+    }
+
+    /// Sets whether a violated constraint aborts the run.
+    pub fn with_fail_on_violation(mut self, fail: bool) -> ChaseConfig {
+        self.fail_on_violation = fail;
+        self
+    }
+
+    /// Enables or disables positional-index matching.
+    pub fn with_positional_index(mut self, use_index: bool) -> ChaseConfig {
+        self.use_positional_index = use_index;
+        self
+    }
+
+    /// Enables or disables semi-naive (delta) evaluation.
+    pub fn with_semi_naive(mut self, semi_naive: bool) -> ChaseConfig {
+        self.semi_naive = semi_naive;
+        self
+    }
+
+    /// The resolved worker count: `threads`, or the host's available
+    /// parallelism when `threads == 0`.
+    fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -90,96 +184,188 @@ impl ChaseOutcome {
     }
 }
 
+/// A configured chase over one program: the engine's entry point.
+///
+/// ```
+/// use vadalog::prelude::*;
+///
+/// let parsed = parse_program(r#"
+///     o1: own(x, y, s), s > 0.5 -> control(x, y).
+///     own("A", "B", 0.6).
+/// "#).unwrap();
+/// let db: Database = parsed.facts.into_iter().collect();
+/// let out = ChaseSession::new(&parsed.program).run(db).unwrap();
+/// assert!(out.database.contains(&Fact::new("control", vec!["A".into(), "B".into()])));
+/// ```
+///
+/// The session borrows the program; configure it fluently and reuse it
+/// for several runs or [resumes](ChaseSession::resume).
+#[derive(Clone, Debug)]
+pub struct ChaseSession<'p> {
+    program: &'p Program,
+    config: ChaseConfig,
+}
+
+impl<'p> ChaseSession<'p> {
+    /// A session over `program` with the default configuration.
+    pub fn new(program: &'p Program) -> ChaseSession<'p> {
+        ChaseSession {
+            program,
+            config: ChaseConfig::default(),
+        }
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: ChaseConfig) -> ChaseSession<'p> {
+        self.config = config;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn threads(mut self, threads: usize) -> ChaseSession<'p> {
+        self.config.threads = threads;
+        self
+    }
+
+    /// The session's current configuration.
+    pub fn current_config(&self) -> &ChaseConfig {
+        &self.config
+    }
+
+    /// Runs the chase over `database` to fixpoint.
+    pub fn run(&self, database: Database) -> Result<ChaseOutcome, ChaseError> {
+        Chase::new(self.program, database, self.config.clone()).run()
+    }
+
+    /// Incrementally extends a previous chase outcome with new extensional
+    /// facts and re-chases to fixpoint, reusing the closed database and
+    /// the chase graph (no recomputation of already-derived knowledge; new
+    /// derivations are appended to the provenance).
+    ///
+    /// Restricted to *monotone* programs (a single stratum): with
+    /// negation, added facts could invalidate earlier conclusions, which
+    /// an incremental extension cannot retract — such programs return
+    /// [`ChaseError::NonMonotoneExtension`].
+    pub fn resume(
+        &self,
+        outcome: ChaseOutcome,
+        new_facts: impl IntoIterator<Item = Fact>,
+    ) -> Result<ChaseOutcome, ChaseError> {
+        let program = self.program;
+        if program.stratification().strata > 1 {
+            return Err(ChaseError::NonMonotoneExtension);
+        }
+        let ChaseOutcome {
+            mut database,
+            mut graph,
+            violations,
+            ..
+        } = outcome;
+
+        // Watermark BEFORE the new facts: semi-naive evaluation then only
+        // explores matches touching the extension.
+        let watermark = database.len();
+        for f in new_facts {
+            let (id, fresh) = database.insert(f);
+            if fresh {
+                graph.mark_extensional(id);
+            }
+        }
+
+        // Rebuild the engine state from the provenance.
+        let mut seen_derivations = HashSet::new();
+        let mut null_counter = 0u64;
+        let mut agg_current: HashMap<(RuleId, Vec<Value>), FactId> = HashMap::new();
+        for der in graph.derivations() {
+            seen_derivations.insert((der.rule, der.conclusion, der.premises.clone()));
+            let rule = program.rule(der.rule);
+            if rule.aggregate.is_some() {
+                let group: Vec<Value> = rule
+                    .aggregate_group_vars()
+                    .iter()
+                    .filter_map(|v| der.bindings.get(v).copied())
+                    .collect();
+                agg_current.insert((der.rule, group), der.conclusion);
+            }
+        }
+        for (_, fact) in database.iter() {
+            for v in &fact.values {
+                if let Value::Null(n) = v {
+                    null_counter = null_counter.max(*n);
+                }
+            }
+        }
+
+        let initial_facts = database.len();
+        let engine = Chase {
+            program,
+            db: database,
+            graph,
+            config: self.config.clone(),
+            null_counter,
+            seen_derivations,
+            last_seen_len: vec![watermark; program.len()],
+            agg_current,
+            violations,
+            initial_facts,
+        };
+        // `initial_facts` counts the pre-extension closure plus the new
+        // input facts, so `derived_facts` of the result counts only the
+        // *newly* derived knowledge.
+        engine.run_in_place()
+    }
+}
+
 /// Runs the chase of `program` over `database` to fixpoint.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ChaseSession::new(program).config(config.clone()).run(database)` instead"
+)]
 pub fn run_chase(
     program: &Program,
     database: Database,
     config: &ChaseConfig,
 ) -> Result<ChaseOutcome, ChaseError> {
-    Chase::new(program, database, config.clone()).run()
+    ChaseSession::new(program)
+        .config(config.clone())
+        .run(database)
 }
 
 /// Runs the chase with the default configuration.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ChaseSession::new(program).run(database)` instead"
+)]
 pub fn chase(program: &Program, database: Database) -> Result<ChaseOutcome, ChaseError> {
-    run_chase(program, database, &ChaseConfig::default())
+    ChaseSession::new(program).run(database)
 }
 
 /// Incrementally extends a previous chase outcome with new extensional
-/// facts and re-chases to fixpoint, reusing the closed database and the
-/// chase graph (no recomputation of already-derived knowledge; new
-/// derivations are appended to the provenance).
-///
-/// Restricted to *monotone* programs (a single stratum): with negation,
-/// added facts could invalidate earlier conclusions, which an incremental
-/// extension cannot retract — such programs return
-/// [`ChaseError::NonMonotoneExtension`].
+/// facts; see [`ChaseSession::resume`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ChaseSession::new(program).config(config.clone()).resume(outcome, new_facts)` instead"
+)]
 pub fn extend_chase(
     program: &Program,
     outcome: ChaseOutcome,
     new_facts: impl IntoIterator<Item = Fact>,
     config: &ChaseConfig,
 ) -> Result<ChaseOutcome, ChaseError> {
-    if program.stratification().strata > 1 {
-        return Err(ChaseError::NonMonotoneExtension);
-    }
-    let ChaseOutcome {
-        mut database,
-        mut graph,
-        violations,
-        ..
-    } = outcome;
+    ChaseSession::new(program)
+        .config(config.clone())
+        .resume(outcome, new_facts)
+}
 
-    // Watermark BEFORE the new facts: semi-naive evaluation then only
-    // explores matches touching the extension.
-    let watermark = database.len();
-    for f in new_facts {
-        let (id, fresh) = database.insert(f);
-        if fresh {
-            graph.mark_extensional(id);
-        }
-    }
+/// Matching work below this many outermost candidates is not worth
+/// splitting further: one chunk per ~64 candidates, capped per thread.
+const CHUNK_TARGET: usize = 64;
 
-    // Rebuild the engine state from the provenance.
-    let mut seen_derivations = HashSet::new();
-    let mut null_counter = 0u64;
-    let mut agg_current: HashMap<(RuleId, Vec<Value>), FactId> = HashMap::new();
-    for der in graph.derivations() {
-        seen_derivations.insert((der.rule, der.conclusion, der.premises.clone()));
-        let rule = program.rule(der.rule);
-        if rule.aggregate.is_some() {
-            let group: Vec<Value> = rule
-                .aggregate_group_vars()
-                .iter()
-                .filter_map(|v| der.bindings.get(v).copied())
-                .collect();
-            agg_current.insert((der.rule, group), der.conclusion);
-        }
-    }
-    for (_, fact) in database.iter() {
-        for v in &fact.values {
-            if let Value::Null(n) = v {
-                null_counter = null_counter.max(*n);
-            }
-        }
-    }
-
-    let initial_facts = database.len();
-    let engine = Chase {
-        program,
-        db: database,
-        graph,
-        config: config.clone(),
-        null_counter,
-        seen_derivations,
-        last_seen_len: vec![watermark; program.len()],
-        agg_current,
-        violations,
-        initial_facts,
-    };
-    // `initial_facts` counts the pre-extension closure plus the new input
-    // facts, so `derived_facts` of the result counts only the *newly*
-    // derived knowledge.
-    engine.run_in_place()
+/// One unit of work of the parallel match phase.
+struct WorkItem<'r> {
+    rule_idx: usize,
+    rule: &'r Rule,
+    chunk: MatchChunk,
 }
 
 struct Chase<'p> {
@@ -230,6 +416,19 @@ impl<'p> Chase<'p> {
     }
 
     fn run_in_place(mut self) -> Result<ChaseOutcome, ChaseError> {
+        // Build every statically-probed positional index before the first
+        // parallel phase: a cold index must never be constructed while the
+        // store is shared read-only across matching workers.
+        if self.config.use_positional_index {
+            for rule in self.program.rules() {
+                for (pred, pos) in required_indexes(rule) {
+                    self.db.ensure_index(pred, pos);
+                }
+            }
+        }
+
+        let threads = self.config.effective_threads();
+
         // Strata are evaluated bottom-up: a negated atom is only checked
         // once its predicate's stratum has reached fixpoint, giving the
         // standard perfect-model semantics for stratified negation.
@@ -240,22 +439,17 @@ impl<'p> Chase<'p> {
                 if round as usize > self.config.max_rounds {
                     return Err(ChaseError::RoundLimitExceeded(self.config.max_rounds));
                 }
-                let mut changed = false;
-                for (idx, rule) in self.program.rules().iter().enumerate() {
-                    let rule_id = RuleId(idx);
-                    if self.program.rule_stratum(rule_id) != stratum {
-                        continue;
-                    }
-                    if self.last_seen_len[idx] == self.db.len() {
-                        continue; // nothing new since last evaluation
-                    }
-                    let watermark = self.last_seen_len[idx];
-                    self.last_seen_len[idx] = self.db.len();
-                    changed |= self.apply_rule(rule_id, rule, watermark, round)?;
-                    if self.db.len() > self.config.max_facts {
-                        return Err(ChaseError::FactLimitExceeded(self.config.max_facts));
-                    }
-                }
+                let snapshot_len = self.db.len();
+                // Phase 1: enumerate every applicable rule's matches
+                // against the round-start snapshot, in parallel.
+                let phase_matches = if self.config.use_positional_index {
+                    self.match_phase(stratum, snapshot_len, threads)
+                } else {
+                    HashMap::new()
+                };
+                // Phase 2: commit in rule-id order, topping up each rule
+                // with the matches enabled by this round's earlier rules.
+                let changed = self.commit_phase(stratum, snapshot_len, phase_matches, round)?;
                 if !changed {
                     break;
                 }
@@ -270,37 +464,243 @@ impl<'p> Chase<'p> {
         })
     }
 
-    /// Applies one rule exhaustively against the current database.
-    /// `watermark` is the database length at the rule's previous
-    /// evaluation (`usize::MAX` for the first). Returns true if any new
-    /// fact or derivation was recorded.
-    fn apply_rule(
-        &mut self,
-        rule_id: RuleId,
-        rule: &Rule,
-        watermark: usize,
-        round: u32,
-    ) -> Result<bool, ChaseError> {
-        // Semi-naive evaluation applies from the second evaluation on, to
-        // non-aggregate rules only (aggregates fold over all matches).
-        let incremental = self.config.semi_naive
+    /// True iff `rule` is matched semi-naively (delta expansion per pivot)
+    /// at its current watermark.
+    fn is_incremental(&self, rule: &Rule, watermark: usize) -> bool {
+        self.config.semi_naive
             && self.config.use_positional_index
             && watermark != usize::MAX
             && !rule.has_aggregate()
-            && !rule.is_constraint();
-        let matches = if incremental {
-            match_body_incremental(&mut self.db, rule, watermark as u32)
-        } else {
-            match_body_with(&mut self.db, rule, self.config.use_positional_index)
-        }
-        .map_err(|source| ChaseError::Eval {
-            rule: rule.label.clone(),
-            source,
-        })?;
-        if matches.is_empty() {
-            return Ok(false);
+            && !rule.is_constraint()
+    }
+
+    /// The parallel match phase: enumerates the body matches of every
+    /// applicable rule of `stratum` against the snapshot, returning the
+    /// merged per-rule results. Read-only on the database; executed
+    /// inline when a single worker suffices.
+    fn match_phase(
+        &self,
+        stratum: usize,
+        snapshot_len: usize,
+        threads: usize,
+    ) -> HashMap<usize, Result<Vec<BodyMatch>, EvalError>> {
+        let mut items: Vec<WorkItem<'_>> = Vec::new();
+        for (idx, rule) in self.program.rules().iter().enumerate() {
+            if self.program.rule_stratum(RuleId(idx)) != stratum {
+                continue;
+            }
+            let watermark = self.last_seen_len[idx];
+            if watermark == snapshot_len {
+                // Nothing new since the rule's last evaluation; matches
+                // enabled by *this* round's commits are found by the
+                // commit-phase top-up instead.
+                continue;
+            }
+            let parts = self.parts_for(rule, threads);
+            if self.is_incremental(rule, watermark) {
+                let n_atoms = rule.positive_body().count();
+                for pivot in 0..n_atoms {
+                    for part in 0..parts {
+                        items.push(WorkItem {
+                            rule_idx: idx,
+                            rule,
+                            chunk: MatchChunk {
+                                pivot: Some((pivot, watermark as u32)),
+                                part,
+                                parts,
+                                use_index: true,
+                            },
+                        });
+                    }
+                }
+            } else {
+                for part in 0..parts {
+                    items.push(WorkItem {
+                        rule_idx: idx,
+                        rule,
+                        chunk: MatchChunk {
+                            pivot: None,
+                            part,
+                            parts,
+                            use_index: true,
+                        },
+                    });
+                }
+            }
         }
 
+        let results = self.execute_items(&items, threads);
+
+        // Merge per rule, in item order: chunk concatenation restores the
+        // sequential enumeration; the commit phase canonicalizes further.
+        let mut merged: HashMap<usize, Result<Vec<BodyMatch>, EvalError>> = HashMap::new();
+        for (item, result) in items.iter().zip(results) {
+            let slot = merged
+                .entry(item.rule_idx)
+                .or_insert_with(|| Ok(Vec::new()));
+            match result {
+                Ok(ms) => {
+                    if let Ok(acc) = slot {
+                        acc.extend(ms);
+                    }
+                }
+                // Keep the first error, in item order.
+                Err(e) => {
+                    if slot.is_ok() {
+                        *slot = Err(e);
+                    }
+                }
+            }
+        }
+        merged
+    }
+
+    /// Runs the work items, spreading them over up to `threads` workers.
+    /// Results are slotted by item index, so scheduling cannot influence
+    /// anything downstream.
+    fn execute_items(
+        &self,
+        items: &[WorkItem<'_>],
+        threads: usize,
+    ) -> Vec<Result<Vec<BodyMatch>, EvalError>> {
+        let workers = threads.min(items.len());
+        if workers <= 1 {
+            return items
+                .iter()
+                .map(|item| match_chunk(&self.db, item.rule, &item.chunk))
+                .collect();
+        }
+        let db = &self.db;
+        let slots: Vec<OnceLock<Result<Vec<BodyMatch>, EvalError>>> =
+            items.iter().map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let result = match_chunk(db, item.rule, &item.chunk);
+                    let _ = slots[i].set(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker filled its slot"))
+            .collect()
+    }
+
+    /// Number of outermost-loop slices for one rule's matching work: one
+    /// per ~[`CHUNK_TARGET`] candidates, capped at a few chunks per
+    /// worker. Any value yields the same output; this only shapes load
+    /// balance.
+    fn parts_for(&self, rule: &Rule, threads: usize) -> usize {
+        if threads <= 1 {
+            return 1;
+        }
+        let first = rule
+            .positive_body()
+            .next()
+            .map(|atom| self.db.facts_of(atom.predicate).len())
+            .unwrap_or(0);
+        (first / CHUNK_TARGET).clamp(1, threads * 4)
+    }
+
+    /// The sequential commit phase of one round. Processes the stratum's
+    /// rules in rule-id order; for each, unions the snapshot-phase matches
+    /// with a top-up delta over facts committed earlier in this round,
+    /// canonicalizes, and fires. Returns true if any rule derived a fresh
+    /// fact.
+    fn commit_phase(
+        &mut self,
+        stratum: usize,
+        snapshot_len: usize,
+        mut phase_matches: HashMap<usize, Result<Vec<BodyMatch>, EvalError>>,
+        round: u32,
+    ) -> Result<bool, ChaseError> {
+        let mut changed = false;
+        for (idx, rule) in self.program.rules().iter().enumerate() {
+            let rule_id = RuleId(idx);
+            if self.program.rule_stratum(rule_id) != stratum {
+                continue;
+            }
+            let watermark = self.last_seen_len[idx];
+            let current_len = self.db.len();
+            if watermark == current_len {
+                continue; // nothing new since last evaluation
+            }
+            let mut matches = match phase_matches.remove(&idx) {
+                Some(result) => result.map_err(|source| ChaseError::Eval {
+                    rule: rule.label.clone(),
+                    source,
+                })?,
+                None => Vec::new(),
+            };
+            if self.config.use_positional_index {
+                // Top-up: matches touching facts committed by lower-id
+                // rules earlier in this round (ids >= the snapshot). This
+                // restores sequential intra-round visibility; it is empty
+                // whenever no earlier rule fired.
+                let topup_from = if watermark == usize::MAX {
+                    snapshot_len
+                } else {
+                    watermark.max(snapshot_len)
+                };
+                if current_len > topup_from {
+                    matches.extend(
+                        match_body_incremental(&mut self.db, rule, topup_from as u32).map_err(
+                            |source| ChaseError::Eval {
+                                rule: rule.label.clone(),
+                                source,
+                            },
+                        )?,
+                    );
+                }
+            } else {
+                // Index-free ablation baseline: plain sequential
+                // re-matching at the rule's turn, as in the original
+                // engine.
+                matches = match_body_with(&mut self.db, rule, false).map_err(|source| {
+                    ChaseError::Eval {
+                        rule: rule.label.clone(),
+                        source,
+                    }
+                })?;
+            }
+            self.last_seen_len[idx] = current_len;
+            if matches.is_empty() {
+                continue;
+            }
+
+            // Canonicalize: drop matches over facts superseded by an
+            // earlier commit of this round, order by premise-id vector
+            // (for full enumerations this is already the join order) and
+            // dedup across semi-naive pivots and the top-up.
+            matches.retain(|m| m.premises.iter().all(|&p| self.db.is_active(p)));
+            matches.sort_by(|a, b| a.premises.cmp(&b.premises));
+            matches.dedup_by(|a, b| a.premises == b.premises);
+            if matches.is_empty() {
+                continue;
+            }
+
+            changed |= self.apply_matches(rule_id, rule, matches, round)?;
+            if self.db.len() > self.config.max_facts {
+                return Err(ChaseError::FactLimitExceeded(self.config.max_facts));
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Commits one rule's canonicalized matches: constraint handling,
+    /// aggregate grouping, then one chase step per match/group. Returns
+    /// true if any new fact was added.
+    fn apply_matches(
+        &mut self,
+        rule_id: RuleId,
+        rule: &Rule,
+        matches: Vec<BodyMatch>,
+        round: u32,
+    ) -> Result<bool, ChaseError> {
         if rule.is_constraint() {
             if !self.violations.iter().any(|l| l == &rule.label) {
                 self.violations.push(rule.label.clone());
@@ -622,6 +1022,10 @@ mod tests {
     use crate::expr::{CmpOp, Condition, Expr};
     use crate::rule::RuleBuilder;
 
+    fn chase(program: &Program, db: Database) -> Result<ChaseOutcome, ChaseError> {
+        ChaseSession::new(program).run(db)
+    }
+
     fn control_program() -> Program {
         Program::new(vec![
             RuleBuilder::new("o1")
@@ -763,12 +1167,10 @@ mod tests {
         .unwrap();
         let mut db = Database::new();
         db.add("person", &["alice".into()]);
-        let cfg = ChaseConfig {
-            max_rounds: 50,
-            max_facts: 100,
-            ..ChaseConfig::default()
-        };
-        let result = run_chase(&p, db, &cfg);
+        let cfg = ChaseConfig::default()
+            .with_max_rounds(50)
+            .with_max_facts(100);
+        let result = ChaseSession::new(&p).config(cfg).run(db);
         match result {
             Err(ChaseError::RoundLimitExceeded(_)) | Err(ChaseError::FactLimitExceeded(_)) => {}
             Ok(out) => {
@@ -817,12 +1219,9 @@ mod tests {
         .unwrap();
         let mut db = Database::new();
         db.add("own", &["A".into(), "A".into()]);
-        let cfg = ChaseConfig {
-            fail_on_violation: true,
-            ..ChaseConfig::default()
-        };
+        let cfg = ChaseConfig::default().with_fail_on_violation(true);
         assert!(matches!(
-            run_chase(&p, db, &cfg),
+            ChaseSession::new(&p).config(cfg).run(db),
             Err(ChaseError::ConstraintViolated { .. })
         ));
     }
@@ -859,12 +1258,236 @@ mod tests {
         assert_eq!(out.derived_facts, 3);
         assert!(out.rounds >= 2);
     }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.8.into()]);
+        let out = super::chase(&control_program(), db).unwrap();
+        assert_eq!(out.derived_facts, 1);
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.8.into()]);
+        let out = super::run_chase(&control_program(), db, &ChaseConfig::default()).unwrap();
+        assert_eq!(out.derived_facts, 1);
+        // A monotone single-rule program for the extend wrapper.
+        let program = Program::new(vec![control_program().rules()[0].clone()]).unwrap();
+        let base = ChaseSession::new(&program).run(Database::new()).unwrap();
+        let out = super::extend_chase(
+            &program,
+            base,
+            [Fact::new("own", vec!["B".into(), "C".into(), 0.9.into()])],
+            &ChaseConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.derived_facts, 1);
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    //! The in-crate half of the determinism contract: chase output is
+    //! bitwise identical at any thread count. (The application-level half
+    //! lives in the finkg crate's determinism suite.)
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// A full structural fingerprint of an outcome: every fact in id
+    /// order, every derivation in recording order, rounds and violations.
+    fn fingerprint(out: &ChaseOutcome) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (id, fact) in out.database.iter() {
+            let _ = writeln!(s, "{id} {fact} active={}", out.database.is_active(id));
+        }
+        for der in out.graph.derivations() {
+            let _ = writeln!(
+                s,
+                "r{} {:?} -> {} round={} contrib={}",
+                der.rule.0, der.premises, der.conclusion, der.round, der.contributors
+            );
+        }
+        let _ = writeln!(s, "rounds={} violations={:?}", out.rounds, out.violations);
+        s
+    }
+
+    fn ladder_db(n: usize) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.add("company", &[format!("c{i}").as_str().into()]);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && (i + j) % 3 != 0 {
+                    let share = 0.2 + 0.6 * ((i * 7 + j * 13) % 10) as f64 / 10.0;
+                    db.add(
+                        "own",
+                        &[
+                            format!("c{i}").as_str().into(),
+                            format!("c{j}").as_str().into(),
+                            share.into(),
+                        ],
+                    );
+                }
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn control_chase_is_identical_across_thread_counts() {
+        let program = parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o2: company(x) -> control(x, x).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).",
+        )
+        .unwrap()
+        .program;
+        let reference = ChaseSession::new(&program)
+            .threads(1)
+            .run(ladder_db(12))
+            .unwrap();
+        let reference_fp = fingerprint(&reference);
+        assert!(reference.derived_facts > 0);
+        for threads in [2, 4, 8] {
+            let out = ChaseSession::new(&program)
+                .threads(threads)
+                .run(ladder_db(12))
+                .unwrap();
+            assert_eq!(fingerprint(&out), reference_fp, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stratified_chase_is_identical_across_thread_counts() {
+        let program = parse_program(
+            "r1: edge(x, y) -> reach(y).
+             r2: reach(x), edge(x, y) -> reach(y).
+             r3: node(x), not reach(x) -> unreachable(x).
+             r4: unreachable(x), n = count(x) -> dead_count(n).",
+        )
+        .unwrap()
+        .program;
+        let build = || {
+            let mut db = Database::new();
+            for i in 0..30 {
+                db.add("node", &[format!("n{i}").as_str().into()]);
+            }
+            for i in 0..30usize {
+                if i % 4 != 0 {
+                    db.add(
+                        "edge",
+                        &[
+                            format!("n{}", i).as_str().into(),
+                            format!("n{}", (i * 3 + 1) % 30).as_str().into(),
+                        ],
+                    );
+                }
+            }
+            db
+        };
+        let reference = ChaseSession::new(&program).threads(1).run(build()).unwrap();
+        let reference_fp = fingerprint(&reference);
+        for threads in [2, 8] {
+            let out = ChaseSession::new(&program)
+                .threads(threads)
+                .run(build())
+                .unwrap();
+            assert_eq!(fingerprint(&out), reference_fp, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn resume_is_identical_across_thread_counts() {
+        let program = parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).",
+        )
+        .unwrap()
+        .program;
+        let extension: Vec<Fact> = (0..6)
+            .map(|i| {
+                Fact::new(
+                    "own",
+                    vec![
+                        format!("c{i}").as_str().into(),
+                        format!("c{}", (i + 1) % 6).as_str().into(),
+                        0.9.into(),
+                    ],
+                )
+            })
+            .collect();
+        let run_at = |threads: usize| {
+            let session = ChaseSession::new(&program).threads(threads);
+            let base = session.run(ladder_db(6)).unwrap();
+            session.resume(base, extension.clone()).unwrap()
+        };
+        let reference = fingerprint(&run_at(1));
+        for threads in [2, 8] {
+            assert_eq!(
+                fingerprint(&run_at(threads)),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_mode_is_identical_across_thread_counts() {
+        let program = parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o2: company(x) -> control(x, x).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).",
+        )
+        .unwrap()
+        .program;
+        let cfg = ChaseConfig::default().with_semi_naive(false);
+        let reference = ChaseSession::new(&program)
+            .config(cfg.clone().with_threads(1))
+            .run(ladder_db(8))
+            .unwrap();
+        let reference_fp = fingerprint(&reference);
+        for threads in [2, 8] {
+            let out = ChaseSession::new(&program)
+                .config(cfg.clone().with_threads(threads))
+                .run(ladder_db(8))
+                .unwrap();
+            assert_eq!(fingerprint(&out), reference_fp, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scan_ablation_agrees_with_indexed_chase_on_fact_sets() {
+        let program = parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o2: company(x) -> control(x, x).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).",
+        )
+        .unwrap()
+        .program;
+        let indexed = ChaseSession::new(&program)
+            .threads(4)
+            .run(ladder_db(8))
+            .unwrap();
+        let scanned = ChaseSession::new(&program)
+            .config(ChaseConfig::default().with_positional_index(false))
+            .run(ladder_db(8))
+            .unwrap();
+        assert_eq!(indexed.database.len(), scanned.database.len());
+        for (_, fact) in indexed.database.iter() {
+            assert!(scanned.database.contains(fact), "missing {fact}");
+        }
+    }
 }
 
 #[cfg(test)]
 mod stratified_tests {
     use super::*;
     use crate::parser::parse_program;
+
+    fn chase(program: &Program, db: Database) -> Result<ChaseOutcome, ChaseError> {
+        ChaseSession::new(program).run(db)
+    }
 
     #[test]
     fn stratified_negation_computes_complement() {
@@ -971,6 +1594,10 @@ mod extend_tests {
     use crate::parser::parse_program;
     use crate::provenance::DerivationPolicy;
 
+    fn chase(program: &Program, db: Database) -> Result<ChaseOutcome, ChaseError> {
+        ChaseSession::new(program).run(db)
+    }
+
     fn control_text() -> &'static str {
         r#"
         o1: own(x, y, s), s > 0.5 -> control(x, y).
@@ -986,13 +1613,12 @@ mod extend_tests {
         let first = chase(&program, db).unwrap();
         assert_eq!(first.derived_facts, 1);
 
-        let extended = extend_chase(
-            &program,
-            first,
-            [Fact::new("own", vec!["B".into(), "C".into(), 0.9.into()])],
-            &ChaseConfig::default(),
-        )
-        .unwrap();
+        let extended = ChaseSession::new(&program)
+            .resume(
+                first,
+                [Fact::new("own", vec!["B".into(), "C".into(), 0.9.into()])],
+            )
+            .unwrap();
         // New knowledge: control(B,C) and control(A,C).
         assert_eq!(extended.derived_facts, 2);
         assert!(extended
@@ -1012,13 +1638,9 @@ mod extend_tests {
         for split in 0..=all.len() {
             let scratch = chase(&program, all.clone().into_iter().collect()).unwrap();
             let base = chase(&program, all[..split].iter().cloned().collect()).unwrap();
-            let ext = extend_chase(
-                &program,
-                base,
-                all[split..].to_vec(),
-                &ChaseConfig::default(),
-            )
-            .unwrap();
+            let ext = ChaseSession::new(&program)
+                .resume(base, all[split..].to_vec())
+                .unwrap();
             assert_eq!(scratch.database.len(), ext.database.len(), "split {split}");
             for (_, fact) in scratch.database.iter() {
                 assert!(ext.database.contains(fact), "split {split}: missing {fact}");
@@ -1034,13 +1656,12 @@ mod extend_tests {
         let first = chase(&program, db).unwrap();
         let derivations_before = first.graph.derivations().len();
 
-        let ext = extend_chase(
-            &program,
-            first,
-            [Fact::new("own", vec!["B".into(), "C".into(), 0.9.into()])],
-            &ChaseConfig::default(),
-        )
-        .unwrap();
+        let ext = ChaseSession::new(&program)
+            .resume(
+                first,
+                [Fact::new("own", vec!["B".into(), "C".into(), 0.9.into()])],
+            )
+            .unwrap();
         assert!(ext.graph.derivations().len() > derivations_before);
         // Proofs over the extended graph still linearize.
         let id = ext
@@ -1062,12 +1683,7 @@ mod extend_tests {
         .unwrap()
         .program;
         let first = chase(&program, Database::new()).unwrap();
-        let err = extend_chase(
-            &program,
-            first,
-            [Fact::new("a", vec!["x".into()])],
-            &ChaseConfig::default(),
-        );
+        let err = ChaseSession::new(&program).resume(first, [Fact::new("a", vec!["x".into()])]);
         assert!(matches!(err, Err(ChaseError::NonMonotoneExtension)));
     }
 
@@ -1078,7 +1694,7 @@ mod extend_tests {
         db.add("own", &["A".into(), "B".into(), 0.9.into()]);
         let first = chase(&program, db).unwrap();
         let before = first.database.len();
-        let ext = extend_chase(&program, first, [], &ChaseConfig::default()).unwrap();
+        let ext = ChaseSession::new(&program).resume(first, []).unwrap();
         assert_eq!(ext.database.len(), before);
         assert_eq!(ext.derived_facts, 0);
     }
@@ -1088,6 +1704,10 @@ mod extend_tests {
 mod aggregate_supersession_tests {
     use super::*;
     use crate::parser::parse_program;
+
+    fn chase(program: &Program, db: Database) -> Result<ChaseOutcome, ChaseError> {
+        ChaseSession::new(program).run(db)
+    }
 
     /// Regression: a partial aggregate (computed before all contributors
     /// defaulted) must not be double-counted with the fuller aggregate of
@@ -1111,10 +1731,15 @@ mod aggregate_supersession_tests {
         let db: Database = parsed.facts.into_iter().collect();
         let out = chase(&parsed.program, db).unwrap();
         // A and B default; C's true exposure is 3 + 3 = 6 < 7.
-        assert!(out.database.contains(&Fact::new("default", vec!["A".into()])));
-        assert!(out.database.contains(&Fact::new("default", vec!["B".into()])));
+        assert!(out
+            .database
+            .contains(&Fact::new("default", vec!["A".into()])));
+        assert!(out
+            .database
+            .contains(&Fact::new("default", vec!["B".into()])));
         assert!(
-            !out.database.contains(&Fact::new("default", vec!["C".into()])),
+            !out.database
+                .contains(&Fact::new("default", vec!["C".into()])),
             "partial aggregate was double-counted"
         );
         // Both risk facts remain in the store (provenance), but the
@@ -1159,6 +1784,8 @@ mod aggregate_supersession_tests {
         // superseded by 6.
         let db: Database = parsed.facts.into_iter().collect();
         let out = chase(&parsed.program, db).unwrap();
-        assert!(out.database.contains(&Fact::new("default", vec!["C".into()])));
+        assert!(out
+            .database
+            .contains(&Fact::new("default", vec!["C".into()])));
     }
 }

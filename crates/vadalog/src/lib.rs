@@ -33,10 +33,14 @@
 //! "#).unwrap();
 //!
 //! let db: Database = parsed.facts.into_iter().collect();
-//! let out = chase(&parsed.program, db).unwrap();
+//! let out = ChaseSession::new(&parsed.program).run(db).unwrap();
 //! let target = Fact::new("control", vec!["A".into(), "C".into()]);
 //! assert!(out.database.contains(&target));
 //! ```
+//!
+//! The chase runs a parallel match phase over a configurable worker pool
+//! (`ChaseSession::threads`); its output is bitwise identical at any
+//! thread count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -63,7 +67,9 @@ pub mod prelude {
     pub use crate::atom::{fact, Atom, Fact};
     pub use crate::database::{Database, FactId};
     pub use crate::depgraph::{DepEdge, DependencyGraph};
-    pub use crate::engine::{chase, extend_chase, run_chase, ChaseConfig, ChaseOutcome};
+    #[allow(deprecated)]
+    pub use crate::engine::{chase, extend_chase, run_chase};
+    pub use crate::engine::{ChaseConfig, ChaseOutcome, ChaseSession};
     pub use crate::error::{ChaseError, EvalError, ParseError, ProgramError};
     pub use crate::expr::{ArithOp, Assignment, Bindings, CmpOp, Condition, Expr};
     pub use crate::parser::{parse_program, ParsedProgram};

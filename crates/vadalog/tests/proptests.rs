@@ -107,7 +107,7 @@ proptest! {
         for (i, s) in &inputs {
             db.add("p0", &[format!("e{i}").as_str().into(), Value::Float(*s)]);
         }
-        let out = chase(&parsed.program, db).unwrap();
+        let out = ChaseSession::new(&parsed.program).run(db).unwrap();
 
         // Acyclic provenance: premises have smaller fact ids than their
         // conclusion (facts are appended in derivation order).
@@ -174,7 +174,7 @@ proptest! {
                 Value::Float(f64::from(*s) / 100.0),
             ]);
         }
-        let out = chase(&program, db).unwrap();
+        let out = ChaseSession::new(&program).run(db).unwrap();
         for (id, _) in out.database.iter() {
             let derived = out.graph.is_derived(id);
             let extensional = out.graph.is_extensional(id);
@@ -202,7 +202,7 @@ proptest! {
         for (g, v) in &inputs {
             db.add("contrib", &[format!("g{g}").as_str().into(), Value::Int(*v)]);
         }
-        let out = chase(&program, db).unwrap();
+        let out = ChaseSession::new(&program).run(db).unwrap();
         for der in out.graph.derivations() {
             let total = out.database.fact(der.conclusion).values[1]
                 .as_f64()
@@ -255,9 +255,9 @@ proptest! {
             }
             db
         };
-        let naive_cfg = ChaseConfig { semi_naive: false, ..ChaseConfig::default() };
-        let naive = run_chase(&program, build(), &naive_cfg).unwrap();
-        let semi = chase(&program, build()).unwrap();
+        let naive_cfg = ChaseConfig::default().with_semi_naive(false);
+        let naive = ChaseSession::new(&program).config(naive_cfg).run(build()).unwrap();
+        let semi = ChaseSession::new(&program).run(build()).unwrap();
         prop_assert_eq!(naive.database.len(), semi.database.len());
         for (_, fact) in naive.database.iter() {
             prop_assert!(semi.database.contains(fact), "missing {}", fact);
@@ -294,14 +294,100 @@ proptest! {
             .collect();
         let split = ((facts.len() as f64) * split_ratio) as usize;
 
-        let scratch = chase(&program, facts.clone().into_iter().collect()).unwrap();
-        let base = chase(&program, facts[..split].iter().cloned().collect()).unwrap();
-        let ext = extend_chase(&program, base, facts[split..].to_vec(), &ChaseConfig::default())
+        let scratch = ChaseSession::new(&program).run(facts.clone().into_iter().collect()).unwrap();
+        let base = ChaseSession::new(&program).run(facts[..split].iter().cloned().collect()).unwrap();
+        let ext = ChaseSession::new(&program)
+            .resume(base, facts[split..].to_vec())
             .unwrap();
 
         prop_assert_eq!(scratch.database.len(), ext.database.len());
         for (_, fact) in scratch.database.iter() {
             prop_assert!(ext.database.contains(fact), "missing {}", fact);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-count determinism
+// ---------------------------------------------------------------------
+
+/// A full structural fingerprint of a chase outcome: every fact in id
+/// order (with its activity flag), every recorded derivation, and the
+/// round count. Two outcomes with equal fingerprints are bitwise
+/// interchangeable for every downstream consumer.
+fn outcome_fingerprint(out: &ChaseOutcome) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for (id, fact) in out.database.iter() {
+        let _ = writeln!(s, "{id} {fact} active={}", out.database.is_active(id));
+    }
+    for d in out.graph.derivations() {
+        let _ = writeln!(
+            s,
+            "r{} {:?} -> {} round={} contrib={}",
+            d.rule.0, d.premises, d.conclusion, d.round, d.contributors
+        );
+    }
+    let _ = write!(s, "rounds={}", out.rounds);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random monotone chain programs chase to bitwise-identical outcomes
+    /// (fact ids, values, derivations, rounds) at any worker count.
+    #[test]
+    fn chain_chase_is_thread_count_invariant(
+        text in chain_program(),
+        inputs in prop::collection::vec((0u8..20, 0.0f64..1.0), 0..12),
+    ) {
+        let parsed = parse_program(&text).unwrap();
+        let build = || {
+            let mut db = Database::new();
+            for (i, s) in &inputs {
+                db.add("p0", &[format!("e{i}").as_str().into(), Value::Float(*s)]);
+            }
+            db
+        };
+        let reference = ChaseSession::new(&parsed.program).threads(1).run(build()).unwrap();
+        let fp = outcome_fingerprint(&reference);
+        for threads in [2usize, 8] {
+            let out = ChaseSession::new(&parsed.program).threads(threads).run(build()).unwrap();
+            prop_assert_eq!(outcome_fingerprint(&out), fp.clone(), "threads={}", threads);
+        }
+    }
+
+    /// The recursive aggregate control program is thread-count invariant
+    /// over random ownership graphs (exercises semi-naive deltas, the
+    /// commit-phase top-up and aggregate supersession together).
+    #[test]
+    fn recursive_aggregate_chase_is_thread_count_invariant(
+        edges in prop::collection::vec((0u8..8, 0u8..8, 30u8..100), 0..16),
+    ) {
+        let program = parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).",
+        )
+        .unwrap()
+        .program;
+        let build = || {
+            let mut db = Database::new();
+            for (a, b, s) in &edges {
+                if a == b { continue; }
+                db.add("own", &[
+                    format!("c{a}").as_str().into(),
+                    format!("c{b}").as_str().into(),
+                    Value::Float(f64::from(*s) / 100.0),
+                ]);
+            }
+            db
+        };
+        let reference = ChaseSession::new(&program).threads(1).run(build()).unwrap();
+        let fp = outcome_fingerprint(&reference);
+        for threads in [2usize, 8] {
+            let out = ChaseSession::new(&program).threads(threads).run(build()).unwrap();
+            prop_assert_eq!(outcome_fingerprint(&out), fp.clone(), "threads={}", threads);
         }
     }
 }

@@ -26,7 +26,9 @@ fn main() {
         &["Alpha Holding".into(), "Delta Fin".into(), 0.05.into()],
     );
 
-    let outcome = chase(&program, db).expect("chase terminates");
+    let outcome = ChaseSession::new(&program)
+        .run(db)
+        .expect("chase terminates");
     println!("Derived close links:");
     for (_, fact) in outcome.facts_of("close_link") {
         println!("  {fact}");

@@ -16,7 +16,9 @@ fn main() {
         .expect("pipeline builds");
 
     // --- The Fig. 12 cluster ---
-    let outcome = chase(&program, scenario::database()).expect("chase terminates");
+    let outcome = ChaseSession::new(&program)
+        .run(scenario::database())
+        .expect("chase terminates");
     println!("Derived control edges (auto-control omitted):");
     for (id, fact) in outcome.facts_of("control") {
         if outcome.graph.is_derived(id) && fact.values[0] != fact.values[1] {
@@ -52,7 +54,9 @@ fn main() {
         "own",
         &["Fondo Italiano".into(), "Madrid Credit".into(), 0.36.into()],
     );
-    let outcome = chase(&program, db).expect("chase terminates");
+    let outcome = ChaseSession::new(&program)
+        .run(db)
+        .expect("chase terminates");
     let q = Fact::new("control", vec!["Irish Bank".into(), "Madrid Credit".into()]);
     let e = pipeline.explain(&outcome, &q).expect("explainable");
     println!(

@@ -42,7 +42,9 @@ fn main() {
     db.add("own", &["SubA".into(), "GridCo".into(), 0.06.into()]);
     db.add("own", &["SubB".into(), "GridCo".into(), 0.06.into()]);
 
-    let outcome = chase(&program, db).expect("chase terminates");
+    let outcome = ChaseSession::new(&program)
+        .run(db)
+        .expect("chase terminates");
     println!("\nGolden-power alerts:");
     for (_, fact) in outcome.facts_of(golden_power::GOAL) {
         println!("  {fact}");

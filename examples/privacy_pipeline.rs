@@ -38,7 +38,9 @@ fn main() {
         pipeline.stats().enhancement_fallbacks
     );
 
-    let outcome = chase(&program, bundle.database.clone()).expect("chase terminates");
+    let outcome = ChaseSession::new(&program)
+        .run(bundle.database.clone())
+        .expect("chase terminates");
     let id = outcome.lookup(&bundle.targets[0]).expect("derived");
     let constants = proof_constants(&outcome, id, &glossary);
     println!("\nThe proof uses {} distinct constants.", constants.len());

@@ -43,7 +43,9 @@ fn main() {
 
     // 4. Reasoning: chase to fixpoint with provenance (Sec. 3).
     let db: Database = parsed.facts.into_iter().collect();
-    let outcome = chase(&parsed.program, db).expect("chase terminates");
+    let outcome = ChaseSession::new(&parsed.program)
+        .run(db)
+        .expect("chase terminates");
     println!(
         "Chase: {} derived facts in {} rounds",
         outcome.derived_facts, outcome.rounds

@@ -14,7 +14,9 @@ fn main() {
     let pipeline = ExplanationPipeline::new(program.clone(), stress::GOAL, &stress::glossary())
         .expect("pipeline builds");
 
-    let outcome = chase(&program, scenario::database()).expect("chase terminates");
+    let outcome = ChaseSession::new(&program)
+        .run(scenario::database())
+        .expect("chase terminates");
 
     println!("Cascade from the 15M shock on A:");
     for (_, fact) in outcome.facts_of("default") {

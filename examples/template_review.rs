@@ -5,7 +5,9 @@
 //!
 //! Run with: `cargo run --example template_review`
 
-use ekg_explain::explain::{export_templates, import_templates, ExplanationPipeline, TemplateFlavor};
+use ekg_explain::explain::{
+    export_templates, import_templates, ExplanationPipeline, TemplateFlavor,
+};
 use ekg_explain::finkg::apps::simple_stress;
 use ekg_explain::prelude::*;
 
@@ -40,10 +42,14 @@ fn main() {
 
     // 3. Import: the good edit is applied, the sloppy one rejected.
     let report = import_templates(&mut pipeline, &format!("{edited}{sloppy}"));
-    println!("\napplied: {}, rejected: {:?}", report.applied, report.rejected);
+    println!(
+        "\napplied: {}, rejected: {:?}",
+        report.applied, report.rejected
+    );
 
     // 4. Explanations now use the reviewed wording — still complete.
-    let outcome = chase(&simple_stress::program(), simple_stress::figure_8_database())
+    let outcome = ChaseSession::new(&simple_stress::program())
+        .run(simple_stress::figure_8_database())
         .expect("chase terminates");
     let e = pipeline
         .explain(&outcome, &Fact::new("default", vec!["A".into()]))

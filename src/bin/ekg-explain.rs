@@ -188,7 +188,9 @@ fn cmd_analyze(parsed: &ParsedProgram, goal: &str) -> Result<(), String> {
 
 fn cmd_chase(parsed: &ParsedProgram, goal: &str) -> Result<(), String> {
     let db: Database = parsed.facts.clone().into_iter().collect();
-    let outcome = chase(&parsed.program, db).map_err(|e| e.to_string())?;
+    let outcome = ChaseSession::new(&parsed.program)
+        .run(db)
+        .map_err(|e| e.to_string())?;
     println!(
         "chase: {} input facts, {} derived, {} rounds",
         outcome.database.len() - outcome.derived_facts,
@@ -240,7 +242,9 @@ fn cmd_explain(
     let pipeline = ExplanationPipeline::new(parsed.program.clone(), goal, glossary)
         .map_err(|e| e.to_string())?;
     let db: Database = parsed.facts.clone().into_iter().collect();
-    let outcome = chase(&parsed.program, db).map_err(|e| e.to_string())?;
+    let outcome = ChaseSession::new(&parsed.program)
+        .run(db)
+        .map_err(|e| e.to_string())?;
     let flavor = if deterministic {
         TemplateFlavor::Deterministic
     } else {
@@ -269,7 +273,9 @@ fn cmd_report(
     let pipeline = ExplanationPipeline::new(parsed.program.clone(), goal, glossary)
         .map_err(|e| e.to_string())?;
     let db: Database = parsed.facts.clone().into_iter().collect();
-    let outcome = chase(&parsed.program, db).map_err(|e| e.to_string())?;
+    let outcome = ChaseSession::new(&parsed.program)
+        .run(db)
+        .map_err(|e| e.to_string())?;
     let flavor = if deterministic {
         TemplateFlavor::Deterministic
     } else {
@@ -289,7 +295,9 @@ fn cmd_whynot(
 ) -> Result<(), String> {
     let fact = parse_fact(fact_text)?;
     let db: Database = parsed.facts.clone().into_iter().collect();
-    let outcome = chase(&parsed.program, db).map_err(|e| e.to_string())?;
+    let outcome = ChaseSession::new(&parsed.program)
+        .run(db)
+        .map_err(|e| e.to_string())?;
     match ekg_explain::explain::why_not(&parsed.program, glossary, &outcome, &fact) {
         None => println!("{fact} IS derived; use `explain` for its provenance."),
         Some(wn) => println!("{}", wn.text),
@@ -300,7 +308,9 @@ fn cmd_whynot(
 fn cmd_dot(parsed: &ParsedProgram, chase_graph: bool) -> Result<(), String> {
     if chase_graph {
         let db: Database = parsed.facts.clone().into_iter().collect();
-        let outcome = chase(&parsed.program, db).map_err(|e| e.to_string())?;
+        let outcome = ChaseSession::new(&parsed.program)
+            .run(db)
+            .map_err(|e| e.to_string())?;
         print!(
             "{}",
             ekg_explain::vadalog::dot::chase_graph_dot(

@@ -47,7 +47,7 @@
 //!
 //! // 3. Reason (chase to fixpoint with provenance).
 //! let db: Database = parsed.facts.into_iter().collect();
-//! let outcome = chase(&parsed.program, db).unwrap();
+//! let outcome = ChaseSession::new(&parsed.program).run(db).unwrap();
 //!
 //! // 4. Answer an explanation query.
 //! let e = pipeline.explain(&outcome, &Fact::new("default", vec!["C".into()])).unwrap();

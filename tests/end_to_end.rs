@@ -14,7 +14,7 @@ fn explain_all(
     db: Database,
 ) -> Vec<Explanation> {
     let pipeline = ExplanationPipeline::new(program.clone(), goal, glossary).expect("pipeline");
-    let outcome = chase(&program, db).expect("chase");
+    let outcome = ChaseSession::new(&program).run(db).expect("chase");
     let goal_sym = Symbol::new(goal);
     outcome
         .database
@@ -108,7 +108,7 @@ fn explanations_contain_every_proof_constant() {
         let glossary = control::glossary();
         let pipeline =
             ExplanationPipeline::new(program.clone(), control::GOAL, &glossary).expect("pipeline");
-        let outcome = chase(&program, db).expect("chase");
+        let outcome = ChaseSession::new(&program).run(db).expect("chase");
         for &id in outcome.database.facts_of(Symbol::new("control")) {
             if !outcome.graph.is_derived(id) {
                 continue;
@@ -135,7 +135,9 @@ fn deterministic_flavor_also_contains_every_constant() {
     let glossary = simple_stress::glossary();
     let pipeline = ExplanationPipeline::new(program.clone(), simple_stress::GOAL, &glossary)
         .expect("pipeline");
-    let outcome = chase(&program, simple_stress::figure_8_database()).expect("chase");
+    let outcome = ChaseSession::new(&program)
+        .run(simple_stress::figure_8_database())
+        .expect("chase");
     let id = outcome
         .lookup(&Fact::new("default", vec!["C".into()]))
         .unwrap();
@@ -157,7 +159,9 @@ fn pipeline_with_llm_enhancer_still_explains_completely() {
         ExplanationPipeline::with_enhancer(program.clone(), control::GOAL, &glossary, &llm, 4)
             .expect("pipeline");
     let bundle = finkg::control_bundle(6, 2, 8);
-    let outcome = chase(&program, bundle.database).expect("chase");
+    let outcome = ChaseSession::new(&program)
+        .run(bundle.database)
+        .expect("chase");
     for target in &bundle.targets {
         let id = outcome.lookup(target).expect("derived");
         let e = pipeline
@@ -174,7 +178,9 @@ fn explanation_queries_on_inputs_are_rejected() {
     let program = control::program();
     let pipeline = ExplanationPipeline::new(program.clone(), control::GOAL, &control::glossary())
         .expect("pipeline");
-    let outcome = chase(&program, scenario::database()).expect("chase");
+    let outcome = ChaseSession::new(&program)
+        .run(scenario::database())
+        .expect("chase");
     let own_id = outcome.database.facts_of(Symbol::new("own"))[0];
     assert!(matches!(
         pipeline.explain_id(&outcome, own_id, TemplateFlavor::Enhanced),

@@ -23,7 +23,9 @@ fn figure_3_and_4_structural_analysis_of_example_4_3() {
 #[test]
 fn example_4_7_tau_and_covering() {
     let program = simple_stress::program();
-    let outcome = chase(&program, simple_stress::figure_8_database()).unwrap();
+    let outcome = ChaseSession::new(&program)
+        .run(simple_stress::figure_8_database())
+        .unwrap();
     let id = outcome
         .lookup(&Fact::new("default", vec!["C".into()]))
         .unwrap();
@@ -45,7 +47,9 @@ fn example_4_8_explanation_mentions_every_amount() {
         &simple_stress::glossary(),
     )
     .unwrap();
-    let outcome = chase(&program, simple_stress::figure_8_database()).unwrap();
+    let outcome = ChaseSession::new(&program)
+        .run(simple_stress::figure_8_database())
+        .unwrap();
     let e = pipeline
         .explain(&outcome, &Fact::new("default", vec!["C".into()]))
         .unwrap();
@@ -181,7 +185,9 @@ fn section_5_narrative_default_f_explanation() {
     let program = stress::program();
     let pipeline =
         ExplanationPipeline::new(program.clone(), stress::GOAL, &stress::glossary()).unwrap();
-    let outcome = chase(&program, ekg_explain::finkg::scenario::database()).unwrap();
+    let outcome = ChaseSession::new(&program)
+        .run(ekg_explain::finkg::scenario::database())
+        .unwrap();
     let e = pipeline
         .explain(&outcome, &Fact::new("default", vec!["F".into()]))
         .unwrap();

@@ -99,7 +99,7 @@ proptest! {
         for i in 0..n {
             db.add("company", &[format!("C{i}").as_str().into()]);
         }
-        let outcome = chase(&control::program(), db).unwrap();
+        let outcome = ChaseSession::new(&control::program()).run(db).unwrap();
         let derived: HashSet<(usize, usize)> = outcome
             .database
             .facts_of(Symbol::new("control"))
@@ -128,8 +128,8 @@ proptest! {
     /// The chase is deterministic: same input, same closed database.
     #[test]
     fn chase_is_deterministic(edges in ownership_db(8)) {
-        let a = chase(&control::program(), build_db(&edges)).unwrap();
-        let b = chase(&control::program(), build_db(&edges)).unwrap();
+        let a = ChaseSession::new(&control::program()).run(build_db(&edges)).unwrap();
+        let b = ChaseSession::new(&control::program()).run(build_db(&edges)).unwrap();
         prop_assert_eq!(a.database.len(), b.database.len());
         for (id, fact) in a.database.iter() {
             prop_assert_eq!(b.database.fact(id), fact);
@@ -145,7 +145,7 @@ proptest! {
         let glossary = control::glossary();
         let pipeline = ExplanationPipeline::new(
             program.clone(), control::GOAL, &glossary).unwrap();
-        let outcome = chase(&program, build_db(&edges)).unwrap();
+        let outcome = ChaseSession::new(&program).run(build_db(&edges)).unwrap();
         for &id in outcome.database.facts_of(Symbol::new("control")) {
             if !outcome.graph.is_derived(id) {
                 continue;
@@ -165,7 +165,7 @@ proptest! {
     #[test]
     fn linearization_is_a_spine(edges in ownership_db(7)) {
         let program = control::program();
-        let outcome = chase(&program, build_db(&edges)).unwrap();
+        let outcome = ChaseSession::new(&program).run(build_db(&edges)).unwrap();
         for &id in outcome.database.facts_of(Symbol::new("control")) {
             if !outcome.graph.is_derived(id) {
                 continue;
@@ -287,7 +287,7 @@ proptest! {
         }
         db.add("shock", &[format!("e{shock_entity}").as_str().into(), Value::Int(shock_size)]);
 
-        let out = chase(&stress::program(), db).unwrap();
+        let out = ChaseSession::new(&stress::program()).run(db).unwrap();
         let derived: HashSet<usize> = out
             .database
             .facts_of(Symbol::new("default"))
