@@ -11,9 +11,10 @@ fn bench_control(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig18a_company_control");
     for steps in [1usize, 5, 9, 15, 21] {
         let bundle = finkg::control_bundle(steps, 1, 18 + steps as u64);
-        let pipeline =
-            ExplanationPipeline::new(control::program(), control::GOAL, &control::glossary())
-                .expect("pipeline");
+        let pipeline = ExplanationPipeline::builder(control::program(), control::GOAL)
+            .glossary(&control::glossary())
+            .build()
+            .expect("pipeline");
         let outcome = ChaseSession::new(&control::program())
             .run(bundle.database.clone())
             .expect("chase");
@@ -34,7 +35,9 @@ fn bench_stress(c: &mut Criterion) {
     for steps in [1usize, 7, 13, 21] {
         let bundle = finkg::stress_bundle(steps, 1, 18 + steps as u64);
         let goal = bundle.targets[0].predicate.as_str();
-        let pipeline = ExplanationPipeline::new(stress::program(), goal, &stress::glossary())
+        let pipeline = ExplanationPipeline::builder(stress::program(), goal)
+            .glossary(&stress::glossary())
+            .build()
             .expect("pipeline");
         let outcome = ChaseSession::new(&stress::program())
             .run(bundle.database.clone())
@@ -55,13 +58,17 @@ fn bench_pipeline_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_construction");
     group.bench_function("company_control", |b| {
         b.iter(|| {
-            ExplanationPipeline::new(control::program(), control::GOAL, &control::glossary())
+            ExplanationPipeline::builder(control::program(), control::GOAL)
+                .glossary(&control::glossary())
+                .build()
                 .expect("pipeline")
         })
     });
     group.bench_function("stress_test", |b| {
         b.iter(|| {
-            ExplanationPipeline::new(stress::program(), stress::GOAL, &stress::glossary())
+            ExplanationPipeline::builder(stress::program(), stress::GOAL)
+                .glossary(&stress::glossary())
+                .build()
                 .expect("pipeline")
         })
     });

@@ -39,9 +39,11 @@ fn ablation_policy() {
         let mut n = 0usize;
         for seed in 0..6u64 {
             let bundle = finkg::control_bundle_aggregated(3, 2, seed);
-            let pipeline = ExplanationPipeline::new(program.clone(), control::GOAL, &glossary)
-                .expect("pipeline")
-                .with_policy(policy);
+            let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
+                .glossary(&glossary)
+                .policy(policy)
+                .build()
+                .expect("pipeline");
             let outcome = ChaseSession::new(&program)
                 .run(bundle.database.clone())
                 .expect("chase");
@@ -71,8 +73,10 @@ fn ablation_flavor() {
     println!("== Ablation 2: template flavour (12-step control chains) ==");
     let program = control::program();
     let glossary = control::glossary();
-    let pipeline =
-        ExplanationPipeline::new(program.clone(), control::GOAL, &glossary).expect("pipeline");
+    let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
+        .glossary(&glossary)
+        .build()
+        .expect("pipeline");
     let bundle = finkg::control_bundle(12, 5, 3);
     let outcome = ChaseSession::new(&program)
         .run(bundle.database.clone())

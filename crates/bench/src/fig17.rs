@@ -61,8 +61,10 @@ pub fn run(app: App, steps: &[usize], proofs_per_len: usize, seed: u64) -> Vec<O
         // For even stress lengths the target is a risk fact; the pipeline
         // goal must match the target predicate.
         let goal = bundle.targets[0].predicate.as_str();
-        let pipeline =
-            ExplanationPipeline::new(program.clone(), goal, &glossary).expect("pipeline builds");
+        let pipeline = ExplanationPipeline::builder(program.clone(), goal)
+            .glossary(&glossary)
+            .build()
+            .expect("pipeline builds");
         let outcome = ChaseSession::new(&program)
             .run(bundle.database.clone())
             .expect("chase succeeds");

@@ -43,8 +43,10 @@ pub fn run(app: App, steps: &[usize], proofs_per_len: usize, seed: u64) -> Vec<L
             App::StressTest => finkg::stress_bundle(len, proofs_per_len, seed + len as u64),
         };
         let goal = bundle.targets[0].predicate.as_str();
-        let pipeline =
-            ExplanationPipeline::new(program.clone(), goal, &glossary).expect("pipeline builds");
+        let pipeline = ExplanationPipeline::builder(program.clone(), goal)
+            .glossary(&glossary)
+            .build()
+            .expect("pipeline builds");
         let outcome = ChaseSession::new(&program)
             .run(bundle.database.clone())
             .expect("chase succeeds");

@@ -49,7 +49,10 @@ pub use enhance::{checked_enhance, EnhanceOutcome, Enhancer, IdentityEnhancer};
 pub use error::ExplainError;
 pub use glossary::{DomainGlossary, GlossaryEntry, GlossaryParseError, Param, ValueFormat};
 pub use mapping::{cover, instantiate, step_infos, Cover, PathCover, StepInfo};
-pub use pipeline::{Explanation, ExplanationPipeline, PipelineStats, TemplateFlavor};
+pub use pipeline::{
+    Explanation, ExplanationPipeline, PipelineBuilder, PipelineReport, PipelineStats,
+    TemplateFlavor,
+};
 pub use review::{export as export_templates, import as import_templates, ReviewReport};
 pub use structural::{
     analyze, analyze_with, AnalysisConfig, PathKind, ReasoningPath, StructuralAnalysis, Supply,

@@ -13,6 +13,8 @@ use crate::glossary::DomainGlossary;
 use crate::mapping::{cover_from, instantiate, step_infos, PathCover};
 use crate::structural::{analyze_with, AnalysisConfig, StructuralAnalysis};
 use crate::template::{generate, single_rule_path, Template, TemplateStyle};
+use std::time::Instant;
+use vadalog::telemetry::{Budget, JsonWriter, RunGuard};
 use vadalog::{ChaseOutcome, DerivationId, DerivationPolicy, Fact, FactId, Program, RuleId};
 
 /// Which template flavour an explanation query uses.
@@ -54,6 +56,246 @@ pub struct PipelineStats {
     pub enhancement_retries: u32,
 }
 
+/// Telemetry of one pipeline construction: per-stage wall-clock timings
+/// plus the template-generation counters, the explanation-side companion
+/// of the engine's [`RunReport`](vadalog::telemetry::RunReport).
+#[non_exhaustive]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PipelineReport {
+    /// Structural analysis (path enumeration) time, nanoseconds.
+    pub analysis_ns: u64,
+    /// Template generation time (deterministic + fluent), nanoseconds.
+    pub template_ns: u64,
+    /// Enhancement time (including anti-omission retries), nanoseconds.
+    pub enhance_ns: u64,
+    /// Per-rule fallback-template generation time, nanoseconds.
+    pub fallback_ns: u64,
+    /// Whole construction, nanoseconds.
+    pub total_ns: u64,
+    /// Number of reasoning paths (including dashed variants).
+    pub paths: u64,
+    /// Templates generated per flavour.
+    pub templates: u64,
+    /// Total enhancement retries performed.
+    pub enhancement_retries: u64,
+    /// Templates that fell back to the fluent deterministic generation.
+    pub enhancement_fallbacks: u64,
+}
+
+impl PipelineReport {
+    /// Serializes the report as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.field_u64("analysis_ns", self.analysis_ns);
+        w.field_u64("template_ns", self.template_ns);
+        w.field_u64("enhance_ns", self.enhance_ns);
+        w.field_u64("fallback_ns", self.fallback_ns);
+        w.field_u64("total_ns", self.total_ns);
+        w.field_u64("paths", self.paths);
+        w.field_u64("templates", self.templates);
+        w.field_u64("enhancement_retries", self.enhancement_retries);
+        w.field_u64("enhancement_fallbacks", self.enhancement_fallbacks);
+        w.close_object();
+        w.finish()
+    }
+}
+
+/// Fluent configuration of an [`ExplanationPipeline`], mirroring the
+/// engine's [`ChaseSession`](vadalog::ChaseSession) builder: start from
+/// [`ExplanationPipeline::builder`], chain setters, [`build`](Self::build).
+///
+/// ```no_run
+/// # use explain::pipeline::ExplanationPipeline;
+/// # use explain::glossary::DomainGlossary;
+/// # let program: vadalog::Program = todo!();
+/// # let glossary = DomainGlossary::new();
+/// let pipeline = ExplanationPipeline::builder(program, "default")
+///     .glossary(&glossary)
+///     .build()?;
+/// # Ok::<(), explain::ExplainError>(())
+/// ```
+pub struct PipelineBuilder<'a> {
+    program: Program,
+    goal: String,
+    glossary: Option<&'a DomainGlossary>,
+    enhancer: Option<(&'a dyn Enhancer, u32)>,
+    policy: DerivationPolicy,
+    guard: RunGuard,
+    analysis: AnalysisConfig,
+}
+
+impl std::fmt::Debug for PipelineBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineBuilder")
+            .field("goal", &self.goal)
+            .field("enhancer", &self.enhancer.map(|(_, retries)| retries))
+            .field("policy", &self.policy)
+            .field("guard", &self.guard)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> PipelineBuilder<'a> {
+    /// Attaches the domain glossary used for verbalization (default:
+    /// empty, yielding raw-atom renderings).
+    pub fn glossary(mut self, glossary: &'a DomainGlossary) -> PipelineBuilder<'a> {
+        self.glossary = Some(glossary);
+        self
+    }
+
+    /// Passes each fluent template through `enhancer` under the
+    /// token-completeness check, with at most `max_retries` attempts per
+    /// template before falling back to the fluent deterministic
+    /// generation.
+    pub fn enhancer(mut self, enhancer: &'a dyn Enhancer, max_retries: u32) -> PipelineBuilder<'a> {
+        self.enhancer = Some((enhancer, max_retries));
+        self
+    }
+
+    /// Overrides the derivation-selection policy (default: richest).
+    pub fn policy(mut self, policy: DerivationPolicy) -> PipelineBuilder<'a> {
+        self.policy = policy;
+        self
+    }
+
+    /// Governs the construction with a deadline and/or cancellation token
+    /// (round/fact budgets do not apply here). A trip surfaces as
+    /// [`ExplainError::ResourceExhausted`].
+    pub fn guard(mut self, guard: RunGuard) -> PipelineBuilder<'a> {
+        self.guard = guard;
+        self
+    }
+
+    /// Overrides the structural-analysis configuration (path caps).
+    pub fn analysis_config(mut self, config: AnalysisConfig) -> PipelineBuilder<'a> {
+        self.analysis = config;
+        self
+    }
+
+    /// Builds the pipeline: structural analysis, template generation,
+    /// optional enhancement, per-rule fallbacks.
+    pub fn build(self) -> Result<ExplanationPipeline, ExplainError> {
+        let start = Instant::now();
+        let _span = vadalog::span!("explain.build", "goal {}", self.goal);
+        let default_glossary;
+        let glossary = match self.glossary {
+            Some(g) => g,
+            None => {
+                default_glossary = DomainGlossary::new();
+                &default_glossary
+            }
+        };
+        let mut report = PipelineReport::default();
+
+        pipeline_trip(&self.guard, start)?;
+        let t = Instant::now();
+        let analysis = {
+            let _span = vadalog::span!("explain.analysis");
+            analyze_with(&self.program, &self.goal, &self.analysis)?
+        };
+        report.analysis_ns = t.elapsed().as_nanos() as u64;
+        report.paths = analysis.paths.len() as u64;
+
+        let program = self.program;
+        let mut deterministic = Vec::with_capacity(analysis.paths.len());
+        let mut enhanced = Vec::with_capacity(analysis.paths.len());
+        let mut stats = PipelineStats {
+            paths: analysis.paths.len(),
+            ..PipelineStats::default()
+        };
+        for (i, path) in analysis.paths.iter().enumerate() {
+            pipeline_trip(&self.guard, start)?;
+            let t = Instant::now();
+            let _span = vadalog::span!("explain.template", "path {}", i);
+            let det = generate(&program, glossary, path, i, TemplateStyle::Deterministic);
+            let fluent = generate(&program, glossary, path, i, TemplateStyle::Fluent);
+            report.template_ns += t.elapsed().as_nanos() as u64;
+            let enh = match self.enhancer {
+                None => fluent,
+                Some((e, retries)) => {
+                    let t = Instant::now();
+                    let out = checked_enhance(&fluent, e, retries);
+                    report.enhance_ns += t.elapsed().as_nanos() as u64;
+                    stats.enhancement_retries += out.retries;
+                    if out.fell_back {
+                        stats.enhancement_fallbacks += 1;
+                    }
+                    out.template
+                }
+            };
+            deterministic.push(det);
+            enhanced.push(enh);
+        }
+        pipeline_trip(&self.guard, start)?;
+        let t = Instant::now();
+        let fallbacks = {
+            let _span = vadalog::span!("explain.fallbacks");
+            (0..program.len())
+                .map(|i| {
+                    let rule = RuleId(i);
+                    let has_agg = program.rule(rule).has_aggregate();
+                    let solid = single_rule_path(&program, rule, false);
+                    let dashed = single_rule_path(&program, rule, has_agg);
+                    (
+                        generate(
+                            &program,
+                            glossary,
+                            &solid,
+                            usize::MAX,
+                            TemplateStyle::Fluent,
+                        ),
+                        generate(
+                            &program,
+                            glossary,
+                            &dashed,
+                            usize::MAX,
+                            TemplateStyle::Fluent,
+                        ),
+                    )
+                })
+                .collect()
+        };
+        report.fallback_ns = t.elapsed().as_nanos() as u64;
+        report.templates = deterministic.len() as u64;
+        report.enhancement_retries = u64::from(stats.enhancement_retries);
+        report.enhancement_fallbacks = stats.enhancement_fallbacks as u64;
+        report.total_ns = start.elapsed().as_nanos() as u64;
+        Ok(ExplanationPipeline {
+            program,
+            analysis,
+            deterministic,
+            enhanced,
+            fallbacks,
+            policy: self.policy,
+            stats,
+            report,
+        })
+    }
+}
+
+/// Checks the pipeline guard (deadline + cancellation only).
+fn pipeline_trip(guard: &RunGuard, start: Instant) -> Result<(), ExplainError> {
+    if let Some(token) = &guard.cancel {
+        if token.is_cancelled() {
+            return Err(ExplainError::ResourceExhausted {
+                budget: Budget::Cancelled,
+                observed: 0,
+            });
+        }
+    }
+    if let Some(timeout) = guard.timeout {
+        let elapsed = start.elapsed();
+        if elapsed >= timeout {
+            return Err(ExplainError::ResourceExhausted {
+                budget: Budget::Deadline(timeout),
+                observed: elapsed.as_millis() as u64,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// The per-application explanation pipeline.
 #[derive(Debug)]
 pub struct ExplanationPipeline {
@@ -66,23 +308,45 @@ pub struct ExplanationPipeline {
     fallbacks: Vec<(Template, Template)>,
     policy: DerivationPolicy,
     stats: PipelineStats,
+    report: PipelineReport,
 }
 
 impl ExplanationPipeline {
+    /// Starts a [`PipelineBuilder`] for `program` and the goal predicate.
+    pub fn builder<'a>(program: Program, goal: &str) -> PipelineBuilder<'a> {
+        PipelineBuilder {
+            program,
+            goal: goal.to_owned(),
+            glossary: None,
+            enhancer: None,
+            policy: DerivationPolicy::Richest,
+            guard: RunGuard::default(),
+            analysis: AnalysisConfig::default(),
+        }
+    }
+
     /// Builds the pipeline for `program` and the goal predicate, using the
     /// built-in fluent generator as the (privacy-preserving) enhancement.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ExplanationPipeline::builder(program, goal).glossary(glossary).build()` instead"
+    )]
     pub fn new(
         program: Program,
         goal: &str,
         glossary: &DomainGlossary,
     ) -> Result<ExplanationPipeline, ExplainError> {
-        Self::build(program, goal, glossary, None, &AnalysisConfig::default())
+        Self::builder(program, goal).glossary(glossary).build()
     }
 
     /// Builds the pipeline, additionally passing each fluent template
     /// through `enhancer` under the token-completeness check (at most
     /// `max_retries` attempts per template, falling back to the fluent
     /// deterministic generation).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ExplanationPipeline::builder(program, goal).glossary(glossary).enhancer(enhancer, max_retries).build()` instead"
+    )]
     pub fn with_enhancer(
         program: Program,
         goal: &str,
@@ -90,82 +354,17 @@ impl ExplanationPipeline {
         enhancer: &dyn Enhancer,
         max_retries: u32,
     ) -> Result<ExplanationPipeline, ExplainError> {
-        Self::build(
-            program,
-            goal,
-            glossary,
-            Some((enhancer, max_retries)),
-            &AnalysisConfig::default(),
-        )
-    }
-
-    fn build(
-        program: Program,
-        goal: &str,
-        glossary: &DomainGlossary,
-        enhancer: Option<(&dyn Enhancer, u32)>,
-        config: &AnalysisConfig,
-    ) -> Result<ExplanationPipeline, ExplainError> {
-        let analysis = analyze_with(&program, goal, config)?;
-        let mut deterministic = Vec::with_capacity(analysis.paths.len());
-        let mut enhanced = Vec::with_capacity(analysis.paths.len());
-        let mut stats = PipelineStats {
-            paths: analysis.paths.len(),
-            ..PipelineStats::default()
-        };
-        for (i, path) in analysis.paths.iter().enumerate() {
-            let det = generate(&program, glossary, path, i, TemplateStyle::Deterministic);
-            let fluent = generate(&program, glossary, path, i, TemplateStyle::Fluent);
-            let enh = match enhancer {
-                None => fluent,
-                Some((e, retries)) => {
-                    let out = checked_enhance(&fluent, e, retries);
-                    stats.enhancement_retries += out.retries;
-                    if out.fell_back {
-                        stats.enhancement_fallbacks += 1;
-                    }
-                    out.template
-                }
-            };
-            deterministic.push(det);
-            enhanced.push(enh);
-        }
-        let fallbacks = (0..program.len())
-            .map(|i| {
-                let rule = RuleId(i);
-                let has_agg = program.rule(rule).has_aggregate();
-                let solid = single_rule_path(&program, rule, false);
-                let dashed = single_rule_path(&program, rule, has_agg);
-                (
-                    generate(
-                        &program,
-                        glossary,
-                        &solid,
-                        usize::MAX,
-                        TemplateStyle::Fluent,
-                    ),
-                    generate(
-                        &program,
-                        glossary,
-                        &dashed,
-                        usize::MAX,
-                        TemplateStyle::Fluent,
-                    ),
-                )
-            })
-            .collect();
-        Ok(ExplanationPipeline {
-            program,
-            analysis,
-            deterministic,
-            enhanced,
-            fallbacks,
-            policy: DerivationPolicy::Richest,
-            stats,
-        })
+        Self::builder(program, goal)
+            .glossary(glossary)
+            .enhancer(enhancer, max_retries)
+            .build()
     }
 
     /// Overrides the derivation-selection policy (default: richest).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ExplanationPipeline::builder(..).policy(policy)` instead"
+    )]
     pub fn with_policy(mut self, policy: DerivationPolicy) -> Self {
         self.policy = policy;
         self
@@ -192,6 +391,13 @@ impl ExplanationPipeline {
     /// Construction statistics.
     pub fn stats(&self) -> &PipelineStats {
         &self.stats
+    }
+
+    /// Construction telemetry: stage timings plus template counters
+    /// (`report()` is the business-report query; this is the observability
+    /// companion of [`vadalog::telemetry::RunReport`]).
+    pub fn telemetry(&self) -> &PipelineReport {
+        &self.report
     }
 
     /// Replaces the enhanced template at `index` with `text`, enforcing
@@ -497,8 +703,10 @@ mod tests {
                 &[("c", ValueFormat::Plain), ("e", ValueFormat::MillionsEuro)],
                 "<c> is at risk of defaulting given its loan of <e> of exposures to a defaulted debtor",
             ));
-        let pipeline =
-            ExplanationPipeline::new(parsed.program.clone(), "default", &glossary).unwrap();
+        let pipeline = ExplanationPipeline::builder(parsed.program.clone(), "default")
+            .glossary(&glossary)
+            .build()
+            .unwrap();
         let db: Database = parsed.facts.into_iter().collect();
         let outcome = ChaseSession::new(&parsed.program).run(db).unwrap();
         (pipeline, outcome)
@@ -610,5 +818,91 @@ mod tests {
         );
         // Stats: built-in fluent generation never falls back.
         assert_eq!(pipeline.stats().enhancement_fallbacks, 0);
+    }
+
+    #[test]
+    fn telemetry_reports_stage_timings_and_counters() {
+        let (pipeline, _) = setup();
+        let report = pipeline.telemetry();
+        assert_eq!(report.paths, pipeline.analysis().paths.len() as u64);
+        assert_eq!(
+            report.templates,
+            pipeline.templates(TemplateFlavor::Enhanced).len() as u64
+        );
+        assert_eq!(report.enhancement_fallbacks, 0);
+        // No enhancer configured: the enhancement stage never ran.
+        assert_eq!(report.enhance_ns, 0);
+        assert!(report.total_ns >= report.analysis_ns);
+        let json = report.to_json();
+        assert!(json.contains("\"analysis_ns\":"), "{json}");
+        assert!(json.contains("\"templates\":"), "{json}");
+    }
+
+    #[test]
+    fn cancelled_guard_preempts_the_build() {
+        let parsed = parse_program("alpha: edge(x, y) -> reach(x, y).").unwrap();
+        let token = vadalog::CancelToken::new();
+        token.cancel();
+        let err = ExplanationPipeline::builder(parsed.program, "reach")
+            .guard(vadalog::RunGuard::new().with_cancel_token(token))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ExplainError::ResourceExhausted {
+                budget: Budget::Cancelled,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn elapsed_deadline_preempts_the_build() {
+        let parsed = parse_program("alpha: edge(x, y) -> reach(x, y).").unwrap();
+        let err = ExplanationPipeline::builder(parsed.program, "reach")
+            .guard(vadalog::RunGuard::new().with_timeout(std::time::Duration::ZERO))
+            .build()
+            .unwrap_err();
+        match err {
+            ExplainError::ResourceExhausted { budget, .. } => {
+                assert_eq!(budget, Budget::Deadline(std::time::Duration::ZERO));
+            }
+            other => panic!("expected a deadline trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_defaults_match_the_deprecated_constructor() {
+        let parsed = parse_program(
+            r#"
+            alpha: edge(x, y) -> reach(x, y).
+            beta: reach(x, y), edge(y, z) -> reach(x, z).
+            "#,
+        )
+        .unwrap();
+        let glossary = DomainGlossary::new();
+        #[allow(deprecated)]
+        let old = ExplanationPipeline::new(parsed.program.clone(), "reach", &glossary).unwrap();
+        let new = ExplanationPipeline::builder(parsed.program, "reach")
+            .glossary(&glossary)
+            .build()
+            .unwrap();
+        let rendered = |p: &ExplanationPipeline| -> Vec<String> {
+            p.templates(TemplateFlavor::Enhanced)
+                .iter()
+                .map(Template::render)
+                .collect()
+        };
+        assert_eq!(rendered(&old), rendered(&new));
+        assert_eq!(old.stats().paths, new.stats().paths);
+    }
+
+    #[test]
+    fn builder_without_glossary_uses_raw_atom_rendering() {
+        let parsed = parse_program("alpha: edge(x, y) -> reach(x, y).").unwrap();
+        let pipeline = ExplanationPipeline::builder(parsed.program, "reach")
+            .build()
+            .unwrap();
+        assert!(!pipeline.templates(TemplateFlavor::Enhanced).is_empty());
     }
 }

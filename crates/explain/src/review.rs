@@ -123,7 +123,10 @@ mod tests {
         )
         .unwrap()
         .program;
-        ExplanationPipeline::new(program, "control", &DomainGlossary::new()).unwrap()
+        ExplanationPipeline::builder(program, "control")
+            .glossary(&DomainGlossary::new())
+            .build()
+            .unwrap()
     }
 
     #[test]

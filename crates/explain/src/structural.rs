@@ -152,7 +152,7 @@ pub fn analyze_with(
 ) -> Result<StructuralAnalysis, ExplainError> {
     let goal_sym = Symbol::new(goal);
     if !program.is_intensional(goal_sym) {
-        return Err(ExplainError::UnknownGoal(goal.to_owned()));
+        return Err(ExplainError::UnknownGoal { goal: goal_sym });
     }
     let graph = DependencyGraph::build(program);
 
@@ -710,12 +710,12 @@ mod tests {
         let p = example_4_3();
         assert!(matches!(
             analyze(&p, "nope"),
-            Err(ExplainError::UnknownGoal(_))
+            Err(ExplainError::UnknownGoal { .. })
         ));
         // Extensional predicates are not goals either.
         assert!(matches!(
             analyze(&p, "shock"),
-            Err(ExplainError::UnknownGoal(_))
+            Err(ExplainError::UnknownGoal { .. })
         ));
     }
 

@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn explanations_cover_indirect_chains() {
         let p = program();
-        let pipeline = ExplanationPipeline::new(p.clone(), GOAL, &glossary()).unwrap();
+        let pipeline = ExplanationPipeline::builder(p.clone(), GOAL)
+            .glossary(&glossary())
+            .build()
+            .unwrap();
         let mut db = Database::new();
         db.add("own", &["A".into(), "B".into(), 0.8.into()]);
         db.add("own", &["B".into(), "C".into(), 0.6.into()]);

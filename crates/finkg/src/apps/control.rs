@@ -107,7 +107,10 @@ mod tests {
         let target = Fact::new("control", vec!["Irish Bank".into(), "Madrid Credit".into()]);
         assert!(out.database.contains(&target));
 
-        let pipeline = ExplanationPipeline::new(p, GOAL, &glossary()).unwrap();
+        let pipeline = ExplanationPipeline::builder(p, GOAL)
+            .glossary(&glossary())
+            .build()
+            .unwrap();
         let e = pipeline.explain(&out, &target).unwrap();
         // The explanation carries all shares of the Fig. 15 texts.
         for needle in [

@@ -149,7 +149,10 @@ mod tests {
 
     #[test]
     fn explanation_covers_the_joint_stake_story() {
-        let pipeline = ExplanationPipeline::new(program(), GOAL, &glossary()).unwrap();
+        let pipeline = ExplanationPipeline::builder(program(), GOAL)
+            .glossary(&glossary())
+            .build()
+            .unwrap();
         let out = ChaseSession::new(&program()).run(scenario()).unwrap();
         let (id, _) = out
             .facts_of(GOAL)

@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn example_4_8_pipeline_round_trip() {
-        let pipeline = ExplanationPipeline::new(program(), GOAL, &glossary()).unwrap();
+        let pipeline = ExplanationPipeline::builder(program(), GOAL)
+            .glossary(&glossary())
+            .build()
+            .unwrap();
         let out = ChaseSession::new(&program())
             .run(figure_8_database())
             .unwrap();

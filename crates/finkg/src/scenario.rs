@@ -69,9 +69,10 @@ mod tests {
     fn q_e_control_b_d_uses_pi2() {
         // Sec. 5: "the corresponding reasoning path followed — that in
         // this scenario is Π2".
-        let pipeline =
-            ExplanationPipeline::new(control::program(), control::GOAL, &control::glossary())
-                .unwrap();
+        let pipeline = ExplanationPipeline::builder(control::program(), control::GOAL)
+            .glossary(&control::glossary())
+            .build()
+            .unwrap();
         let out = ChaseSession::new(&control::program())
             .run(database())
             .unwrap();
@@ -103,8 +104,10 @@ mod tests {
 
     #[test]
     fn q_e_default_f_mentions_both_channels() {
-        let pipeline =
-            ExplanationPipeline::new(stress::program(), stress::GOAL, &stress::glossary()).unwrap();
+        let pipeline = ExplanationPipeline::builder(stress::program(), stress::GOAL)
+            .glossary(&stress::glossary())
+            .build()
+            .unwrap();
         let out = ChaseSession::new(&stress::program())
             .run(database())
             .unwrap();

@@ -6,7 +6,9 @@
 
 use finkg::apps::{close_links, control, golden_power, simple_stress, stress};
 use finkg::scenario;
-use vadalog::{ChaseOutcome, ChaseSession, Database, Program};
+use vadalog::{
+    Budget, CancelToken, ChaseError, ChaseOutcome, ChaseSession, Database, Fact, Program, RunGuard,
+};
 
 const THREAD_SWEEP: [usize; 2] = [2, 8];
 
@@ -134,4 +136,93 @@ fn seeded_control_bundle_is_thread_invariant() {
 fn seeded_stress_bundle_is_thread_invariant() {
     let bundle = finkg::generator::stress_bundle(4, 6, 43);
     assert_thread_invariant("bundle/stress", &stress::program(), &bundle.database);
+}
+
+/// The determinism contract extends across interruption: a chase tripped
+/// by a fact budget and then resumed must land on a state bitwise
+/// identical to the uninterrupted single-threaded run, at every thread
+/// count and for every trip point.
+#[test]
+fn budget_interrupted_chase_resumes_to_the_uninterrupted_state() {
+    let program = control::program();
+    let db = finkg::random_ownership(60, 3, 7);
+    let reference = ChaseSession::new(&program)
+        .threads(1)
+        .run(db.clone())
+        .expect("uninterrupted chase");
+    let expected = fingerprint(&reference);
+    let mut tripped = 0usize;
+    for threads in [1usize, 2, 8] {
+        for budget in [80u64, 150, 400] {
+            let run = ChaseSession::new(&program)
+                .threads(threads)
+                .guard(RunGuard::new().with_max_facts(budget))
+                .run(db.clone());
+            let out = match run {
+                Err(ChaseError::ResourceExhausted { partial, .. }) => {
+                    tripped += 1;
+                    ChaseSession::new(&program)
+                        .threads(threads)
+                        .resume(*partial, Vec::<Fact>::new())
+                        .expect("resume to fixpoint")
+                }
+                Ok(out) => out,
+                Err(e) => panic!("unexpected chase error: {e}"),
+            };
+            assert_eq!(
+                fingerprint(&out),
+                expected,
+                "resumed outcome diverged at {threads} threads, budget {budget}"
+            );
+        }
+    }
+    assert!(tripped > 0, "no budget ever tripped; tighten the sweep");
+}
+
+/// Cancelling a chase from another thread at an arbitrary moment and
+/// resuming the partial outcome must also reach the bitwise-identical
+/// final state — regardless of where the cancellation landed.
+#[test]
+fn cancelled_chase_resumes_to_the_uninterrupted_state() {
+    let program = control::program();
+    let db = finkg::random_ownership(80, 3, 11);
+    let reference = ChaseSession::new(&program)
+        .threads(1)
+        .run(db.clone())
+        .expect("uninterrupted chase");
+    let expected = fingerprint(&reference);
+    for threads in [1usize, 2, 8] {
+        for delay_us in [0u64, 200, 2000] {
+            let token = CancelToken::new();
+            let canceller = {
+                let token = token.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                    token.cancel();
+                })
+            };
+            let run = ChaseSession::new(&program)
+                .threads(threads)
+                .guard(RunGuard::new().with_cancel_token(token))
+                .run(db.clone());
+            canceller.join().unwrap();
+            let out = match run {
+                Err(ChaseError::ResourceExhausted {
+                    budget: Budget::Cancelled,
+                    partial,
+                    ..
+                }) => ChaseSession::new(&program)
+                    .threads(threads)
+                    .resume(*partial, Vec::<Fact>::new())
+                    .expect("resume to fixpoint"),
+                Ok(out) => out,
+                Err(e) => panic!("unexpected chase error: {e}"),
+            };
+            assert_eq!(
+                fingerprint(&out),
+                expected,
+                "cancel-resume diverged at {threads} threads, delay {delay_us}us"
+            );
+        }
+    }
 }

@@ -95,4 +95,33 @@ proptest! {
             }
         }
     }
+
+    /// Run telemetry is part of the determinism contract: every counter
+    /// in the RunReport (matches, commits, duplicates, probes, scans,
+    /// peaks — everything except wall-clock timings) agrees between 1, 2
+    /// and 8 worker threads on random workloads.
+    #[test]
+    fn run_reports_are_thread_invariant(
+        n in 5usize..40,
+        out_deg in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let program = control::program();
+        let db = finkg::random_ownership(n, out_deg, seed);
+        let reference = ChaseSession::new(&program)
+            .threads(1)
+            .run(db.clone())
+            .unwrap();
+        for threads in [2usize, 8] {
+            let out = ChaseSession::new(&program)
+                .threads(threads)
+                .run(db.clone())
+                .unwrap();
+            prop_assert_eq!(
+                out.report.count_fingerprint(),
+                reference.report.count_fingerprint(),
+                "telemetry diverged at {} threads", threads
+            );
+        }
+    }
 }

@@ -28,7 +28,9 @@ impl Case {
         db: Database,
         target: Fact,
     ) -> Case {
-        let pipeline = ExplanationPipeline::new(program.clone(), goal, &glossary)
+        let pipeline = ExplanationPipeline::builder(program.clone(), goal)
+            .glossary(&glossary)
+            .build()
             .expect("study scenarios analyze cleanly");
         let outcome = ChaseSession::new(&program)
             .run(db)

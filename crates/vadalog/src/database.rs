@@ -33,6 +33,9 @@ pub struct Database {
     /// Facts superseded by a fuller monotonic aggregate: still stored (the
     /// chase graph references them) but excluded from matching.
     inactive: std::collections::HashSet<FactId>,
+    /// Running approximation of the store's heap footprint, maintained in
+    /// O(1) per insert so the engine's memory budget can poll it cheaply.
+    approx_bytes: usize,
 }
 
 impl Database {
@@ -56,9 +59,16 @@ impl Database {
             if *pred == fact.predicate {
                 if let Some(v) = fact.values.get(*pos) {
                     index.entry(*v).or_default().push(id);
+                    self.approx_bytes += std::mem::size_of::<FactId>();
                 }
             }
         }
+        // Stored fact + dedup key copy + the per-predicate id slot. An
+        // estimate (hash-table overhead is ignored), but deterministic:
+        // it depends only on the insertion sequence, never on threads.
+        let value_bytes = fact.values.len() * std::mem::size_of::<Value>();
+        self.approx_bytes +=
+            2 * (std::mem::size_of::<Fact>() + value_bytes) + std::mem::size_of::<FactId>() * 2;
         self.dedup.insert(fact.clone(), id);
         self.facts.push(fact);
         (id, true)
@@ -171,6 +181,14 @@ impl Database {
     /// Number of deactivated (superseded) facts.
     pub fn inactive_count(&self) -> usize {
         self.inactive.len()
+    }
+
+    /// Approximate heap footprint of the stored facts and their index
+    /// slots, in bytes. Maintained in O(1) per insert; a deterministic
+    /// function of the insertion sequence (the engine's memory budget
+    /// relies on this to trip identically at any thread count).
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
     }
 
     /// Finds an *active* fact of `predicate` matching `pattern`, where
@@ -292,6 +310,20 @@ mod tests {
         assert!(fresh);
         assert_eq!(db.lookup(&f), Some(id));
         assert!(db.contains(&f));
+    }
+
+    #[test]
+    fn approx_bytes_grows_only_on_fresh_inserts() {
+        let mut db = Database::new();
+        assert_eq!(db.approx_bytes(), 0);
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        let after_one = db.approx_bytes();
+        assert!(after_one > 0);
+        // Duplicate insert: no growth.
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        assert_eq!(db.approx_bytes(), after_one);
+        db.add("own", &["A".into(), "C".into(), 0.4.into()]);
+        assert!(db.approx_bytes() > after_one);
     }
 
     #[test]

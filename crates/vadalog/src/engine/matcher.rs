@@ -34,6 +34,31 @@ pub struct BodyMatch {
     pub premises: Vec<FactId>,
 }
 
+/// Index-vs-scan counters of one matching call, accumulated into the
+/// per-rule [`RuleStats`](crate::telemetry::RuleStats) by the engine.
+///
+/// **Thread invariance:** for chunked work the outermost candidate lookup
+/// happens once per chunk, but it is *counted* only by chunk 0 — so the
+/// counters are identical no matter how many chunks (threads) the work
+/// was split into. Inner-depth lookups run once per outer candidate and
+/// sum invariantly by construction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MatchMetrics {
+    /// Candidate lookups served by a positional index probe.
+    pub index_probes: u64,
+    /// Candidate lookups served by a predicate scan (index disabled or
+    /// never built).
+    pub scans: u64,
+}
+
+impl MatchMetrics {
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &MatchMetrics) {
+        self.index_probes += other.index_probes;
+        self.scans += other.scans;
+    }
+}
+
 /// One unit of matching work against an immutable database snapshot.
 ///
 /// `part`/`parts` slice the outermost candidate loop of the join: chunk
@@ -135,12 +160,23 @@ pub fn match_body_with(
     rule: &Rule,
     use_index: bool,
 ) -> Result<Vec<BodyMatch>, EvalError> {
+    match_body_with_metered(db, rule, use_index, &mut MatchMetrics::default())
+}
+
+/// [`match_body_with`] with index/scan counters accumulated into
+/// `metrics`.
+pub fn match_body_with_metered(
+    db: &mut Database,
+    rule: &Rule,
+    use_index: bool,
+    metrics: &mut MatchMetrics,
+) -> Result<Vec<BodyMatch>, EvalError> {
     if use_index {
         for (pred, pos) in required_indexes(rule) {
             db.ensure_index(pred, pos);
         }
     }
-    match_chunk(db, rule, &MatchChunk::full(use_index))
+    match_chunk_metered(db, rule, &MatchChunk::full(use_index), metrics)
 }
 
 /// Semi-naive incremental matching: enumerates only the matches that
@@ -156,6 +192,17 @@ pub fn match_body_incremental(
     rule: &Rule,
     watermark: u32,
 ) -> Result<Vec<BodyMatch>, EvalError> {
+    match_body_incremental_metered(db, rule, watermark, &mut MatchMetrics::default())
+}
+
+/// [`match_body_incremental`] with index/scan counters accumulated into
+/// `metrics`.
+pub fn match_body_incremental_metered(
+    db: &mut Database,
+    rule: &Rule,
+    watermark: u32,
+    metrics: &mut MatchMetrics,
+) -> Result<Vec<BodyMatch>, EvalError> {
     for (pred, pos) in required_indexes(rule) {
         db.ensure_index(pred, pos);
     }
@@ -164,7 +211,7 @@ pub fn match_body_incremental(
     let mut seen_premises: std::collections::HashSet<Vec<FactId>> =
         std::collections::HashSet::new();
     for pivot in 0..n_atoms {
-        for m in match_chunk(db, rule, &MatchChunk::delta(pivot, watermark))? {
+        for m in match_chunk_metered(db, rule, &MatchChunk::delta(pivot, watermark), metrics)? {
             if seen_premises.insert(m.premises.clone()) {
                 out.push(m);
             }
@@ -182,6 +229,18 @@ pub fn match_chunk(
     db: &Database,
     rule: &Rule,
     chunk: &MatchChunk,
+) -> Result<Vec<BodyMatch>, EvalError> {
+    match_chunk_metered(db, rule, chunk, &mut MatchMetrics::default())
+}
+
+/// [`match_chunk`] with index/scan counters accumulated into `metrics`.
+/// For chunked work (`parts > 1`) only chunk 0 counts the outermost
+/// lookup, keeping the totals identical at any chunk count.
+pub fn match_chunk_metered(
+    db: &Database,
+    rule: &Rule,
+    chunk: &MatchChunk,
+    metrics: &mut MatchMetrics,
 ) -> Result<Vec<BodyMatch>, EvalError> {
     let atoms: Vec<AtomPlan> = rule
         .positive_body()
@@ -207,6 +266,7 @@ pub fn match_chunk(
         &mut bindings,
         &mut premises,
         &mut out,
+        metrics,
     )?;
     Ok(out)
 }
@@ -226,6 +286,8 @@ fn candidates_for(
     plan: &AtomPlan<'_>,
     use_index: bool,
     bindings: &Bindings,
+    metrics: &mut MatchMetrics,
+    count: bool,
 ) -> Vec<FactId> {
     let atom = plan.atom;
     // Pick the first argument position already bound (by a constant or an
@@ -249,17 +311,31 @@ fn candidates_for(
     }
     let mut candidates: Vec<FactId> = match probe {
         Some((pos, val)) => match db.probe(atom.predicate, pos, &val) {
-            Some(hits) => hits.to_vec(),
+            Some(hits) => {
+                if count {
+                    metrics.index_probes += 1;
+                }
+                hits.to_vec()
+            }
             // Index never built: scan the predicate and filter in place —
             // same ids, same order, just slower.
-            None => db
-                .facts_of(atom.predicate)
-                .iter()
-                .copied()
-                .filter(|&id| db.fact(id).values.get(pos) == Some(&val))
-                .collect(),
+            None => {
+                if count {
+                    metrics.scans += 1;
+                }
+                db.facts_of(atom.predicate)
+                    .iter()
+                    .copied()
+                    .filter(|&id| db.fact(id).values.get(pos) == Some(&val))
+                    .collect()
+            }
         },
-        None => db.facts_of(atom.predicate).to_vec(),
+        None => {
+            if count {
+                metrics.scans += 1;
+            }
+            db.facts_of(atom.predicate).to_vec()
+        }
     };
     if plan.min_fact > 0 {
         candidates.retain(|id| id.0 >= plan.min_fact);
@@ -291,6 +367,7 @@ fn join(
     bindings: &mut Bindings,
     premises: &mut Vec<FactId>,
     out: &mut Vec<BodyMatch>,
+    metrics: &mut MatchMetrics,
 ) -> Result<(), EvalError> {
     if depth == atoms.len() {
         if let Some(m) = finish_match(db, rule, bindings, premises)? {
@@ -301,7 +378,10 @@ fn join(
     let plan = &atoms[depth];
     let atom = plan.atom;
 
-    let mut candidates = candidates_for(db, plan, use_index, bindings);
+    // The outermost lookup runs once per chunk: only chunk 0 counts it,
+    // so metric totals do not depend on how the work was split.
+    let count = depth > 0 || depth0_slice.is_none_or(|(part, _)| part == 0);
+    let mut candidates = candidates_for(db, plan, use_index, bindings, metrics, count);
     if depth == 0 {
         if let Some((part, parts)) = depth0_slice {
             let (lo, hi) = chunk_bounds(candidates.len(), part, parts);
@@ -355,6 +435,7 @@ fn join(
                 bindings,
                 premises,
                 out,
+                metrics,
             )?;
             premises.pop();
         }
@@ -645,6 +726,56 @@ mod tests {
                 assert_eq!(a.premises, b.premises, "parts {parts}");
             }
         }
+    }
+
+    #[test]
+    fn match_metrics_are_invariant_across_chunk_counts() {
+        let mut db = own_db();
+        db.add("own", &["C".into(), "D".into(), 0.7.into()]);
+        db.add("own", &["B".into(), "D".into(), 0.2.into()]);
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("z"), Term::var("s1")],
+            ))
+            .body(Atom::new(
+                "own",
+                vec![Term::var("z"), Term::var("y"), Term::var("s2")],
+            ))
+            .head(Atom::new("p", vec![Term::var("x"), Term::var("y")]));
+        // Build the statically-required indexes once.
+        let mut reference = MatchMetrics::default();
+        match_body_with_metered(&mut db, &rule, true, &mut reference).unwrap();
+        assert!(reference.index_probes > 0);
+        assert!(reference.scans > 0); // the outermost atom has no bound position
+        for parts in 2..=5 {
+            let mut m = MatchMetrics::default();
+            for part in 0..parts {
+                let chunk = MatchChunk {
+                    pivot: None,
+                    part,
+                    parts,
+                    use_index: true,
+                };
+                match_chunk_metered(&db, &rule, &chunk, &mut m).unwrap();
+            }
+            assert_eq!(m, reference, "parts {parts}");
+        }
+    }
+
+    #[test]
+    fn scan_mode_counts_scans_only() {
+        let mut db = own_db();
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::constant("A"), Term::var("y"), Term::var("s")],
+            ))
+            .head(Atom::new("p", vec![Term::var("y")]));
+        let mut m = MatchMetrics::default();
+        match_body_with_metered(&mut db, &rule, false, &mut m).unwrap();
+        assert_eq!(m.index_probes, 0);
+        assert!(m.scans > 0);
     }
 
     #[test]

@@ -38,8 +38,9 @@
 mod matcher;
 
 pub use matcher::{
-    match_body, match_body_incremental, match_body_with, match_chunk, required_indexes, BodyMatch,
-    MatchChunk,
+    match_body, match_body_incremental, match_body_incremental_metered, match_body_with,
+    match_body_with_metered, match_chunk, match_chunk_metered, required_indexes, BodyMatch,
+    MatchChunk, MatchMetrics,
 };
 
 use crate::atom::Fact;
@@ -50,11 +51,15 @@ use crate::program::Program;
 use crate::provenance::{ChaseGraph, Derivation};
 use crate::rule::{AggFunc, Head, Rule, RuleId};
 use crate::symbol::Symbol;
+use crate::telemetry::{
+    ArmedGuard, Budget, RoundStats, RuleStats, RunGuard, RunReport, Termination,
+};
 use crate::term::Term;
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Configuration of a chase run.
 ///
@@ -86,6 +91,17 @@ pub struct ChaseConfig {
     /// without spawning. The chase output is bitwise identical at any
     /// thread count.
     pub threads: usize,
+    /// Resource governance for the run: wall-clock deadline, cooperative
+    /// cancellation and round/fact/memory budgets. Composes with the
+    /// legacy `max_rounds`/`max_facts` knobs (the tighter bound wins);
+    /// trips surface as [`ChaseError::ResourceExhausted`] carrying the
+    /// deterministic partial outcome.
+    pub guard: RunGuard,
+    /// Collect full telemetry: wall-clock phase timings and the per-round
+    /// log of the [`RunReport`]. The cheap integer counters are always
+    /// collected; disabling this skips only the clock reads and the round
+    /// log (the knob the telemetry-overhead bench toggles). Default: on.
+    pub full_telemetry: bool,
 }
 
 impl Default for ChaseConfig {
@@ -97,6 +113,8 @@ impl Default for ChaseConfig {
             use_positional_index: true,
             semi_naive: true,
             threads: 0,
+            guard: RunGuard::default(),
+            full_telemetry: true,
         }
     }
 }
@@ -138,6 +156,20 @@ impl ChaseConfig {
         self
     }
 
+    /// Sets the run's resource governance (deadline, cancellation,
+    /// budgets).
+    pub fn with_guard(mut self, guard: RunGuard) -> ChaseConfig {
+        self.guard = guard;
+        self
+    }
+
+    /// Enables or disables full telemetry (timings and the round log;
+    /// counters are always on).
+    pub fn with_full_telemetry(mut self, full_telemetry: bool) -> ChaseConfig {
+        self.full_telemetry = full_telemetry;
+        self
+    }
+
     /// The resolved worker count: `threads`, or the host's available
     /// parallelism when `threads == 0`.
     fn effective_threads(&self) -> usize {
@@ -152,9 +184,18 @@ impl ChaseConfig {
 
 /// The result of a chase run: the augmented database, the chase graph and
 /// run statistics.
+///
+/// A *partial* outcome — carried by
+/// [`ChaseError::ResourceExhausted`] when a
+/// [`RunGuard`] budget trips — has exactly the same shape: every
+/// completed round's facts and provenance, plus the telemetry
+/// [`report`](ChaseOutcome::report) accumulated up to the trip point.
+/// [`ChaseSession::resume`] continues it to the very state an
+/// uninterrupted run would have produced, bit for bit.
 #[derive(Debug)]
 pub struct ChaseOutcome {
-    /// The database closed under the program.
+    /// The database closed under the program (or its deterministic prefix,
+    /// for a partial outcome).
     pub database: Database,
     /// Fact-level provenance of every derivation.
     pub graph: ChaseGraph,
@@ -166,6 +207,14 @@ pub struct ChaseOutcome {
     /// Labels of violated negative constraints (empty when
     /// `fail_on_violation` is set and the run succeeded).
     pub violations: Vec<String>,
+    /// Telemetry of the run: termination, per-rule and per-round counters,
+    /// phase timings and peak sizes. Always populated; the timing fields
+    /// and the round log stay zero/empty when
+    /// [`ChaseConfig::full_telemetry`] is off.
+    pub report: RunReport,
+    /// Continuation state of an interrupted run, consumed by
+    /// [`ChaseSession::resume`]; `None` once fixpoint was reached.
+    pub(crate) resume: Option<EngineResume>,
 }
 
 impl ChaseOutcome {
@@ -182,6 +231,72 @@ impl ChaseOutcome {
     pub fn lookup(&self, fact: &Fact) -> Option<FactId> {
         self.database.lookup(fact)
     }
+
+    /// True iff this outcome is the partial state of an interrupted run
+    /// (a budget tripped before fixpoint).
+    pub fn is_partial(&self) -> bool {
+        self.resume.is_some()
+    }
+
+    /// An empty, completed outcome; used by tests and error plumbing.
+    #[cfg(test)]
+    pub(crate) fn empty() -> ChaseOutcome {
+        ChaseOutcome {
+            database: Database::new(),
+            graph: ChaseGraph::new(),
+            rounds: 0,
+            derived_facts: 0,
+            violations: Vec::new(),
+            report: RunReport::default(),
+            resume: None,
+        }
+    }
+}
+
+/// Continuation state of an interrupted run, carried inside the partial
+/// [`ChaseOutcome`] so [`ChaseSession::resume`] picks up at the exact trip
+/// point. Round numbering continues across the resume, so the derivation
+/// round stamps — and hence the whole provenance — match an uninterrupted
+/// run bit for bit.
+#[derive(Clone, Debug)]
+pub(crate) struct EngineResume {
+    /// Per-rule `db.len()` watermarks at the trip.
+    last_seen_len: Vec<usize>,
+    /// The stratum being evaluated when the budget tripped.
+    stratum: usize,
+    /// Number of fully committed rounds.
+    completed_rounds: u32,
+    /// A round interrupted mid-commit, to be finished before the loop
+    /// continues.
+    pending: Option<PendingRound>,
+}
+
+/// A round whose commit phase was interrupted between two rules.
+#[derive(Clone, Debug)]
+struct PendingRound {
+    /// The interrupted round's number.
+    round: u32,
+    /// First rule index not yet committed.
+    next_rule: usize,
+    /// Whether any earlier rule of the round committed a fresh fact.
+    changed_so_far: bool,
+}
+
+/// Outcome of one commit phase.
+enum CommitControl {
+    /// Every applicable rule committed.
+    Completed {
+        /// Whether any rule derived a fresh fact.
+        changed: bool,
+    },
+    /// A budget tripped before `next_rule`; all earlier rules committed
+    /// canonically.
+    Interrupted {
+        budget: Budget,
+        observed: u64,
+        next_rule: usize,
+        changed: bool,
+    },
 }
 
 /// A configured chase over one program: the engine's entry point.
@@ -227,6 +342,13 @@ impl<'p> ChaseSession<'p> {
         self
     }
 
+    /// Sets the run's resource governance: deadline, cancellation token
+    /// and round/fact/memory budgets.
+    pub fn guard(mut self, guard: RunGuard) -> ChaseSession<'p> {
+        self.config.guard = guard;
+        self
+    }
+
     /// The session's current configuration.
     pub fn current_config(&self) -> &ChaseConfig {
         &self.config
@@ -237,28 +359,40 @@ impl<'p> ChaseSession<'p> {
         Chase::new(self.program, database, self.config.clone()).run()
     }
 
-    /// Incrementally extends a previous chase outcome with new extensional
-    /// facts and re-chases to fixpoint, reusing the closed database and
-    /// the chase graph (no recomputation of already-derived knowledge; new
-    /// derivations are appended to the provenance).
+    /// Continues a previous chase outcome, optionally extended with new
+    /// extensional facts, and re-chases to fixpoint, reusing the database
+    /// and the chase graph (no recomputation of already-derived knowledge;
+    /// new derivations are appended to the provenance).
     ///
-    /// Restricted to *monotone* programs (a single stratum): with
-    /// negation, added facts could invalidate earlier conclusions, which
-    /// an incremental extension cannot retract — such programs return
-    /// [`ChaseError::NonMonotoneExtension`].
+    /// Two use cases share this entry point:
+    ///
+    /// * **Incremental extension** of a *completed* outcome with new
+    ///   facts. Restricted to *monotone* programs (a single stratum):
+    ///   with negation, added facts could invalidate earlier conclusions,
+    ///   which an incremental extension cannot retract — such programs
+    ///   return [`ChaseError::NonMonotoneExtension`].
+    /// * **Continuation** of a *partial* outcome (one carried by
+    ///   [`ChaseError::ResourceExhausted`]). Without new facts this
+    ///   replays the very evaluation the trip paused, for any program,
+    ///   and reaches a final state bitwise identical to an uninterrupted
+    ///   run. With new facts, the single-stratum restriction applies.
     pub fn resume(
         &self,
         outcome: ChaseOutcome,
         new_facts: impl IntoIterator<Item = Fact>,
     ) -> Result<ChaseOutcome, ChaseError> {
         let program = self.program;
-        if program.stratification().strata > 1 {
+        let new_facts: Vec<Fact> = new_facts.into_iter().collect();
+        if program.stratification().strata > 1
+            && (outcome.resume.is_none() || !new_facts.is_empty())
+        {
             return Err(ChaseError::NonMonotoneExtension);
         }
         let ChaseOutcome {
             mut database,
             mut graph,
             violations,
+            resume,
             ..
         } = outcome;
 
@@ -297,6 +431,14 @@ impl<'p> ChaseSession<'p> {
         }
 
         let initial_facts = database.len();
+        // For a pure continuation the per-rule watermarks of the trip
+        // point are restored, so the replay sees exactly the deltas the
+        // interrupted run would have seen; added facts land above every
+        // watermark and are therefore always explored.
+        let (last_seen_len, resume_from) = match resume {
+            Some(state) => (state.last_seen_len.clone(), Some(state)),
+            None => (vec![watermark; program.len()], None),
+        };
         let engine = Chase {
             program,
             db: database,
@@ -304,10 +446,12 @@ impl<'p> ChaseSession<'p> {
             config: self.config.clone(),
             null_counter,
             seen_derivations,
-            last_seen_len: vec![watermark; program.len()],
+            last_seen_len,
             agg_current,
             violations,
             initial_facts,
+            report: RunReport::default(),
+            resume_from,
         };
         // `initial_facts` counts the pre-extension closure plus the new
         // input facts, so `derived_facts` of the result counts only the
@@ -368,6 +512,51 @@ struct WorkItem<'r> {
     chunk: MatchChunk,
 }
 
+/// Result of matching one work item: the chunk's matches plus the probe
+/// and scan counts the enumeration accumulated.
+type ItemResult = Result<(Vec<BodyMatch>, MatchMetrics), EvalError>;
+
+/// Per-item results of [`Chase::execute_items`]; `None` slots were never
+/// started (the phase was interrupted and the caller discards them all).
+type ItemResults = Vec<Option<ItemResult>>;
+
+/// Everything the match phase hands to the run loop: the merged matches
+/// and the phase's telemetry.
+struct MatchPhaseOutput {
+    /// Per-rule merged matches, in canonical chunk order.
+    merged: HashMap<usize, Result<Vec<BodyMatch>, EvalError>>,
+    /// Per rule: snapshot-phase match metrics and matches enumerated.
+    /// Thread-count invariant (chunk-boundary work is attributed to
+    /// chunk 0 only).
+    rule_metrics: Vec<(usize, MatchMetrics, u64)>,
+    /// Total matches buffered after the merge (peak-size telemetry).
+    buffered: u64,
+    /// Set iff cancellation or the deadline tripped mid-phase; `merged`
+    /// is then empty.
+    interrupted: Option<(Budget, u64)>,
+    match_ns: u64,
+    merge_ns: u64,
+}
+
+impl MatchPhaseOutput {
+    fn empty() -> MatchPhaseOutput {
+        MatchPhaseOutput {
+            merged: HashMap::new(),
+            rule_metrics: Vec::new(),
+            buffered: 0,
+            interrupted: None,
+            match_ns: 0,
+            merge_ns: 0,
+        }
+    }
+}
+
+/// Elapsed nanoseconds of an optional phase timer (0 when telemetry is
+/// reduced).
+fn lap(timer: Option<Instant>) -> u64 {
+    timer.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
+}
+
 struct Chase<'p> {
     program: &'p Program,
     db: Database,
@@ -388,6 +577,11 @@ struct Chase<'p> {
     agg_current: HashMap<(RuleId, Vec<Value>), FactId>,
     violations: Vec<String>,
     initial_facts: usize,
+    /// Telemetry accumulated over this run (fresh per run: a resumed run
+    /// reports only its own work).
+    report: RunReport,
+    /// Trip-point state to continue from, set by [`ChaseSession::resume`].
+    resume_from: Option<EngineResume>,
 }
 
 impl<'p> Chase<'p> {
@@ -408,6 +602,8 @@ impl<'p> Chase<'p> {
             agg_current: HashMap::new(),
             violations: Vec::new(),
             initial_facts,
+            report: RunReport::default(),
+            resume_from: None,
         }
     }
 
@@ -416,9 +612,19 @@ impl<'p> Chase<'p> {
     }
 
     fn run_in_place(mut self) -> Result<ChaseOutcome, ChaseError> {
+        let start = Instant::now();
+        let armed = ArmedGuard::arm(
+            &self.config.guard,
+            start,
+            self.config.max_rounds,
+            self.config.max_facts,
+        );
+        let _run_span = crate::span!("chase.run");
+
         // Build every statically-probed positional index before the first
         // parallel phase: a cold index must never be constructed while the
         // store is shared read-only across matching workers.
+        let t = self.timer();
         if self.config.use_positional_index {
             for rule in self.program.rules() {
                 for (pred, pos) in required_indexes(rule) {
@@ -426,42 +632,260 @@ impl<'p> Chase<'p> {
                 }
             }
         }
+        self.report.timings.index_build_ns += lap(t);
 
         let threads = self.config.effective_threads();
+        let strata = self.program.stratification().strata;
+        self.report.threads = threads;
+        self.report.strata = strata as u32;
+        self.report.rules = self
+            .program
+            .rules()
+            .iter()
+            .map(|rule| RuleStats {
+                label: rule.label.clone(),
+                ..RuleStats::default()
+            })
+            .collect();
+
+        let (first_stratum, mut round, mut pending) = match self.resume_from.take() {
+            Some(state) => (state.stratum, state.completed_rounds, state.pending),
+            None => (0, 0, None),
+        };
 
         // Strata are evaluated bottom-up: a negated atom is only checked
         // once its predicate's stratum has reached fixpoint, giving the
         // standard perfect-model semantics for stratified negation.
-        let mut round: u32 = 0;
-        for stratum in 0..self.program.stratification().strata {
-            loop {
-                round += 1;
-                if round as usize > self.config.max_rounds {
-                    return Err(ChaseError::RoundLimitExceeded(self.config.max_rounds));
+        for stratum in first_stratum..strata {
+            let _stratum_span = crate::span!("chase.stratum", "stratum {}", stratum);
+            // Completion pass: finish a round that a previous run left
+            // interrupted mid-commit, starting at the rule the trip
+            // stopped before. Its matches are re-derived from each rule's
+            // restored watermark, which (after canonicalization) is
+            // exactly the snapshot-phase ∪ top-up set the uninterrupted
+            // round would have committed.
+            if let Some(p) = pending.take() {
+                let round_t = self.timer();
+                let facts_before = self.db.len();
+                let matches_before = self.report.total_matches();
+                let t = self.timer();
+                let control = self.commit_phase(
+                    stratum,
+                    0,
+                    HashMap::new(),
+                    p.round,
+                    p.next_rule,
+                    true,
+                    &armed,
+                )?;
+                self.report.timings.commit_ns += lap(t);
+                match control {
+                    CommitControl::Interrupted {
+                        budget,
+                        observed,
+                        next_rule,
+                        changed,
+                    } => {
+                        let still_pending = PendingRound {
+                            round: p.round,
+                            next_rule,
+                            changed_so_far: p.changed_so_far || changed,
+                        };
+                        return self.exhausted(
+                            budget,
+                            observed,
+                            stratum,
+                            p.round - 1,
+                            Some(still_pending),
+                            start,
+                        );
+                    }
+                    CommitControl::Completed { changed } => {
+                        round = p.round;
+                        self.log_round(p.round, stratum, matches_before, facts_before, round_t);
+                        if !(changed || p.changed_so_far) {
+                            // The interrupted round was the fixpoint check.
+                            continue;
+                        }
+                    }
                 }
+            }
+            loop {
+                // Round boundary: the one place every budget is checked.
+                // A run that reaches fixpoint in the same round it
+                // exhausts a budget completes — trips only pre-empt
+                // *further* work, deterministically.
+                if let Some((budget, observed)) = armed.trip(
+                    u64::from(round) + 1,
+                    self.db.len() as u64,
+                    self.memory_bytes(),
+                ) {
+                    return self.exhausted(budget, observed, stratum, round, None, start);
+                }
+                round += 1;
+                let _round_span = crate::span!("chase.round", "round {}", round);
+                let round_t = self.timer();
                 let snapshot_len = self.db.len();
+                let matches_before = self.report.total_matches();
                 // Phase 1: enumerate every applicable rule's matches
                 // against the round-start snapshot, in parallel.
-                let phase_matches = if self.config.use_positional_index {
-                    self.match_phase(stratum, snapshot_len, threads)
+                let phase = if self.config.use_positional_index {
+                    self.match_phase(stratum, snapshot_len, threads, &armed)
                 } else {
-                    HashMap::new()
+                    MatchPhaseOutput::empty()
                 };
+                self.report.timings.match_ns += phase.match_ns;
+                self.report.timings.merge_ns += phase.merge_ns;
+                for (idx, metrics, enumerated) in &phase.rule_metrics {
+                    let stats = &mut self.report.rules[*idx];
+                    stats.index_probes += metrics.index_probes;
+                    stats.scans += metrics.scans;
+                    stats.matches_enumerated += enumerated;
+                }
+                self.report.peak.match_buffer = self.report.peak.match_buffer.max(phase.buffered);
+                if let Some((budget, observed)) = phase.interrupted {
+                    // The phase is read-only, so nothing was committed:
+                    // the round never started.
+                    return self.exhausted(budget, observed, stratum, round - 1, None, start);
+                }
                 // Phase 2: commit in rule-id order, topping up each rule
                 // with the matches enabled by this round's earlier rules.
-                let changed = self.commit_phase(stratum, snapshot_len, phase_matches, round)?;
-                if !changed {
-                    break;
+                let t = self.timer();
+                let control = self.commit_phase(
+                    stratum,
+                    snapshot_len,
+                    phase.merged,
+                    round,
+                    0,
+                    false,
+                    &armed,
+                )?;
+                self.report.timings.commit_ns += lap(t);
+                match control {
+                    CommitControl::Interrupted {
+                        budget,
+                        observed,
+                        next_rule,
+                        changed,
+                    } => {
+                        let pending = PendingRound {
+                            round,
+                            next_rule,
+                            changed_so_far: changed,
+                        };
+                        return self.exhausted(
+                            budget,
+                            observed,
+                            stratum,
+                            round - 1,
+                            Some(pending),
+                            start,
+                        );
+                    }
+                    CommitControl::Completed { changed } => {
+                        self.log_round(round, stratum, matches_before, snapshot_len, round_t);
+                        if !changed {
+                            break;
+                        }
+                    }
                 }
             }
         }
-        Ok(ChaseOutcome {
+        Ok(self.finish(Termination::Completed, round, start, None))
+    }
+
+    /// A phase timer: `Some(now)` under full telemetry, else `None` (no
+    /// clock read at all).
+    fn timer(&self) -> Option<Instant> {
+        self.config.full_telemetry.then(Instant::now)
+    }
+
+    /// The governed memory observation: the deterministic O(1) running
+    /// estimates of the fact store and the chase graph.
+    fn memory_bytes(&self) -> u64 {
+        (self.db.approx_bytes() + self.graph.approx_bytes()) as u64
+    }
+
+    /// Appends one round to the report's round log (full telemetry only).
+    fn log_round(
+        &mut self,
+        round: u32,
+        stratum: usize,
+        matches_before: u64,
+        facts_before: usize,
+        round_t: Option<Instant>,
+    ) {
+        if !self.config.full_telemetry {
+            return;
+        }
+        let facts_end = self.db.len();
+        self.report.rounds_log.push(RoundStats {
+            round,
+            stratum: stratum as u32,
+            matches: self.report.total_matches() - matches_before,
+            facts_committed: (facts_end - facts_before) as u64,
+            facts_end: facts_end as u64,
+            duration_ns: lap(round_t),
+        });
+    }
+
+    /// Seals a budget trip: packages the deterministic partial outcome
+    /// (with its continuation state) into
+    /// [`ChaseError::ResourceExhausted`].
+    fn exhausted(
+        self,
+        budget: Budget,
+        observed: u64,
+        stratum: usize,
+        completed_rounds: u32,
+        pending: Option<PendingRound>,
+        start: Instant,
+    ) -> Result<ChaseOutcome, ChaseError> {
+        let resume = EngineResume {
+            last_seen_len: self.last_seen_len.clone(),
+            stratum,
+            completed_rounds,
+            pending,
+        };
+        let partial = self.finish(
+            Termination::Exhausted { budget, observed },
+            completed_rounds,
+            start,
+            Some(resume),
+        );
+        Err(ChaseError::ResourceExhausted {
+            budget,
+            observed,
+            partial: Box::new(partial),
+        })
+    }
+
+    /// Seals the run into its outcome, stamping the report's termination,
+    /// peaks and total time.
+    fn finish(
+        mut self,
+        termination: Termination,
+        rounds: u32,
+        start: Instant,
+        resume: Option<EngineResume>,
+    ) -> ChaseOutcome {
+        self.report.termination = termination;
+        self.report.rounds = rounds;
+        self.report.peak.facts = self.db.len() as u64;
+        self.report.peak.derivations = self.graph.derivations().len() as u64;
+        self.report.peak.approx_bytes = self.memory_bytes();
+        if self.config.full_telemetry {
+            self.report.timings.total_ns = start.elapsed().as_nanos() as u64;
+        }
+        ChaseOutcome {
             derived_facts: self.db.len() - self.initial_facts,
             database: self.db,
             graph: self.graph,
-            rounds: round as usize,
+            rounds: rounds as usize,
             violations: self.violations,
-        })
+            report: self.report,
+            resume,
+        }
     }
 
     /// True iff `rule` is matched semi-naively (delta expansion per pivot)
@@ -476,14 +900,20 @@ impl<'p> Chase<'p> {
 
     /// The parallel match phase: enumerates the body matches of every
     /// applicable rule of `stratum` against the snapshot, returning the
-    /// merged per-rule results. Read-only on the database; executed
-    /// inline when a single worker suffices.
+    /// merged per-rule results plus the phase's telemetry. Read-only on
+    /// the database; executed inline when a single worker suffices.
+    ///
+    /// Cancellation and deadline are polled at chunk boundaries; on a
+    /// trip the phase's (partial) results are discarded wholesale, so an
+    /// interruption can never perturb the determinism of committed
+    /// rounds.
     fn match_phase(
         &self,
         stratum: usize,
         snapshot_len: usize,
         threads: usize,
-    ) -> HashMap<usize, Result<Vec<BodyMatch>, EvalError>> {
+        armed: &ArmedGuard,
+    ) -> MatchPhaseOutput {
         let mut items: Vec<WorkItem<'_>> = Vec::new();
         for (idx, rule) in self.program.rules().iter().enumerate() {
             if self.program.rule_stratum(RuleId(idx)) != stratum {
@@ -529,17 +959,32 @@ impl<'p> Chase<'p> {
             }
         }
 
-        let results = self.execute_items(&items, threads);
+        let t = self.timer();
+        let (results, interrupted) = self.execute_items(&items, threads, armed);
+        let match_ns = lap(t);
+        if let Some((budget, observed)) = interrupted {
+            return MatchPhaseOutput {
+                interrupted: Some((budget, observed)),
+                match_ns,
+                ..MatchPhaseOutput::empty()
+            };
+        }
 
         // Merge per rule, in item order: chunk concatenation restores the
         // sequential enumeration; the commit phase canonicalizes further.
+        let t = self.timer();
         let mut merged: HashMap<usize, Result<Vec<BodyMatch>, EvalError>> = HashMap::new();
+        let mut per_rule: HashMap<usize, (MatchMetrics, u64)> = HashMap::new();
         for (item, result) in items.iter().zip(results) {
+            let result = result.expect("uninterrupted phase fills every slot");
             let slot = merged
                 .entry(item.rule_idx)
                 .or_insert_with(|| Ok(Vec::new()));
             match result {
-                Ok(ms) => {
+                Ok((ms, metrics)) => {
+                    let entry = per_rule.entry(item.rule_idx).or_default();
+                    entry.0.merge(&metrics);
+                    entry.1 += ms.len() as u64;
                     if let Ok(acc) = slot {
                         acc.extend(ms);
                     }
@@ -552,42 +997,87 @@ impl<'p> Chase<'p> {
                 }
             }
         }
-        merged
+        let buffered = merged
+            .values()
+            .map(|r| r.as_ref().map(|v| v.len() as u64).unwrap_or(0))
+            .sum();
+        let mut rule_metrics: Vec<(usize, MatchMetrics, u64)> = per_rule
+            .into_iter()
+            .map(|(idx, (metrics, enumerated))| (idx, metrics, enumerated))
+            .collect();
+        rule_metrics.sort_by_key(|&(idx, _, _)| idx);
+        MatchPhaseOutput {
+            merged,
+            rule_metrics,
+            buffered,
+            interrupted: None,
+            match_ns,
+            merge_ns: lap(t),
+        }
     }
 
     /// Runs the work items, spreading them over up to `threads` workers.
     /// Results are slotted by item index, so scheduling cannot influence
-    /// anything downstream.
+    /// anything downstream. When the armed guard carries a cancellation
+    /// token or a deadline, every worker polls it before taking the next
+    /// chunk and the phase stops early with the trip; the partially
+    /// filled slots are then discarded by the caller.
     fn execute_items(
         &self,
         items: &[WorkItem<'_>],
         threads: usize,
-    ) -> Vec<Result<Vec<BodyMatch>, EvalError>> {
+        armed: &ArmedGuard,
+    ) -> (ItemResults, Option<(Budget, u64)>) {
+        let check = armed.has_async_trips();
         let workers = threads.min(items.len());
         if workers <= 1 {
-            return items
-                .iter()
-                .map(|item| match_chunk(&self.db, item.rule, &item.chunk))
-                .collect();
+            let mut out: ItemResults = Vec::with_capacity(items.len());
+            for item in items {
+                if check {
+                    if let Some(trip) = armed.interrupted() {
+                        return (out, Some(trip));
+                    }
+                }
+                let mut metrics = MatchMetrics::default();
+                out.push(Some(
+                    match_chunk_metered(&self.db, item.rule, &item.chunk, &mut metrics)
+                        .map(|ms| (ms, metrics)),
+                ));
+            }
+            return (out, None);
         }
         let db = &self.db;
-        let slots: Vec<OnceLock<Result<Vec<BodyMatch>, EvalError>>> =
-            items.iter().map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<ItemResult>> = items.iter().map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let trip: OnceLock<(Budget, u64)> = OnceLock::new();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if check {
+                        if let Some(t) = armed.interrupted() {
+                            let _ = trip.set(t);
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
-                    let result = match_chunk(db, item.rule, &item.chunk);
+                    let mut metrics = MatchMetrics::default();
+                    let result = match_chunk_metered(db, item.rule, &item.chunk, &mut metrics)
+                        .map(|ms| (ms, metrics));
                     let _ = slots[i].set(result);
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("worker filled its slot"))
-            .collect()
+        let interrupted = trip.get().copied();
+        (
+            slots.into_iter().map(OnceLock::into_inner).collect(),
+            interrupted,
+        )
     }
 
     /// Number of outermost-loop slices for one rule's matching work: one
@@ -607,36 +1097,79 @@ impl<'p> Chase<'p> {
     }
 
     /// The sequential commit phase of one round. Processes the stratum's
-    /// rules in rule-id order; for each, unions the snapshot-phase matches
-    /// with a top-up delta over facts committed earlier in this round,
-    /// canonicalizes, and fires. Returns true if any rule derived a fresh
-    /// fact.
+    /// rules in rule-id order starting at `from_rule`; for each, unions
+    /// the snapshot-phase matches with a top-up delta over facts committed
+    /// earlier in this round, canonicalizes, and fires.
+    ///
+    /// Budgets are checked *between* rule commits: a trip returns
+    /// [`CommitControl::Interrupted`] with the first uncommitted rule, so
+    /// the prefix already committed is exactly the canonical prefix of an
+    /// uninterrupted round. In `completion` mode (resuming such a trip)
+    /// no snapshot phase ran, so each rule re-derives the full match set
+    /// this round would have seen: the semi-naive delta from the rule's
+    /// own restored watermark, or — for aggregate/naive rules, whose
+    /// firing folds over *all* contributors — a full re-match.
+    #[allow(clippy::too_many_arguments)]
     fn commit_phase(
         &mut self,
         stratum: usize,
         snapshot_len: usize,
         mut phase_matches: HashMap<usize, Result<Vec<BodyMatch>, EvalError>>,
         round: u32,
-    ) -> Result<bool, ChaseError> {
+        from_rule: usize,
+        completion: bool,
+        armed: &ArmedGuard,
+    ) -> Result<CommitControl, ChaseError> {
         let mut changed = false;
-        for (idx, rule) in self.program.rules().iter().enumerate() {
+        for (idx, rule) in self.program.rules().iter().enumerate().skip(from_rule) {
             let rule_id = RuleId(idx);
             if self.program.rule_stratum(rule_id) != stratum {
                 continue;
+            }
+            if let Some((budget, observed)) =
+                armed.trip(u64::from(round), self.db.len() as u64, self.memory_bytes())
+            {
+                return Ok(CommitControl::Interrupted {
+                    budget,
+                    observed,
+                    next_rule: idx,
+                    changed,
+                });
             }
             let watermark = self.last_seen_len[idx];
             let current_len = self.db.len();
             if watermark == current_len {
                 continue; // nothing new since last evaluation
             }
+            let _rule_span = crate::span!("chase.rule", "rule {}", rule.label);
+            let eval_err = |source| ChaseError::Eval {
+                rule: rule.label.clone(),
+                source,
+            };
+            let mut metrics = MatchMetrics::default();
             let mut matches = match phase_matches.remove(&idx) {
-                Some(result) => result.map_err(|source| ChaseError::Eval {
-                    rule: rule.label.clone(),
-                    source,
-                })?,
+                Some(result) => result.map_err(eval_err)?,
                 None => Vec::new(),
             };
-            if self.config.use_positional_index {
+            let phase_count = matches.len();
+            if completion {
+                matches = if self.is_incremental(rule, watermark) {
+                    match_body_incremental_metered(
+                        &mut self.db,
+                        rule,
+                        watermark as u32,
+                        &mut metrics,
+                    )
+                } else {
+                    match_body_with_metered(
+                        &mut self.db,
+                        rule,
+                        self.config.use_positional_index,
+                        &mut metrics,
+                    )
+                }
+                .map_err(eval_err)?;
+            } else if self.config.use_positional_index {
                 // Top-up: matches touching facts committed by lower-id
                 // rules earlier in this round (ids >= the snapshot). This
                 // restores sequential intra-round visibility; it is empty
@@ -648,24 +1181,37 @@ impl<'p> Chase<'p> {
                 };
                 if current_len > topup_from {
                     matches.extend(
-                        match_body_incremental(&mut self.db, rule, topup_from as u32).map_err(
-                            |source| ChaseError::Eval {
-                                rule: rule.label.clone(),
-                                source,
-                            },
-                        )?,
+                        match_body_incremental_metered(
+                            &mut self.db,
+                            rule,
+                            topup_from as u32,
+                            &mut metrics,
+                        )
+                        .map_err(eval_err)?,
                     );
                 }
             } else {
                 // Index-free ablation baseline: plain sequential
                 // re-matching at the rule's turn, as in the original
                 // engine.
-                matches = match_body_with(&mut self.db, rule, false).map_err(|source| {
-                    ChaseError::Eval {
-                        rule: rule.label.clone(),
-                        source,
-                    }
-                })?;
+                matches = match_body_with_metered(&mut self.db, rule, false, &mut metrics)
+                    .map_err(eval_err)?;
+            }
+            {
+                // Snapshot-phase matches were already counted at merge
+                // time; attribute only what this phase added (completion
+                // and ablation replace the — empty — phase set outright).
+                let newly_enumerated = matches.len().saturating_sub(if completion {
+                    0
+                } else if self.config.use_positional_index {
+                    phase_count
+                } else {
+                    0
+                }) as u64;
+                let stats = &mut self.report.rules[idx];
+                stats.index_probes += metrics.index_probes;
+                stats.scans += metrics.scans;
+                stats.matches_enumerated += newly_enumerated;
             }
             self.last_seen_len[idx] = current_len;
             if matches.is_empty() {
@@ -684,11 +1230,8 @@ impl<'p> Chase<'p> {
             }
 
             changed |= self.apply_matches(rule_id, rule, matches, round)?;
-            if self.db.len() > self.config.max_facts {
-                return Err(ChaseError::FactLimitExceeded(self.config.max_facts));
-            }
         }
-        Ok(changed)
+        Ok(CommitControl::Completed { changed })
     }
 
     /// Commits one rule's canonicalized matches: constraint handling,
@@ -715,10 +1258,13 @@ impl<'p> Chase<'p> {
 
         let mut changed = false;
         if rule.aggregate.is_some() {
-            for group in group_matches(rule, &matches).map_err(|source| ChaseError::Eval {
+            let t = self.timer();
+            let groups = group_matches(rule, &matches).map_err(|source| ChaseError::Eval {
                 rule: rule.label.clone(),
                 source,
-            })? {
+            })?;
+            self.report.timings.aggregate_ns += lap(t);
+            for group in groups {
                 changed |= self
                     .fire(
                         rule_id,
@@ -768,6 +1314,7 @@ impl<'p> Chase<'p> {
         let Head::Atom(head) = &rule.head else {
             return Ok(false);
         };
+        self.report.rules[rule_id.0].firings += 1;
 
         let existentials: HashSet<Symbol> = rule.existential_variables().into_iter().collect();
 
@@ -784,7 +1331,9 @@ impl<'p> Chase<'p> {
                     Term::Var(v) => bindings.get(v).copied(),
                 })
                 .collect();
+            self.report.rules[rule_id.0].isomorphism_checks += 1;
             if self.db.find_matching(head.predicate, &pattern).is_some() {
+                self.report.rules[rule_id.0].satisfaction_preempted += 1;
                 return Ok(false);
             }
         }
@@ -816,6 +1365,11 @@ impl<'p> Chase<'p> {
             values,
         };
         let (fact_id, fresh) = self.db.insert(fact);
+        if fresh {
+            self.report.rules[rule_id.0].facts_committed += 1;
+        } else {
+            self.report.rules[rule_id.0].duplicates_preempted += 1;
+        }
 
         let key = (rule_id, fact_id, premises.clone());
         if self.seen_derivations.contains(&key) {
@@ -1172,7 +1726,17 @@ mod tests {
             .with_max_facts(100);
         let result = ChaseSession::new(&p).config(cfg).run(db);
         match result {
-            Err(ChaseError::RoundLimitExceeded(_)) | Err(ChaseError::FactLimitExceeded(_)) => {}
+            Err(ChaseError::ResourceExhausted {
+                budget: Budget::Rounds(_) | Budget::Facts(_),
+                partial,
+                ..
+            }) => {
+                // The partial outcome is the deterministic prefix: the
+                // rounds already committed carry their facts and report.
+                assert!(partial.is_partial());
+                assert!(partial.database.len() > 1);
+                assert!(partial.report.is_partial());
+            }
             Ok(out) => {
                 // Acceptable alternative: engine terminated because each
                 // new person's parent head was satisfied by an existing
@@ -1294,7 +1858,7 @@ mod determinism_tests {
 
     /// A full structural fingerprint of an outcome: every fact in id
     /// order, every derivation in recording order, rounds and violations.
-    fn fingerprint(out: &ChaseOutcome) -> String {
+    pub(super) fn fingerprint(out: &ChaseOutcome) -> String {
         use std::fmt::Write;
         let mut s = String::new();
         for (id, fact) in out.database.iter() {
@@ -1311,7 +1875,7 @@ mod determinism_tests {
         s
     }
 
-    fn ladder_db(n: usize) -> Database {
+    pub(super) fn ladder_db(n: usize) -> Database {
         let mut db = Database::new();
         for i in 0..n {
             db.add("company", &[format!("c{i}").as_str().into()]);
@@ -1787,5 +2351,361 @@ mod aggregate_supersession_tests {
         assert!(out
             .database
             .contains(&Fact::new("default", vec!["C".into()])));
+    }
+}
+
+#[cfg(test)]
+mod governance_tests {
+    //! Resource governance: budget trips surface as `ResourceExhausted`
+    //! with a deterministic partial outcome, and resuming an interrupted
+    //! run reaches a state bitwise identical to an uninterrupted one.
+    use super::determinism_tests::{fingerprint, ladder_db};
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::telemetry::{CancelToken, RunGuard};
+    use std::time::Duration;
+
+    fn control_program() -> Program {
+        parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o2: company(x) -> control(x, x).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).",
+        )
+        .unwrap()
+        .program
+    }
+
+    /// An unbounded existential chain: person -> parent(·, ∃z) -> person,
+    /// genuinely non-terminating under the restricted chase.
+    fn unbounded_program() -> Program {
+        parse_program(
+            "p1: person(x) -> parent(x, z).
+             p2: parent(x, z) -> person(z).",
+        )
+        .unwrap()
+        .program
+    }
+
+    fn seed_person() -> Database {
+        let mut db = Database::new();
+        db.add("person", &["alice".into()]);
+        db
+    }
+
+    #[test]
+    fn deadline_trips_with_partial_report() {
+        // Acceptance scenario: a 50 ms deadline on an unbounded recursive
+        // program must come back as ResourceExhausted carrying a partial
+        // RunReport, not hang.
+        let program = unbounded_program();
+        let cfg = ChaseConfig::default()
+            .with_max_rounds(usize::MAX >> 1)
+            .with_max_facts(usize::MAX >> 1)
+            .with_guard(RunGuard::default().with_timeout(Duration::from_millis(50)));
+        let err = ChaseSession::new(&program)
+            .config(cfg)
+            .run(seed_person())
+            .expect_err("the deadline must trip");
+        match err {
+            ChaseError::ResourceExhausted {
+                budget: Budget::Deadline(t),
+                observed,
+                partial,
+            } => {
+                assert_eq!(t, Duration::from_millis(50));
+                assert!(observed >= 50, "observed elapsed ms: {observed}");
+                assert!(partial.is_partial());
+                assert!(partial.report.is_partial());
+                assert!(partial.report.rounds > 0, "some rounds completed");
+                assert!(partial.database.len() > 1, "partial state retained");
+                assert_eq!(
+                    partial.report.total_commits(),
+                    (partial.database.len() - 1) as u64
+                );
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_preempts_the_run() {
+        let program = control_program();
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = ChaseConfig::default().with_guard(RunGuard::default().with_cancel_token(token));
+        let err = ChaseSession::new(&program)
+            .config(cfg)
+            .run(ladder_db(6))
+            .expect_err("a pre-cancelled token must trip at the first round");
+        match err {
+            ChaseError::ResourceExhausted {
+                budget: Budget::Cancelled,
+                partial,
+                ..
+            } => {
+                assert_eq!(partial.rounds, 0);
+                assert_eq!(partial.derived_facts, 0);
+                assert!(partial.is_partial());
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn memory_budget_trips() {
+        let program = control_program();
+        let cfg = ChaseConfig::default().with_guard(RunGuard::default().with_max_bytes(1));
+        let err = ChaseSession::new(&program)
+            .config(cfg)
+            .run(ladder_db(6))
+            .expect_err("a 1-byte memory budget must trip immediately");
+        assert!(matches!(
+            err,
+            ChaseError::ResourceExhausted {
+                budget: Budget::MemoryBytes(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn guard_round_budget_matches_legacy_limit() {
+        let program = unbounded_program();
+        let via_guard = ChaseSession::new(&program)
+            .config(ChaseConfig::default().with_guard(RunGuard::default().with_max_rounds(3)))
+            .run(seed_person());
+        let via_legacy = ChaseSession::new(&program)
+            .config(ChaseConfig::default().with_max_rounds(3))
+            .run(seed_person());
+        let (
+            Err(ChaseError::ResourceExhausted { partial: a, .. }),
+            Err(ChaseError::ResourceExhausted { partial: b, .. }),
+        ) = (via_guard, via_legacy)
+        else {
+            panic!("both round limits must trip");
+        };
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(a.rounds, 3);
+    }
+
+    #[test]
+    fn interrupted_runs_resume_to_the_uninterrupted_state() {
+        // The core cancel/budget-then-resume contract, across thread
+        // counts: for any fact budget, trip -> resume == one shot, bit
+        // for bit (facts, activity, provenance, round stamps).
+        let program = control_program();
+        let reference = fingerprint(
+            &ChaseSession::new(&program)
+                .threads(1)
+                .run(ladder_db(10))
+                .unwrap(),
+        );
+        let mut tripped = 0;
+        for threads in [1, 2, 8] {
+            for budget in [12u64, 15, 20, 25, 40, 60] {
+                let session = ChaseSession::new(&program).threads(threads);
+                let governed = session
+                    .clone()
+                    .guard(RunGuard::default().with_max_facts(budget))
+                    .run(ladder_db(10));
+                let resumed = match governed {
+                    Err(ChaseError::ResourceExhausted {
+                        partial, budget: b, ..
+                    }) => {
+                        tripped += 1;
+                        assert!(partial.is_partial());
+                        assert_eq!(b, Budget::Facts(budget));
+                        session.resume(*partial, []).unwrap()
+                    }
+                    Ok(done) => done, // budget above the fixpoint size
+                    Err(other) => panic!("unexpected error: {other}"),
+                };
+                assert_eq!(
+                    fingerprint(&resumed),
+                    reference,
+                    "threads={threads} budget={budget}"
+                );
+            }
+        }
+        assert!(tripped > 0, "the sweep must exercise real trips");
+    }
+
+    #[test]
+    fn stratified_interrupted_runs_resume_without_new_facts() {
+        // Continuation of a partial outcome is sound for *any* program;
+        // only extension with new facts is restricted to one stratum.
+        let program = parse_program(
+            "r1: edge(x, y) -> reach(y).
+             r2: reach(x), edge(x, y) -> reach(y).
+             r3: node(x), not reach(x) -> unreachable(x).",
+        )
+        .unwrap()
+        .program;
+        let build = || {
+            let mut db = Database::new();
+            for i in 0..20 {
+                db.add("node", &[format!("n{i}").as_str().into()]);
+            }
+            for i in 0..19usize {
+                db.add(
+                    "edge",
+                    &[
+                        format!("n{i}").as_str().into(),
+                        format!("n{}", i + 1).as_str().into(),
+                    ],
+                );
+            }
+            db
+        };
+        let reference = fingerprint(&ChaseSession::new(&program).run(build()).unwrap());
+        let mut tripped = 0;
+        for budget in [42u64, 45, 50, 55] {
+            let session = ChaseSession::new(&program);
+            let governed = session
+                .clone()
+                .guard(RunGuard::default().with_max_facts(budget))
+                .run(build());
+            let resumed = match governed {
+                Err(ChaseError::ResourceExhausted { partial, .. }) => {
+                    tripped += 1;
+                    session.resume(*partial, []).unwrap()
+                }
+                Ok(done) => done,
+                Err(other) => panic!("unexpected error: {other}"),
+            };
+            assert_eq!(fingerprint(&resumed), reference, "budget={budget}");
+        }
+        assert!(tripped > 0);
+        // Extending a *stratified* partial outcome with new facts is still
+        // rejected.
+        let partial = match ChaseSession::new(&program)
+            .guard(RunGuard::default().with_max_facts(42))
+            .run(build())
+        {
+            Err(ChaseError::ResourceExhausted { partial, .. }) => *partial,
+            other => panic!("expected a trip, got {other:?}"),
+        };
+        let err =
+            ChaseSession::new(&program).resume(partial, [Fact::new("node", vec!["extra".into()])]);
+        assert!(matches!(err, Err(ChaseError::NonMonotoneExtension)));
+    }
+
+    #[test]
+    fn report_counts_are_exact_on_a_hand_computed_program() {
+        // r1: a(x) -> b(x).        fires twice in round 1.
+        // r2: b(x) -> c(x).        fires twice via the round-1 top-up.
+        // r3: c(x), n = count(x) -> total(n).
+        //   round 1: aggregates both c facts (top-up) -> total(2);
+        //   round 2: full re-match (aggregate rule) re-derives total(2),
+        //   pre-empted as a duplicate.
+        let program = parse_program(
+            "r1: a(x) -> b(x).
+             r2: b(x) -> c(x).
+             r3: c(x), n = count(x) -> total(n).",
+        )
+        .unwrap()
+        .program;
+        let build = || {
+            let mut db = Database::new();
+            db.add("a", &["x".into()]);
+            db.add("a", &["y".into()]);
+            db
+        };
+        let out = ChaseSession::new(&program).threads(1).run(build()).unwrap();
+        let report = &out.report;
+        assert_eq!(out.database.len(), 7);
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.strata, 1);
+        assert_eq!(report.termination, Termination::Completed);
+
+        let [r1, r2, r3] = &report.rules[..] else {
+            panic!("three rules expected");
+        };
+        assert_eq!((r1.matches_enumerated, r1.firings), (2, 2));
+        assert_eq!((r1.facts_committed, r1.duplicates_preempted), (2, 0));
+        assert_eq!((r2.matches_enumerated, r2.firings), (2, 2));
+        assert_eq!((r2.facts_committed, r2.duplicates_preempted), (2, 0));
+        // r3: 2 top-up matches in round 1, 2 full-rematch matches in
+        // round 2; one firing per round; the round-2 aggregate is a
+        // duplicate.
+        assert_eq!((r3.matches_enumerated, r3.firings), (4, 2));
+        assert_eq!((r3.facts_committed, r3.duplicates_preempted), (1, 1));
+        assert_eq!(r3.isomorphism_checks, 0);
+
+        assert_eq!(report.rounds_log.len(), 2);
+        assert_eq!(report.rounds_log[0].facts_committed, 5);
+        assert_eq!(report.rounds_log[0].facts_end, 7);
+        assert_eq!(report.rounds_log[0].matches, 6);
+        assert_eq!(report.rounds_log[1].facts_committed, 0);
+        assert_eq!(report.rounds_log[1].matches, 2);
+        assert_eq!(report.peak.facts, 7);
+        assert_eq!(report.peak.derivations, 5);
+        assert!(report.peak.approx_bytes > 0);
+
+        // The count fingerprint is thread-invariant.
+        for threads in [2, 8] {
+            let other = ChaseSession::new(&program)
+                .threads(threads)
+                .run(build())
+                .unwrap();
+            assert_eq!(
+                other.report.count_fingerprint(),
+                report.count_fingerprint(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn existential_counters_track_preemption() {
+        // employee(x) -> works_for(x, ∃z) with one employee already
+        // covered: one isomorphism check, one pre-emption, no commit.
+        let program = parse_program("w: employee(x) -> works_for(x, z).")
+            .unwrap()
+            .program;
+        let mut db = Database::new();
+        db.add("employee", &["alice".into()]);
+        db.add("works_for", &["alice".into(), "acme".into()]);
+        let out = ChaseSession::new(&program).run(db).unwrap();
+        let w = &out.report.rules[0];
+        assert_eq!(w.isomorphism_checks, 1);
+        assert_eq!(w.satisfaction_preempted, 1);
+        assert_eq!(w.facts_committed, 0);
+    }
+
+    #[test]
+    fn reduced_telemetry_keeps_counters_and_skips_timings() {
+        let program = control_program();
+        let full = ChaseSession::new(&program).run(ladder_db(8)).unwrap();
+        let reduced = ChaseSession::new(&program)
+            .config(ChaseConfig::default().with_full_telemetry(false))
+            .run(ladder_db(8))
+            .unwrap();
+        assert_eq!(reduced.report.rules, full.report.rules);
+        assert_eq!(reduced.report.rounds, full.report.rounds);
+        assert_eq!(reduced.report.peak.facts, full.report.peak.facts);
+        assert!(reduced.report.rounds_log.is_empty());
+        assert_eq!(reduced.report.timings.total_ns, 0);
+        assert_eq!(reduced.report.timings.match_ns, 0);
+        assert!(full.report.timings.total_ns > 0);
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let program = control_program();
+        let out = ChaseSession::new(&program).run(ladder_db(6)).unwrap();
+        let json = out.report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"termination\":\"completed\""));
+        assert!(json.contains("\"rules\""));
+        assert!(json.contains("\"rounds_log\""));
+    }
+
+    #[test]
+    fn completed_runs_cannot_double_resume_state() {
+        let program = control_program();
+        let out = ChaseSession::new(&program).run(ladder_db(4)).unwrap();
+        assert!(!out.is_partial());
+        assert!(!out.report.is_partial());
     }
 }

@@ -1,6 +1,16 @@
 //! Error types for the engine, the parser and program validation.
+//!
+//! The engine's run-time error surface is *governed*: resource trips
+//! (deadline, cancellation, round/fact/memory budgets) all surface as
+//! [`ChaseError::ResourceExhausted`], carrying the tripped
+//! [`Budget`], the observed value, and the
+//! deterministic partial [`ChaseOutcome`]
+//! reached so far — resumable via
+//! [`ChaseSession::resume`](crate::engine::ChaseSession::resume).
 
+use crate::engine::ChaseOutcome;
 use crate::symbol::Symbol;
+use crate::telemetry::Budget;
 use crate::value::Value;
 use std::fmt;
 
@@ -116,19 +126,40 @@ impl fmt::Display for ProgramError {
 impl std::error::Error for ProgramError {}
 
 /// Errors raised by the chase engine at run time.
-#[derive(Clone, PartialEq, Debug)]
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm, so future variants are non-breaking.
+#[non_exhaustive]
+#[derive(Debug)]
 pub enum ChaseError {
     /// Expression evaluation failed inside a rule application.
     Eval {
         /// The rule label.
         rule: String,
-        /// The underlying error.
+        /// The underlying error (also exposed via
+        /// [`std::error::Error::source`]).
         source: EvalError,
     },
-    /// The configured round limit was reached before fixpoint.
-    RoundLimitExceeded(usize),
-    /// The configured fact limit was reached.
-    FactLimitExceeded(usize),
+    /// A resource budget tripped before fixpoint: deadline, cancellation,
+    /// or a round/fact/memory budget (see
+    /// [`RunGuard`](crate::telemetry::RunGuard)).
+    ///
+    /// Carries the deterministic partial outcome reached at the trip
+    /// point — a prefix of the canonical evaluation, with its partial
+    /// [`RunReport`](crate::telemetry::RunReport) — which
+    /// [`ChaseSession::resume`](crate::engine::ChaseSession::resume)
+    /// continues to the exact state an uninterrupted run would produce.
+    ResourceExhausted {
+        /// The budget that tripped.
+        budget: Budget,
+        /// The observed value at the trip point (rounds, facts, bytes, or
+        /// elapsed milliseconds depending on the budget; 0 for
+        /// cancellation).
+        observed: u64,
+        /// The partial outcome: every completed round's facts, provenance
+        /// and report.
+        partial: Box<ChaseOutcome>,
+    },
     /// A negative constraint was violated.
     ConstraintViolated {
         /// The constraint rule label.
@@ -147,12 +178,21 @@ impl fmt::Display for ChaseError {
             ChaseError::Eval { rule, source } => {
                 write!(f, "rule `{}`: {}", rule, source)
             }
-            ChaseError::RoundLimitExceeded(n) => {
-                write!(f, "chase did not reach fixpoint within {} rounds", n)
-            }
-            ChaseError::FactLimitExceeded(n) => {
-                write!(f, "chase exceeded the fact limit of {}", n)
-            }
+            ChaseError::ResourceExhausted {
+                budget, observed, ..
+            } => match budget {
+                Budget::Cancelled => {
+                    write!(
+                        f,
+                        "chase cancelled before fixpoint; partial outcome retained"
+                    )
+                }
+                _ => write!(
+                    f,
+                    "chase exceeded its {} (observed {}); partial outcome retained",
+                    budget, observed
+                ),
+            },
             ChaseError::ConstraintViolated { rule } => {
                 write!(f, "negative constraint `{}` violated", rule)
             }
@@ -164,7 +204,14 @@ impl fmt::Display for ChaseError {
     }
 }
 
-impl std::error::Error for ChaseError {}
+impl std::error::Error for ChaseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChaseError::Eval { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Errors raised while parsing Vadalog surface syntax.
 #[derive(Clone, PartialEq, Debug)]
@@ -201,6 +248,36 @@ mod tests {
         };
         assert!(e.to_string().contains("o3"));
         assert!(e.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn eval_errors_chain_their_source() {
+        let e = ChaseError::Eval {
+            rule: "o3".into(),
+            source: EvalError::DivisionByZero,
+        };
+        let source = std::error::Error::source(&e).expect("chained source");
+        assert_eq!(source.to_string(), "division by zero");
+        assert!(std::error::Error::source(&ChaseError::NonMonotoneExtension).is_none());
+    }
+
+    #[test]
+    fn resource_exhausted_renders_budget_and_observation() {
+        let partial = Box::new(crate::engine::ChaseOutcome::empty());
+        let e = ChaseError::ResourceExhausted {
+            budget: Budget::Rounds(50),
+            observed: 51,
+            partial,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("round budget of 50"), "{msg}");
+        assert!(msg.contains("51"), "{msg}");
+        let cancelled = ChaseError::ResourceExhausted {
+            budget: Budget::Cancelled,
+            observed: 0,
+            partial: Box::new(crate::engine::ChaseOutcome::empty()),
+        };
+        assert!(cancelled.to_string().contains("cancelled"));
     }
 
     #[test]

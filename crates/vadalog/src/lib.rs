@@ -15,7 +15,10 @@
 //! * a [`Database`] fact store with lazy positional indexes;
 //! * the [`engine`]: a restricted chase to fixpoint recording every
 //!   derivation in a [`provenance::ChaseGraph`];
-//! * the [`depgraph::DependencyGraph`] D(Σ) used by structural analysis.
+//! * the [`depgraph::DependencyGraph`] D(Σ) used by structural analysis;
+//! * [`telemetry`]: resource governance ([`RunGuard`]: deadlines,
+//!   cooperative cancellation, fact/round/memory budgets) and the per-run
+//!   [`RunReport`] of counters, timings and peaks every chase emits.
 //!
 //! ## Quick start
 //!
@@ -59,6 +62,7 @@ pub mod query;
 pub mod rule;
 pub mod stratify;
 pub mod symbol;
+pub mod telemetry;
 pub mod term;
 pub mod value;
 
@@ -80,6 +84,7 @@ pub mod prelude {
     pub use crate::rule::{AggFunc, Aggregate, Head, Literal, Rule, RuleBuilder, RuleId};
     pub use crate::stratify::{stratify, Stratification};
     pub use crate::symbol::Symbol;
+    pub use crate::telemetry::{Budget, CancelToken, RunGuard, RunReport, Termination};
     pub use crate::term::Term;
     pub use crate::value::Value;
 }

@@ -76,6 +76,9 @@ pub struct ChaseGraph {
     by_conclusion: HashMap<FactId, Vec<DerivationId>>,
     /// Facts present before the chase started.
     extensional: HashSet<FactId>,
+    /// Running approximation of the graph's heap footprint, maintained in
+    /// O(1) per recorded derivation (see [`ChaseGraph::approx_bytes`]).
+    approx_bytes: usize,
 }
 
 impl ChaseGraph {
@@ -96,6 +99,12 @@ impl ChaseGraph {
             .entry(derivation.conclusion)
             .or_default()
             .push(id);
+        // Rough per-derivation footprint: the struct, its premise vector
+        // and a flat per-binding-map allowance. Deterministic: a function
+        // of the recorded sequence only.
+        self.approx_bytes += std::mem::size_of::<Derivation>()
+            + derivation.premises.len() * std::mem::size_of::<FactId>()
+            + (derivation.contributor_bindings.len() + 1) * 48;
         self.derivations.push(derivation);
         id
     }
@@ -123,6 +132,13 @@ impl ChaseGraph {
     /// True iff `fact` was derived by at least one chase step.
     pub fn is_derived(&self, fact: FactId) -> bool {
         self.by_conclusion.contains_key(&fact)
+    }
+
+    /// Approximate heap footprint of the recorded derivations, in bytes.
+    /// Maintained in O(1) per record; polled (together with
+    /// [`Database::approx_bytes`]) by the engine's memory budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
     }
 
     /// Chooses a derivation of `fact` according to `policy`.

@@ -10,9 +10,10 @@ use ekg_explain::prelude::*;
 
 fn main() {
     let program = close_links::program();
-    let pipeline =
-        ExplanationPipeline::new(program.clone(), close_links::GOAL, &close_links::glossary())
-            .expect("pipeline builds");
+    let pipeline = ExplanationPipeline::builder(program.clone(), close_links::GOAL)
+        .glossary(&close_links::glossary())
+        .build()
+        .expect("pipeline builds");
 
     let mut db = Database::new();
     db.add(

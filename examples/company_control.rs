@@ -12,7 +12,9 @@ use ekg_explain::prelude::*;
 
 fn main() {
     let program = control::program();
-    let pipeline = ExplanationPipeline::new(program.clone(), control::GOAL, &control::glossary())
+    let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
+        .glossary(&control::glossary())
+        .build()
         .expect("pipeline builds");
 
     // --- The Fig. 12 cluster ---

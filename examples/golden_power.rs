@@ -15,12 +15,10 @@ use ekg_explain::prelude::*;
 
 fn main() {
     let program = golden_power::program();
-    let pipeline = ExplanationPipeline::new(
-        program.clone(),
-        golden_power::GOAL,
-        &golden_power::glossary(),
-    )
-    .expect("pipeline builds");
+    let pipeline = ExplanationPipeline::builder(program.clone(), golden_power::GOAL)
+        .glossary(&golden_power::glossary())
+        .build()
+        .expect("pipeline builds");
 
     println!("Critical nodes: {:?}", pipeline.analysis().critical);
     println!("Reasoning paths:");

@@ -23,14 +23,11 @@ fn main() {
     // (pre-computed, data-free); the anti-omission check retries or falls
     // back when the LLM drops a token.
     let llm_for_templates = SimulatedLlm::new(Prompt::Paraphrase, 7);
-    let pipeline = ExplanationPipeline::with_enhancer(
-        program.clone(),
-        control::GOAL,
-        &glossary,
-        &llm_for_templates,
-        3,
-    )
-    .expect("pipeline builds");
+    let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
+        .glossary(&glossary)
+        .enhancer(&llm_for_templates, 3)
+        .build()
+        .expect("pipeline builds");
     println!(
         "Template enhancement: {} paths, {} retries, {} fallbacks (tokens always preserved)",
         pipeline.stats().paths,

@@ -37,7 +37,9 @@ fn main() {
     // 3. The explanation pipeline: templates generated once, before any
     //    data is touched (Sec. 4.2).
     let glossary = simple_stress::glossary();
-    let pipeline = ExplanationPipeline::new(parsed.program.clone(), "default", &glossary)
+    let pipeline = ExplanationPipeline::builder(parsed.program.clone(), "default")
+        .glossary(&glossary)
+        .build()
         .expect("pipeline builds");
     println!("\nGenerated templates: {}", pipeline.stats().paths);
 

@@ -11,7 +11,9 @@ use ekg_explain::prelude::*;
 
 fn main() {
     let program = stress::program();
-    let pipeline = ExplanationPipeline::new(program.clone(), stress::GOAL, &stress::glossary())
+    let pipeline = ExplanationPipeline::builder(program.clone(), stress::GOAL)
+        .glossary(&stress::glossary())
+        .build()
         .expect("pipeline builds");
 
     let outcome = ChaseSession::new(&program)

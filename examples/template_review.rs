@@ -12,12 +12,10 @@ use ekg_explain::finkg::apps::simple_stress;
 use ekg_explain::prelude::*;
 
 fn main() {
-    let mut pipeline = ExplanationPipeline::new(
-        simple_stress::program(),
-        simple_stress::GOAL,
-        &simple_stress::glossary(),
-    )
-    .expect("pipeline builds");
+    let mut pipeline = ExplanationPipeline::builder(simple_stress::program(), simple_stress::GOAL)
+        .glossary(&simple_stress::glossary())
+        .build()
+        .expect("pipeline builds");
 
     // 1. Export the generated templates for expert review.
     let review_file = export_templates(&pipeline);

@@ -214,7 +214,9 @@ fn cmd_templates(
     glossary: &DomainGlossary,
     deterministic: bool,
 ) -> Result<(), String> {
-    let pipeline = ExplanationPipeline::new(parsed.program.clone(), goal, glossary)
+    let pipeline = ExplanationPipeline::builder(parsed.program.clone(), goal)
+        .glossary(glossary)
+        .build()
         .map_err(|e| e.to_string())?;
     let flavor = if deterministic {
         TemplateFlavor::Deterministic
@@ -239,7 +241,9 @@ fn cmd_explain(
     deterministic: bool,
 ) -> Result<(), String> {
     let fact = parse_fact(fact_text)?;
-    let pipeline = ExplanationPipeline::new(parsed.program.clone(), goal, glossary)
+    let pipeline = ExplanationPipeline::builder(parsed.program.clone(), goal)
+        .glossary(glossary)
+        .build()
         .map_err(|e| e.to_string())?;
     let db: Database = parsed.facts.clone().into_iter().collect();
     let outcome = ChaseSession::new(&parsed.program)
@@ -270,7 +274,9 @@ fn cmd_report(
     glossary: &DomainGlossary,
     deterministic: bool,
 ) -> Result<(), String> {
-    let pipeline = ExplanationPipeline::new(parsed.program.clone(), goal, glossary)
+    let pipeline = ExplanationPipeline::builder(parsed.program.clone(), goal)
+        .glossary(glossary)
+        .build()
         .map_err(|e| e.to_string())?;
     let db: Database = parsed.facts.clone().into_iter().collect();
     let outcome = ChaseSession::new(&parsed.program)

@@ -43,7 +43,10 @@
 //!
 //! // 2. Build the explanation pipeline once per application.
 //! let glossary = ekg_explain::finkg::apps::simple_stress::glossary();
-//! let pipeline = ExplanationPipeline::new(parsed.program.clone(), "default", &glossary).unwrap();
+//! let pipeline = ExplanationPipeline::builder(parsed.program.clone(), "default")
+//!     .glossary(&glossary)
+//!     .build()
+//!     .unwrap();
 //!
 //! // 3. Reason (chase to fixpoint with provenance).
 //! let db: Database = parsed.facts.into_iter().collect();
@@ -67,7 +70,8 @@ pub use vadalog;
 pub mod prelude {
     pub use explain::{
         analyze, DomainGlossary, ExplainError, Explanation, ExplanationPipeline, GlossaryEntry,
-        ReasoningPath, StructuralAnalysis, Template, TemplateFlavor, TemplateStyle, ValueFormat,
+        PipelineBuilder, PipelineReport, ReasoningPath, StructuralAnalysis, Template,
+        TemplateFlavor, TemplateStyle, ValueFormat,
     };
     pub use llm_sim::{Prompt, SimulatedLlm};
     pub use vadalog::prelude::*;

@@ -13,7 +13,10 @@ fn explain_all(
     glossary: &DomainGlossary,
     db: Database,
 ) -> Vec<Explanation> {
-    let pipeline = ExplanationPipeline::new(program.clone(), goal, glossary).expect("pipeline");
+    let pipeline = ExplanationPipeline::builder(program.clone(), goal)
+        .glossary(glossary)
+        .build()
+        .expect("pipeline");
     let outcome = ChaseSession::new(&program).run(db).expect("chase");
     let goal_sym = Symbol::new(goal);
     outcome
@@ -106,8 +109,10 @@ fn explanations_contain_every_proof_constant() {
         let db = finkg::random_ownership(20, 3, 100 + seed);
         let program = control::program();
         let glossary = control::glossary();
-        let pipeline =
-            ExplanationPipeline::new(program.clone(), control::GOAL, &glossary).expect("pipeline");
+        let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
+            .glossary(&glossary)
+            .build()
+            .expect("pipeline");
         let outcome = ChaseSession::new(&program).run(db).expect("chase");
         for &id in outcome.database.facts_of(Symbol::new("control")) {
             if !outcome.graph.is_derived(id) {
@@ -133,7 +138,9 @@ fn deterministic_flavor_also_contains_every_constant() {
     use ekg_explain::studies::proof_constants;
     let program = simple_stress::program();
     let glossary = simple_stress::glossary();
-    let pipeline = ExplanationPipeline::new(program.clone(), simple_stress::GOAL, &glossary)
+    let pipeline = ExplanationPipeline::builder(program.clone(), simple_stress::GOAL)
+        .glossary(&glossary)
+        .build()
         .expect("pipeline");
     let outcome = ChaseSession::new(&program)
         .run(simple_stress::figure_8_database())
@@ -155,9 +162,11 @@ fn pipeline_with_llm_enhancer_still_explains_completely() {
     let llm = SimulatedLlm::new(Prompt::Paraphrase, 3);
     let program = control::program();
     let glossary = control::glossary();
-    let pipeline =
-        ExplanationPipeline::with_enhancer(program.clone(), control::GOAL, &glossary, &llm, 4)
-            .expect("pipeline");
+    let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
+        .glossary(&glossary)
+        .enhancer(&llm, 4)
+        .build()
+        .expect("pipeline");
     let bundle = finkg::control_bundle(6, 2, 8);
     let outcome = ChaseSession::new(&program)
         .run(bundle.database)
@@ -176,7 +185,9 @@ fn pipeline_with_llm_enhancer_still_explains_completely() {
 #[test]
 fn explanation_queries_on_inputs_are_rejected() {
     let program = control::program();
-    let pipeline = ExplanationPipeline::new(program.clone(), control::GOAL, &control::glossary())
+    let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
+        .glossary(&control::glossary())
+        .build()
         .expect("pipeline");
     let outcome = ChaseSession::new(&program)
         .run(scenario::database())

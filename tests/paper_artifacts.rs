@@ -41,12 +41,10 @@ fn example_4_7_tau_and_covering() {
 #[test]
 fn example_4_8_explanation_mentions_every_amount() {
     let program = simple_stress::program();
-    let pipeline = ExplanationPipeline::new(
-        program.clone(),
-        simple_stress::GOAL,
-        &simple_stress::glossary(),
-    )
-    .unwrap();
+    let pipeline = ExplanationPipeline::builder(program.clone(), simple_stress::GOAL)
+        .glossary(&simple_stress::glossary())
+        .build()
+        .unwrap();
     let outcome = ChaseSession::new(&program)
         .run(simple_stress::figure_8_database())
         .unwrap();
@@ -183,8 +181,10 @@ fn figure_18_shape_latency_grows_with_steps() {
 #[test]
 fn section_5_narrative_default_f_explanation() {
     let program = stress::program();
-    let pipeline =
-        ExplanationPipeline::new(program.clone(), stress::GOAL, &stress::glossary()).unwrap();
+    let pipeline = ExplanationPipeline::builder(program.clone(), stress::GOAL)
+        .glossary(&stress::glossary())
+        .build()
+        .unwrap();
     let outcome = ChaseSession::new(&program)
         .run(ekg_explain::finkg::scenario::database())
         .unwrap();

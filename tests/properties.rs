@@ -143,8 +143,9 @@ proptest! {
     fn explanations_are_complete_on_random_graphs(edges in ownership_db(7)) {
         let program = control::program();
         let glossary = control::glossary();
-        let pipeline = ExplanationPipeline::new(
-            program.clone(), control::GOAL, &glossary).unwrap();
+        let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
+        .glossary(&glossary)
+        .build().unwrap();
         let outcome = ChaseSession::new(&program).run(build_db(&edges)).unwrap();
         for &id in outcome.database.facts_of(Symbol::new("control")) {
             if !outcome.graph.is_derived(id) {
