@@ -54,6 +54,16 @@ pub enum ExplainError {
         /// a deadline; 0 for cancellation).
         observed: u64,
     },
+    /// Restoring a chase outcome from a checkpoint snapshot failed (see
+    /// [`ExplanationPipeline::restore_outcome`](crate::pipeline::ExplanationPipeline::restore_outcome)).
+    ///
+    /// Carries the rendered underlying error rather than the error value:
+    /// `ExplainError` is `Clone + PartialEq` and the engine's load errors
+    /// (wrapping `std::io::Error`) are neither.
+    Restore {
+        /// The rendered load or resume failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExplainError {
@@ -74,6 +84,9 @@ impl fmt::Display for ExplainError {
             }
             ExplainError::IncompleteTemplate { missing } => {
                 write!(f, "enhanced template lost tokens: {}", missing.join(", "))
+            }
+            ExplainError::Restore { detail } => {
+                write!(f, "restoring the chase outcome failed: {}", detail)
             }
             ExplainError::ResourceExhausted { budget, observed } => match budget {
                 Budget::Cancelled => write!(f, "explanation pipeline cancelled"),

@@ -15,7 +15,10 @@ use crate::structural::{analyze_with, AnalysisConfig, StructuralAnalysis};
 use crate::template::{generate, single_rule_path, Template, TemplateStyle};
 use std::time::Instant;
 use vadalog::telemetry::{Budget, JsonWriter, RunGuard};
-use vadalog::{ChaseOutcome, DerivationId, DerivationPolicy, Fact, FactId, Program, RuleId};
+use vadalog::{
+    ChaseConfig, ChaseError, ChaseOutcome, ChaseSession, DerivationId, DerivationPolicy, Fact,
+    FactId, Program, RuleId,
+};
 
 /// Which template flavour an explanation query uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -102,7 +105,7 @@ impl PipelineReport {
 }
 
 /// Fluent configuration of an [`ExplanationPipeline`], mirroring the
-/// engine's [`ChaseSession`](vadalog::ChaseSession) builder: start from
+/// engine's [`ChaseSession`] builder: start from
 /// [`ExplanationPipeline::builder`], chain setters, [`build`](Self::build).
 ///
 /// ```no_run
@@ -463,6 +466,36 @@ impl ExplanationPipeline {
         Ok(out)
     }
 
+    /// Restores a chase outcome from a checkpoint snapshot on disk so the
+    /// pipeline can answer explanation queries over a run that was
+    /// interrupted (autosave, guard trip, worker panic) or simply archived.
+    ///
+    /// A snapshot of a completed run loads as-is; a partial one is carried
+    /// to fixpoint under `config` via
+    /// [`ChaseSession::resume_from_path`](vadalog::ChaseSession::resume_from_path),
+    /// reaching the state an uninterrupted run would have produced. Load
+    /// and resume failures surface as [`ExplainError::Restore`] (with the
+    /// precise [`CheckpointError`](vadalog::CheckpointError) rendered into
+    /// the detail); a budget trip during the resume surfaces as
+    /// [`ExplainError::ResourceExhausted`].
+    pub fn restore_outcome(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        config: ChaseConfig,
+    ) -> Result<ChaseOutcome, ExplainError> {
+        ChaseSession::new(&self.program)
+            .config(config)
+            .resume_from_path(path)
+            .map_err(|e| match e {
+                ChaseError::ResourceExhausted {
+                    budget, observed, ..
+                } => ExplainError::ResourceExhausted { budget, observed },
+                other => ExplainError::Restore {
+                    detail: other.to_string(),
+                },
+            })
+    }
+
     /// Answers the explanation query Q_e = {fact} with enhanced templates.
     pub fn explain(
         &self,
@@ -710,6 +743,35 @@ mod tests {
         let db: Database = parsed.facts.into_iter().collect();
         let outcome = ChaseSession::new(&parsed.program).run(db).unwrap();
         (pipeline, outcome)
+    }
+
+    #[test]
+    fn restore_outcome_reloads_a_snapshot_and_reports_failures() {
+        let (pipeline, outcome) = setup();
+        let dir = std::env::temp_dir().join("explain-restore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("outcome.ckpt");
+        ChaseSession::new(pipeline.program())
+            .checkpoint_to(&outcome, &path)
+            .unwrap();
+
+        // The restored outcome answers the same explanation queries.
+        let restored = pipeline
+            .restore_outcome(&path, ChaseConfig::default())
+            .unwrap();
+        let q = Fact::new("default", vec!["C".into()]);
+        let from_restored = pipeline.explain(&restored, &q).unwrap();
+        let from_original = pipeline.explain(&outcome, &q).unwrap();
+        assert_eq!(from_restored.text, from_original.text);
+
+        // A damaged snapshot surfaces as a Restore error naming the cause.
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        match pipeline.restore_outcome(&path, ChaseConfig::default()) {
+            Err(ExplainError::Restore { detail }) => {
+                assert!(detail.contains("checkpoint load failed"), "{detail}");
+            }
+            other => panic!("expected ExplainError::Restore, got {other:?}"),
+        }
     }
 
     #[test]

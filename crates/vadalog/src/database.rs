@@ -191,6 +191,19 @@ impl Database {
         self.approx_bytes
     }
 
+    /// Overwrites the running footprint estimate with a recorded value.
+    ///
+    /// Used by checkpoint restore only: [`Database::insert`] accounts for
+    /// the positional indexes that exist *at insert time*, so replaying
+    /// the facts of a snapshot into a fresh (index-less) store would
+    /// under-count relative to the live run it captured — and a resumed
+    /// memory budget would then trip at a different point than the
+    /// uninterrupted run. Restoring the recorded estimate keeps the
+    /// memory observation bitwise identical across a save/load cycle.
+    pub(crate) fn restore_approx_bytes(&mut self, approx_bytes: usize) {
+        self.approx_bytes = approx_bytes;
+    }
+
     /// Finds an *active* fact of `predicate` matching `pattern`, where
     /// `None` entries are wildcards. Used by the restricted-chase
     /// satisfaction check and safe negation.

@@ -44,9 +44,11 @@ pub use matcher::{
 };
 
 use crate::atom::Fact;
+use crate::checkpoint::{self, AutosavePolicy, CheckpointError, SnapshotParts};
 use crate::database::{Database, FactId};
 use crate::error::{ChaseError, EvalError};
 use crate::expr::Bindings;
+use crate::faultpoint;
 use crate::program::Program;
 use crate::provenance::{ChaseGraph, Derivation};
 use crate::rule::{AggFunc, Head, Rule, RuleId};
@@ -57,8 +59,10 @@ use crate::telemetry::{
 use crate::term::Term;
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Configuration of a chase run.
@@ -102,6 +106,12 @@ pub struct ChaseConfig {
     /// collected; disabling this skips only the clock reads and the round
     /// log (the knob the telemetry-overhead bench toggles). Default: on.
     pub full_telemetry: bool,
+    /// Crash-safety: when set, the engine snapshots the run to the
+    /// policy's path every N completed rounds and/or on budget trips and
+    /// worker panics (see [`AutosavePolicy`]). A process crash then loses
+    /// at most the work since the last snapshot:
+    /// [`ChaseSession::resume_from_path`] picks it up. Default: off.
+    pub autosave: Option<AutosavePolicy>,
 }
 
 impl Default for ChaseConfig {
@@ -115,6 +125,7 @@ impl Default for ChaseConfig {
             threads: 0,
             guard: RunGuard::default(),
             full_telemetry: true,
+            autosave: None,
         }
     }
 }
@@ -167,6 +178,13 @@ impl ChaseConfig {
     /// counters are always on).
     pub fn with_full_telemetry(mut self, full_telemetry: bool) -> ChaseConfig {
         self.full_telemetry = full_telemetry;
+        self
+    }
+
+    /// Sets the autosave policy: periodic and/or on-trip checkpoint
+    /// snapshots of the run (see [`AutosavePolicy`]).
+    pub fn with_autosave(mut self, policy: AutosavePolicy) -> ChaseConfig {
+        self.autosave = Some(policy);
         self
     }
 
@@ -261,25 +279,25 @@ impl ChaseOutcome {
 #[derive(Clone, Debug)]
 pub(crate) struct EngineResume {
     /// Per-rule `db.len()` watermarks at the trip.
-    last_seen_len: Vec<usize>,
+    pub(crate) last_seen_len: Vec<usize>,
     /// The stratum being evaluated when the budget tripped.
-    stratum: usize,
+    pub(crate) stratum: usize,
     /// Number of fully committed rounds.
-    completed_rounds: u32,
+    pub(crate) completed_rounds: u32,
     /// A round interrupted mid-commit, to be finished before the loop
     /// continues.
-    pending: Option<PendingRound>,
+    pub(crate) pending: Option<PendingRound>,
 }
 
 /// A round whose commit phase was interrupted between two rules.
 #[derive(Clone, Debug)]
-struct PendingRound {
+pub(crate) struct PendingRound {
     /// The interrupted round's number.
-    round: u32,
+    pub(crate) round: u32,
     /// First rule index not yet committed.
-    next_rule: usize,
+    pub(crate) next_rule: usize,
     /// Whether any earlier rule of the round committed a fresh fact.
-    changed_so_far: bool,
+    pub(crate) changed_so_far: bool,
 }
 
 /// Outcome of one commit phase.
@@ -352,6 +370,68 @@ impl<'p> ChaseSession<'p> {
     /// The session's current configuration.
     pub fn current_config(&self) -> &ChaseConfig {
         &self.config
+    }
+
+    /// Atomically writes a checkpoint snapshot of `outcome` to `path`
+    /// (temp file → fsync → rename; see [`crate::checkpoint`]).
+    ///
+    /// Works for completed and partial outcomes alike — checkpointing the
+    /// partial carried by [`ChaseError::ResourceExhausted`] or
+    /// [`ChaseError::WorkerPanic`] preserves an interrupted run across
+    /// process restarts.
+    pub fn checkpoint_to(
+        &self,
+        outcome: &ChaseOutcome,
+        path: impl AsRef<Path>,
+    ) -> Result<(), CheckpointError> {
+        checkpoint::save(path.as_ref(), self.program, &self.config, outcome)
+    }
+
+    /// Loads the snapshot at `path` and continues it to fixpoint.
+    ///
+    /// The snapshot is verified (magic, version, checksum, program+config
+    /// fingerprint) before anything is rebuilt; every corruption mode
+    /// surfaces as [`ChaseError::Checkpoint`] with a precise
+    /// [`CheckpointError`], never a panic. A snapshot of a *completed*
+    /// run is returned as-is; a partial one is resumed with
+    /// [`ChaseSession::resume`] and reaches a state bitwise identical to
+    /// an uninterrupted run, at any thread count. The load/rebuild time
+    /// is stamped into the outcome's
+    /// [`checkpoint_restore_ns`](crate::telemetry::PhaseTimings::checkpoint_restore_ns).
+    pub fn resume_from_path(&self, path: impl AsRef<Path>) -> Result<ChaseOutcome, ChaseError> {
+        let t = Instant::now();
+        let loaded =
+            checkpoint::load(path.as_ref(), self.program, &self.config).map_err(|source| {
+                ChaseError::Checkpoint {
+                    source,
+                    partial: None,
+                }
+            })?;
+        let restore_ns = t.elapsed().as_nanos() as u64;
+        if !loaded.is_partial() {
+            let mut out = loaded;
+            out.report.timings.checkpoint_restore_ns += restore_ns;
+            return Ok(out);
+        }
+        match self.resume(loaded, std::iter::empty()) {
+            Ok(mut out) => {
+                out.report.timings.checkpoint_restore_ns += restore_ns;
+                Ok(out)
+            }
+            Err(ChaseError::ResourceExhausted {
+                budget,
+                observed,
+                mut partial,
+            }) => {
+                partial.report.timings.checkpoint_restore_ns += restore_ns;
+                Err(ChaseError::ResourceExhausted {
+                    budget,
+                    observed,
+                    partial,
+                })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Runs the chase over `database` to fixpoint.
@@ -520,6 +600,11 @@ type ItemResult = Result<(Vec<BodyMatch>, MatchMetrics), EvalError>;
 /// started (the phase was interrupted and the caller discards them all).
 type ItemResults = Vec<Option<ItemResult>>;
 
+/// What [`Chase::execute_items`] hands back: the per-item results, the
+/// async budget trip (if one interrupted the phase), and the first
+/// worker panic as `(item index, message)`.
+type ExecutedItems = (ItemResults, Option<(Budget, u64)>, Option<(usize, String)>);
+
 /// Everything the match phase hands to the run loop: the merged matches
 /// and the phase's telemetry.
 struct MatchPhaseOutput {
@@ -534,6 +619,11 @@ struct MatchPhaseOutput {
     /// Set iff cancellation or the deadline tripped mid-phase; `merged`
     /// is then empty.
     interrupted: Option<(Budget, u64)>,
+    /// Set iff a worker panicked mid-phase (rule index and panic
+    /// message); `merged` is then empty. When several items panic, the
+    /// lowest *observed* item index wins — which items were observed is
+    /// scheduling-dependent, the committed state is not.
+    panicked: Option<(usize, String)>,
     match_ns: u64,
     merge_ns: u64,
 }
@@ -545,6 +635,7 @@ impl MatchPhaseOutput {
             rule_metrics: Vec::new(),
             buffered: 0,
             interrupted: None,
+            panicked: None,
             match_ns: 0,
             merge_ns: 0,
         }
@@ -555,6 +646,20 @@ impl MatchPhaseOutput {
 /// reduced).
 fn lap(timer: Option<Instant>) -> u64 {
     timer.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
+}
+
+/// The human-readable message of a caught panic payload (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+/// Callers must pass `&*boxed` — `&boxed` would unsize the `Box` itself
+/// into the trait object and every downcast would miss.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 struct Chase<'p> {
@@ -722,6 +827,7 @@ impl<'p> Chase<'p> {
                 ) {
                     return self.exhausted(budget, observed, stratum, round, None, start);
                 }
+                faultpoint::trigger("chase.round");
                 round += 1;
                 let _round_span = crate::span!("chase.round", "round {}", round);
                 let round_t = self.timer();
@@ -747,6 +853,11 @@ impl<'p> Chase<'p> {
                     // The phase is read-only, so nothing was committed:
                     // the round never started.
                     return self.exhausted(budget, observed, stratum, round - 1, None, start);
+                }
+                if let Some((rule_idx, message)) = phase.panicked {
+                    // Same reasoning: the panicked phase committed
+                    // nothing, so the state is the last completed round.
+                    return self.worker_panicked(rule_idx, message, stratum, round - 1, start);
                 }
                 // Phase 2: commit in rule-id order, topping up each rule
                 // with the matches enabled by this round's earlier rules.
@@ -784,6 +895,11 @@ impl<'p> Chase<'p> {
                     }
                     CommitControl::Completed { changed } => {
                         self.log_round(round, stratum, matches_before, snapshot_len, round_t);
+                        if let Some(policy) = self.autosave_due(round, changed) {
+                            if let Err(source) = self.autosave_now(&policy, stratum, round) {
+                                return Err(self.checkpoint_failed(source, stratum, round, start));
+                            }
+                        }
                         if !changed {
                             break;
                         }
@@ -831,7 +947,8 @@ impl<'p> Chase<'p> {
 
     /// Seals a budget trip: packages the deterministic partial outcome
     /// (with its continuation state) into
-    /// [`ChaseError::ResourceExhausted`].
+    /// [`ChaseError::ResourceExhausted`]. With an on-trip autosave policy
+    /// the partial is also snapshotted to disk first.
     fn exhausted(
         self,
         budget: Budget,
@@ -847,17 +964,160 @@ impl<'p> Chase<'p> {
             completed_rounds,
             pending,
         };
+        let program = self.program;
+        let config = self.config.clone();
         let partial = self.finish(
             Termination::Exhausted { budget, observed },
             completed_rounds,
             start,
             Some(resume),
         );
+        let partial = Self::trip_save(program, &config, partial)?;
         Err(ChaseError::ResourceExhausted {
             budget,
             observed,
             partial: Box::new(partial),
         })
+    }
+
+    /// Seals a worker panic (already isolated by [`Chase::execute_items`])
+    /// into [`ChaseError::WorkerPanic`] carrying the deterministic state
+    /// of the last completed round, resumable like any budget trip.
+    fn worker_panicked(
+        self,
+        rule_idx: usize,
+        message: String,
+        stratum: usize,
+        completed_rounds: u32,
+        start: Instant,
+    ) -> Result<ChaseOutcome, ChaseError> {
+        let rule = self.program.rule(RuleId(rule_idx)).label.clone();
+        let resume = EngineResume {
+            last_seen_len: self.last_seen_len.clone(),
+            stratum,
+            completed_rounds,
+            pending: None,
+        };
+        let program = self.program;
+        let config = self.config.clone();
+        let partial = self.finish(
+            Termination::Panicked { rule: rule.clone() },
+            completed_rounds,
+            start,
+            Some(resume),
+        );
+        let partial = Self::trip_save(program, &config, partial)?;
+        Err(ChaseError::WorkerPanic {
+            rule,
+            message,
+            partial: Box::new(partial),
+        })
+    }
+
+    /// The autosave policy due after completing `round`, if any. Periodic
+    /// saves fire every `every_rounds` completed rounds while the run is
+    /// still making progress (the final fixpoint check is not worth a
+    /// snapshot: the completed outcome follows immediately).
+    fn autosave_due(&self, round: u32, changed: bool) -> Option<AutosavePolicy> {
+        let policy = self.config.autosave.as_ref()?;
+        (changed && policy.every_rounds > 0 && round.is_multiple_of(policy.every_rounds))
+            .then(|| policy.clone())
+    }
+
+    /// Writes a periodic autosave snapshot of the run as of completed
+    /// round `round`: the continuation cursor is a clean round boundary
+    /// (no pending commit), exactly the state a budget trip at the next
+    /// round top would produce.
+    fn autosave_now(
+        &mut self,
+        policy: &AutosavePolicy,
+        stratum: usize,
+        round: u32,
+    ) -> Result<(), CheckpointError> {
+        let t = self.timer();
+        self.report.autosaves += 1;
+        let mut report = self.report.clone();
+        report.rounds = round;
+        report.termination = Termination::Suspended;
+        report.peak.facts = self.db.len() as u64;
+        report.peak.derivations = self.graph.derivations().len() as u64;
+        report.peak.approx_bytes = self.memory_bytes();
+        let resume = EngineResume {
+            last_seen_len: self.last_seen_len.clone(),
+            stratum,
+            completed_rounds: round,
+            pending: None,
+        };
+        let result = checkpoint::save_parts(
+            &policy.path,
+            checkpoint::fingerprint(self.program, &self.config),
+            &SnapshotParts {
+                db: &self.db,
+                graph: &self.graph,
+                rounds: u64::from(round),
+                derived_facts: (self.db.len() - self.initial_facts) as u64,
+                violations: &self.violations,
+                report: &report,
+                resume: Some(&resume),
+            },
+        );
+        self.report.timings.checkpoint_save_ns += lap(t);
+        if result.is_err() {
+            self.report.autosaves -= 1;
+        }
+        result
+    }
+
+    /// Seals a failed autosave: the run stops (so the caller learns about
+    /// the failing disk *now*, not after hours more work), but the
+    /// deterministic partial outcome is carried in the error and stays
+    /// resumable in memory.
+    fn checkpoint_failed(
+        self,
+        source: CheckpointError,
+        stratum: usize,
+        round: u32,
+        start: Instant,
+    ) -> ChaseError {
+        let resume = EngineResume {
+            last_seen_len: self.last_seen_len.clone(),
+            stratum,
+            completed_rounds: round,
+            pending: None,
+        };
+        let partial = self.finish(Termination::Suspended, round, start, Some(resume));
+        ChaseError::Checkpoint {
+            source,
+            partial: Some(Box::new(partial)),
+        }
+    }
+
+    /// On-trip autosave: snapshots `partial` to the policy path (when one
+    /// is configured with `on_guard_trip`), stamping the save time and
+    /// count into the partial's report. A failed save turns into
+    /// [`ChaseError::Checkpoint`] still carrying the partial.
+    fn trip_save(
+        program: &Program,
+        config: &ChaseConfig,
+        mut partial: ChaseOutcome,
+    ) -> Result<ChaseOutcome, ChaseError> {
+        let Some(policy) = config.autosave.as_ref().filter(|p| p.on_guard_trip) else {
+            return Ok(partial);
+        };
+        partial.report.autosaves += 1;
+        let t = config.full_telemetry.then(Instant::now);
+        let result = checkpoint::save(&policy.path, program, config, &partial);
+        partial.report.timings.checkpoint_save_ns += lap(t);
+        match result {
+            Ok(()) => Ok(partial),
+            Err(source) => {
+                partial.report.autosaves -= 1;
+                Err(ChaseError::Checkpoint {
+                    source,
+                    partial: Some(Box::new(partial)),
+                })
+            }
+        }
     }
 
     /// Seals the run into its outcome, stamping the report's termination,
@@ -960,11 +1220,18 @@ impl<'p> Chase<'p> {
         }
 
         let t = self.timer();
-        let (results, interrupted) = self.execute_items(&items, threads, armed);
+        let (results, interrupted, panicked) = self.execute_items(&items, threads, armed);
         let match_ns = lap(t);
         if let Some((budget, observed)) = interrupted {
             return MatchPhaseOutput {
                 interrupted: Some((budget, observed)),
+                match_ns,
+                ..MatchPhaseOutput::empty()
+            };
+        }
+        if let Some((item_idx, message)) = panicked {
+            return MatchPhaseOutput {
+                panicked: Some((items[item_idx].rule_idx, message)),
                 match_ns,
                 ..MatchPhaseOutput::empty()
             };
@@ -1011,6 +1278,7 @@ impl<'p> Chase<'p> {
             rule_metrics,
             buffered,
             interrupted: None,
+            panicked: None,
             match_ns,
             merge_ns: lap(t),
         }
@@ -1022,35 +1290,58 @@ impl<'p> Chase<'p> {
     /// token or a deadline, every worker polls it before taking the next
     /// chunk and the phase stops early with the trip; the partially
     /// filled slots are then discarded by the caller.
+    ///
+    /// Worker panics are isolated (`catch_unwind`, in the inline path
+    /// too, so isolation is thread-count invariant): the phase stops and
+    /// reports the lowest observed panicking item, which the run loop
+    /// seals into [`ChaseError::WorkerPanic`]. The one exception is the
+    /// [`faultpoint::FaultCrash`] payload of an injected crash, which is
+    /// deliberately re-raised: a simulated process death must kill the
+    /// run, not be absorbed by the isolation it is testing.
     fn execute_items(
         &self,
         items: &[WorkItem<'_>],
         threads: usize,
         armed: &ArmedGuard,
-    ) -> (ItemResults, Option<(Budget, u64)>) {
+    ) -> ExecutedItems {
         let check = armed.has_async_trips();
         let workers = threads.min(items.len());
+        let run_item = |item: &WorkItem<'_>| -> Result<ItemResult, Box<dyn std::any::Any + Send>> {
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                faultpoint::trigger("chase.match_chunk");
+                let mut metrics = MatchMetrics::default();
+                match_chunk_metered(&self.db, item.rule, &item.chunk, &mut metrics)
+                    .map(|ms| (ms, metrics))
+            }))
+            .map_err(|payload| {
+                if payload.downcast_ref::<faultpoint::FaultCrash>().is_some() {
+                    panic::resume_unwind(payload);
+                }
+                payload
+            })
+        };
         if workers <= 1 {
             let mut out: ItemResults = Vec::with_capacity(items.len());
-            for item in items {
+            for (i, item) in items.iter().enumerate() {
                 if check {
                     if let Some(trip) = armed.interrupted() {
-                        return (out, Some(trip));
+                        return (out, Some(trip), None);
                     }
                 }
-                let mut metrics = MatchMetrics::default();
-                out.push(Some(
-                    match_chunk_metered(&self.db, item.rule, &item.chunk, &mut metrics)
-                        .map(|ms| (ms, metrics)),
-                ));
+                match run_item(item) {
+                    Ok(result) => out.push(Some(result)),
+                    Err(payload) => {
+                        return (out, None, Some((i, panic_message(&*payload))));
+                    }
+                }
             }
-            return (out, None);
+            return (out, None, None);
         }
-        let db = &self.db;
         let slots: Vec<OnceLock<ItemResult>> = items.iter().map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let trip: OnceLock<(Budget, u64)> = OnceLock::new();
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -1066,17 +1357,34 @@ impl<'p> Chase<'p> {
                     }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
-                    let mut metrics = MatchMetrics::default();
-                    let result = match_chunk_metered(db, item.rule, &item.chunk, &mut metrics)
-                        .map(|ms| (ms, metrics));
-                    let _ = slots[i].set(result);
+                    match run_item(item) {
+                        Ok(result) => {
+                            let _ = slots[i].set(result);
+                        }
+                        Err(payload) => {
+                            panics
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push((i, panic_message(&*payload)));
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
                 });
             }
         });
         let interrupted = trip.get().copied();
+        let panicked = {
+            let mut observed = panics
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            observed.sort_by_key(|&(i, _)| i);
+            observed.into_iter().next()
+        };
         (
             slots.into_iter().map(OnceLock::into_inner).collect(),
             interrupted,
+            panicked,
         )
     }
 
@@ -1136,6 +1444,7 @@ impl<'p> Chase<'p> {
                     changed,
                 });
             }
+            faultpoint::trigger("chase.commit_rule");
             let watermark = self.last_seen_len[idx];
             let current_len = self.db.len();
             if watermark == current_len {

@@ -8,6 +8,7 @@
 //! reached so far — resumable via
 //! [`ChaseSession::resume`](crate::engine::ChaseSession::resume).
 
+use crate::checkpoint::CheckpointError;
 use crate::engine::ChaseOutcome;
 use crate::symbol::Symbol;
 use crate::telemetry::Budget;
@@ -170,6 +171,39 @@ pub enum ChaseError {
     /// earlier conclusions, so the closure must be recomputed from
     /// scratch.
     NonMonotoneExtension,
+    /// A worker panicked while evaluating a rule in the parallel match
+    /// phase. The panic was isolated (`catch_unwind`): the process
+    /// survives, and the error carries the deterministic state of the
+    /// last completed round — the match phase is read-only, so nothing of
+    /// the interrupted round was committed. The partial outcome is
+    /// resumable via
+    /// [`ChaseSession::resume`](crate::engine::ChaseSession::resume).
+    ///
+    /// When several rules panic in the same phase, which one is named is
+    /// scheduling-dependent; the partial outcome is deterministic
+    /// regardless.
+    WorkerPanic {
+        /// Label of the rule whose evaluation panicked.
+        rule: String,
+        /// The panic message (or a placeholder for non-string payloads).
+        message: String,
+        /// The deterministic partial outcome at the last completed round.
+        partial: Box<ChaseOutcome>,
+    },
+    /// A checkpoint operation failed: an autosave or trip-save could not
+    /// be written, or [`ChaseSession::resume_from_path`](crate::engine::ChaseSession::resume_from_path)
+    /// could not load the snapshot. See
+    /// [`CheckpointError`] for the precise corruption
+    /// or I/O cause.
+    Checkpoint {
+        /// The underlying checkpoint failure (also exposed via
+        /// [`std::error::Error::source`]).
+        source: CheckpointError,
+        /// For failed autosaves mid-run: the deterministic partial
+        /// outcome at the failure point, resumable in memory. `None` when
+        /// the failure happened while loading.
+        partial: Option<Box<ChaseOutcome>>,
+    },
 }
 
 impl fmt::Display for ChaseError {
@@ -200,6 +234,22 @@ impl fmt::Display for ChaseError {
                 f,
                 "incremental extension requires a negation-free (single-stratum) program"
             ),
+            ChaseError::WorkerPanic { rule, message, .. } => write!(
+                f,
+                "worker panicked evaluating rule `{}`: {}; partial outcome retained",
+                rule, message
+            ),
+            ChaseError::Checkpoint { source, partial } => {
+                if partial.is_some() {
+                    write!(
+                        f,
+                        "checkpoint save failed: {}; partial outcome retained",
+                        source
+                    )
+                } else {
+                    write!(f, "checkpoint load failed: {}", source)
+                }
+            }
         }
     }
 }
@@ -208,6 +258,7 @@ impl std::error::Error for ChaseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ChaseError::Eval { source, .. } => Some(source),
+            ChaseError::Checkpoint { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -18,7 +18,12 @@
 //! * the [`depgraph::DependencyGraph`] D(Σ) used by structural analysis;
 //! * [`telemetry`]: resource governance ([`RunGuard`]: deadlines,
 //!   cooperative cancellation, fact/round/memory budgets) and the per-run
-//!   [`RunReport`] of counters, timings and peaks every chase emits.
+//!   [`RunReport`] of counters, timings and peaks every chase emits;
+//! * [`checkpoint`]: crash-safe, checksummed snapshots of (partial) runs,
+//!   written atomically by an autosave policy or on demand, resumable to
+//!   a bitwise-identical state via `ChaseSession::resume_from_path` —
+//!   with [`faultpoint`] hooks (feature `faultpoints`) for deterministic
+//!   crash and I/O-failure injection in tests.
 //!
 //! ## Quick start
 //!
@@ -49,12 +54,14 @@
 #![forbid(unsafe_code)]
 
 pub mod atom;
+pub mod checkpoint;
 pub mod database;
 pub mod depgraph;
 pub mod dot;
 pub mod engine;
 pub mod error;
 pub mod expr;
+pub mod faultpoint;
 pub mod parser;
 pub mod program;
 pub mod provenance;
@@ -69,6 +76,7 @@ pub mod value;
 /// Commonly used items, importable with one line.
 pub mod prelude {
     pub use crate::atom::{fact, Atom, Fact};
+    pub use crate::checkpoint::{AutosavePolicy, CheckpointError};
     pub use crate::database::{Database, FactId};
     pub use crate::depgraph::{DepEdge, DependencyGraph};
     #[allow(deprecated)]

@@ -76,15 +76,30 @@ impl From<ProgramError> for ParseOrValidateError {
 /// Parses and validates a program text.
 pub fn parse_program(input: &str) -> Result<ParsedProgram, ParseOrValidateError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let (rules, facts) = p.statements()?;
     let program = Program::new(rules)?;
     Ok(ParsedProgram { program, facts })
 }
 
+/// Maximum nesting depth of expressions (`(((...)))`, `----x`). The
+/// recursive-descent expression grammar recurses once per nesting level;
+/// without a cap, a few thousand bytes of `(` from an untrusted program
+/// would overflow the stack — an abort no caller can catch. 128 levels is
+/// far beyond any legitimate arithmetic expression.
+const MAX_EXPR_DEPTH: u32 = 128;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current expression-nesting depth, guarded against
+    /// [`MAX_EXPR_DEPTH`] in the one funnel both recursion paths share
+    /// ([`Parser::atom_expr`]).
+    depth: u32,
 }
 
 impl Parser {
@@ -449,6 +464,19 @@ impl Parser {
     }
 
     fn atom_expr(&mut self) -> Result<Expr, ParseError> {
+        // Both recursion paths of the expression grammar (`(`→expr and
+        // unary minus) pass through here, so this single guard bounds the
+        // parser's stack use on any input.
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(self.error("expression nesting too deep"));
+        }
+        self.depth += 1;
+        let result = self.atom_expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn atom_expr_inner(&mut self) -> Result<Expr, ParseError> {
         match self.peek().clone() {
             TokenKind::Int(i) => {
                 self.next();
@@ -556,7 +584,10 @@ mod tests {
         let parsed = parse_program(text).unwrap();
         let rule = &parsed.program.rules()[0];
         assert_eq!(rule.assignments.len(), 1);
-        // x + (y * 2)
+        // x + (y * 2). The panic below is a test assertion, not a parser
+        // code path: production parsing never panics on malformed input
+        // (see the parser_fuzz integration tests), and this module's only
+        // panic lives inside #[cfg(test)].
         let Expr::Binary { op, right, .. } = &rule.assignments[0].expr else {
             panic!("expected binary expression");
         };

@@ -291,6 +291,18 @@ pub enum Termination {
         /// elapsed milliseconds, depending on the budget).
         observed: u64,
     },
+    /// The run was checkpointed mid-flight (an autosave snapshot of a run
+    /// still in progress, or the partial sealed when a checkpoint write
+    /// failed): no budget tripped, the state is a deterministic prefix.
+    Suspended,
+    /// A worker panicked while evaluating a rule in the parallel match
+    /// phase; the run holds the deterministic state of the last completed
+    /// round (see
+    /// [`ChaseError::WorkerPanic`](crate::error::ChaseError)).
+    Panicked {
+        /// Label of the rule whose evaluation panicked.
+        rule: String,
+    },
 }
 
 /// Per-rule execution counters of one run.
@@ -360,6 +372,11 @@ pub struct PhaseTimings {
     pub commit_ns: u64,
     /// Aggregate grouping and folding (a sub-span of the commit phase).
     pub aggregate_ns: u64,
+    /// Writing checkpoint snapshots (autosaves and trip saves) to disk.
+    pub checkpoint_save_ns: u64,
+    /// Loading and rebuilding a snapshot in
+    /// [`ChaseSession::resume_from_path`](crate::engine::ChaseSession::resume_from_path).
+    pub checkpoint_restore_ns: u64,
     /// Whole-run wall clock.
     pub total_ns: u64,
 }
@@ -404,6 +421,9 @@ pub struct RunReport {
     pub timings: PhaseTimings,
     /// Peak sizes.
     pub peak: PeakStats,
+    /// Checkpoint snapshots written by the autosave policy during this
+    /// run (see [`AutosavePolicy`](crate::checkpoint::AutosavePolicy)).
+    pub autosaves: u64,
 }
 
 impl RunReport {
@@ -486,6 +506,15 @@ impl RunReport {
                 w.field_u64("observed", *observed);
                 w.close_object();
             }
+            Termination::Suspended => {
+                w.field_str("termination", "suspended");
+            }
+            Termination::Panicked { rule } => {
+                w.key("termination");
+                w.open_object();
+                w.field_str("panicked", rule);
+                w.close_object();
+            }
         }
         w.field_u64("threads", self.threads as u64);
         w.field_u64("rounds", u64::from(self.rounds));
@@ -526,8 +555,11 @@ impl RunReport {
         w.field_u64("merge", self.timings.merge_ns);
         w.field_u64("commit", self.timings.commit_ns);
         w.field_u64("aggregate", self.timings.aggregate_ns);
+        w.field_u64("checkpoint_save", self.timings.checkpoint_save_ns);
+        w.field_u64("checkpoint_restore", self.timings.checkpoint_restore_ns);
         w.field_u64("total", self.timings.total_ns);
         w.close_object();
+        w.field_u64("autosaves", self.autosaves);
         w.key("peak");
         w.open_object();
         w.field_u64("facts", self.peak.facts);

@@ -1,0 +1,198 @@
+//! The checkpoint corruption matrix: every way a snapshot file can be
+//! damaged — truncation, torn writes, bit flips in the body or the
+//! checksum, stale format versions, a snapshot of a different program,
+//! an empty file — must surface as its *specific*
+//! [`CheckpointError`] variant, and never as a panic.
+
+use std::path::{Path, PathBuf};
+use vadalog::checkpoint::{self, CheckpointError};
+use vadalog::prelude::*;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("checkpoint_corruption");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn control_program() -> ParsedProgram {
+    parse_program(
+        r#"
+        o1: own(x, y, s), s > 0.5 -> control(x, y).
+        o2: company(x) -> control(x, x).
+        o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).
+        company("A").
+        own("A", "B", 0.6).
+        own("B", "C", 0.3).
+        own("A", "C", 0.4).
+    "#,
+    )
+    .unwrap()
+}
+
+/// A valid snapshot of a completed run, as raw bytes plus the pieces
+/// needed to re-load it.
+fn snapshot(name: &str) -> (PathBuf, Vec<u8>, Program, ChaseConfig) {
+    let parsed = control_program();
+    let db: Database = parsed.facts.into_iter().collect();
+    let session = ChaseSession::new(&parsed.program);
+    let out = session.run(db).unwrap();
+    let path = tmp(name);
+    session.checkpoint_to(&out, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    (path, bytes, parsed.program, ChaseConfig::default())
+}
+
+fn load(path: &Path, program: &Program, config: &ChaseConfig) -> Result<(), CheckpointError> {
+    checkpoint::load(path, program, config).map(|_| ())
+}
+
+#[test]
+fn a_pristine_snapshot_round_trips() {
+    let (path, _, program, config) = snapshot("pristine.ckpt");
+    let loaded = checkpoint::load(&path, &program, &config).unwrap();
+    assert!(!loaded.is_partial());
+    let fresh: Database = control_program().facts.into_iter().collect();
+    let reference = ChaseSession::new(&program).run(fresh).unwrap();
+    assert_eq!(loaded.database.len(), reference.database.len());
+    assert_eq!(
+        loaded.graph.derivations().len(),
+        reference.graph.derivations().len()
+    );
+    // Timings differ between runs; the deterministic counters must not.
+    assert_eq!(loaded.report.rounds, reference.report.rounds);
+    assert_eq!(loaded.report.termination, reference.report.termination);
+}
+
+#[test]
+fn an_empty_file_is_reported_as_empty() {
+    let (path, _, program, config) = snapshot("empty.ckpt");
+    std::fs::write(&path, b"").unwrap();
+    assert!(matches!(
+        load(&path, &program, &config),
+        Err(CheckpointError::Empty)
+    ));
+}
+
+#[test]
+fn a_missing_file_is_an_io_error() {
+    let (_, _, program, config) = snapshot("present.ckpt");
+    assert!(matches!(
+        load(&tmp("never-written.ckpt"), &program, &config),
+        Err(CheckpointError::Io(_))
+    ));
+}
+
+#[test]
+fn every_truncation_point_is_detected() {
+    let (path, bytes, program, config) = snapshot("truncated.ckpt");
+    // A few header cuts, plus body cuts including one-byte-short.
+    for cut in [1, 8, 20, 35, 36, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        assert!(
+            matches!(
+                load(&path, &program, &config),
+                Err(CheckpointError::Truncated { .. })
+            ),
+            "cut at {cut} of {} not reported as truncation",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn a_flipped_body_byte_fails_the_checksum() {
+    let (path, bytes, program, config) = snapshot("bodyflip.ckpt");
+    // Flip one byte in the body (header is 36 bytes).
+    for pos in [36, 36 + (bytes.len() - 36) / 2, bytes.len() - 1] {
+        let mut damaged = bytes.clone();
+        damaged[pos] ^= 0x40;
+        std::fs::write(&path, &damaged).unwrap();
+        assert!(
+            matches!(
+                load(&path, &program, &config),
+                Err(CheckpointError::ChecksumMismatch { .. })
+            ),
+            "body flip at {pos} not caught by the checksum"
+        );
+    }
+}
+
+#[test]
+fn a_flipped_checksum_byte_is_a_checksum_mismatch() {
+    let (path, mut bytes, program, config) = snapshot("sumflip.ckpt");
+    bytes[28] ^= 0x01; // first byte of the stored checksum
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        load(&path, &program, &config),
+        Err(CheckpointError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn a_stale_format_version_is_rejected_by_number() {
+    let (path, mut bytes, program, config) = snapshot("version.ckpt");
+    bytes[8] = bytes[8].wrapping_add(1); // version is LE at offset 8
+    std::fs::write(&path, &bytes).unwrap();
+    match load(&path, &program, &config) {
+        Err(CheckpointError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, checkpoint::FORMAT_VERSION + 1);
+            assert_eq!(supported, checkpoint::FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_snapshot_of_a_different_program_is_a_fingerprint_mismatch() {
+    let (path, _, _, config) = snapshot("foreign.ckpt");
+    let other = parse_program("r: p(x) -> q(x).").unwrap().program;
+    assert!(matches!(
+        load(&path, &other, &config),
+        Err(CheckpointError::FingerprintMismatch { .. })
+    ));
+    // A semantics-affecting config difference is an equally foreign
+    // snapshot; thread count is not.
+    let (path, _, program, config) = snapshot("config.ckpt");
+    assert!(matches!(
+        load(&path, &program, &config.clone().with_semi_naive(false)),
+        Err(CheckpointError::FingerprintMismatch { .. })
+    ));
+    assert!(load(&path, &program, &config.clone().with_threads(7)).is_ok());
+}
+
+#[test]
+fn wrong_magic_is_not_a_checkpoint() {
+    let (path, mut bytes, program, config) = snapshot("magic.ckpt");
+    bytes[0] = b'X';
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        load(&path, &program, &config),
+        Err(CheckpointError::BadMagic)
+    ));
+}
+
+#[test]
+fn trailing_garbage_is_malformed() {
+    let (path, mut bytes, program, config) = snapshot("trailing.ckpt");
+    bytes.extend_from_slice(b"extra");
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        load(&path, &program, &config),
+        Err(CheckpointError::Malformed { .. })
+    ));
+}
+
+#[test]
+fn session_load_errors_carry_no_partial_outcome() {
+    let (path, mut bytes, program, config) = snapshot("session.ckpt");
+    bytes[40] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let session = ChaseSession::new(&program).config(config);
+    match session.resume_from_path(&path) {
+        Err(ChaseError::Checkpoint { source, partial }) => {
+            assert!(matches!(source, CheckpointError::ChecksumMismatch { .. }));
+            assert!(partial.is_none());
+        }
+        other => panic!("expected ChaseError::Checkpoint, got {other:?}"),
+    }
+}

@@ -1,0 +1,78 @@
+//! Parser robustness on untrusted input: arbitrary byte soup, mutated
+//! valid programs, and pathological nesting must all come back as
+//! `Ok`/`Err` — never a panic, never a stack overflow.
+
+use proptest::prelude::*;
+use vadalog::parser::parse_program;
+
+const VALID_PROGRAM: &str = r#"
+    o1: own(x, y, s), s > 0.5 -> control(x, y).
+    o2: company(x) -> control(x, x).
+    o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).
+    c1: own(x, x, s) -> !.
+    company("A").
+    own("A", "B", 0.6).
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes, lossily decoded, never panic the parser.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(0u8..=255u8, 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_program(&text);
+    }
+
+    /// Token-shaped garbage (the characters the lexer actually cares
+    /// about) never panics the parser.
+    #[test]
+    fn token_soup_never_panics(src in "[a-z0-9_@:,.()<>=!'\" \n*-]{0,200}") {
+        let _ = parse_program(&src);
+    }
+
+    /// A valid program with one byte overwritten still parses or fails
+    /// cleanly.
+    #[test]
+    fn mutated_program_never_panics(pos in 0usize..1000, byte in 0u8..=255u8) {
+        let mut bytes = VALID_PROGRAM.as_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_program(&text);
+    }
+
+    /// A valid program truncated at any byte still fails cleanly.
+    #[test]
+    fn truncated_program_never_panics(cut in 0usize..1000) {
+        let cut = cut % (VALID_PROGRAM.len() + 1);
+        let text = String::from_utf8_lossy(&VALID_PROGRAM.as_bytes()[..cut]);
+        let _ = parse_program(&text);
+    }
+}
+
+/// Deeply nested parentheses must hit the depth guard, not the stack.
+#[test]
+fn deep_expression_nesting_is_rejected_not_a_stack_overflow() {
+    let open = "(".repeat(5000);
+    let close = ")".repeat(5000);
+    let src = format!("r: p(x), y = {open}x{close} -> q(y).");
+    assert!(parse_program(&src).is_err());
+}
+
+/// Nesting just under the guard still parses.
+#[test]
+fn shallow_expression_nesting_still_parses() {
+    let open = "(".repeat(20);
+    let close = ")".repeat(20);
+    let src = format!("r: p(x), y = {open}x{close} + 1 -> q(y).");
+    assert!(parse_program(&src).is_ok());
+}
+
+/// Unary-minus chains recurse through the same guard.
+#[test]
+fn long_unary_minus_chain_is_rejected_not_a_stack_overflow() {
+    let minuses = "-".repeat(5000);
+    let src = format!("r: p(x), y = {minuses}x -> q(y).");
+    assert!(parse_program(&src).is_err());
+}
