@@ -1,10 +1,38 @@
 //! Regenerates Fig. 18: running times of explanation generation for
 //! proofs of increasing inference length.
+//!
+//! With `--trace PATH`, additionally runs the sweep under the span ring
+//! collector and writes the collected spans to PATH as Chrome
+//! `trace_event` JSON — loadable in Perfetto, and profileable with
+//! `cargo run -p bench --bin obs_inspect -- PATH`.
 
 use bench::fig17::App;
 use bench::fig18::{paper_steps, rows, run, HEADERS};
+use std::sync::Arc;
+use vadalog::obs::span::{self, RingCollector};
+use vadalog::obs::to_chrome_trace;
+
+fn trace_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(args.next().unwrap_or_else(|| {
+                eprintln!("--trace requires a path");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
 
 fn main() {
+    let trace = trace_path();
+    let ring = trace.as_ref().map(|_| {
+        let ring = Arc::new(RingCollector::new(1 << 20));
+        span::install(ring.clone());
+        ring
+    });
+
     let proofs_per_len = 15; // as in the paper's boxplots
     for (app, label) in [
         (App::CompanyControl, "(a) Company Control"),
@@ -15,6 +43,20 @@ fn main() {
         print!("{}", bench::render_table(&HEADERS, &rows(&points)));
         println!();
     }
+
+    if let (Some(path), Some(ring)) = (trace, ring) {
+        span::uninstall();
+        let spans = ring.drain();
+        std::fs::write(&path, to_chrome_trace(&spans))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!(
+            "wrote {} spans to {path} ({} evicted); open in https://ui.perfetto.dev",
+            spans.len(),
+            ring.dropped()
+        );
+        println!();
+    }
+
     println!("Note: absolute numbers are hardware-dependent; the paper's shape to check");
     println!("is: time grows with chase steps, stress test > company control, worst case");
     println!("interactive.");

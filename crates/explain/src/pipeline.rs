@@ -180,7 +180,7 @@ impl<'a> PipelineBuilder<'a> {
     /// optional enhancement, per-rule fallbacks.
     pub fn build(self) -> Result<ExplanationPipeline, ExplainError> {
         let start = Instant::now();
-        let _span = vadalog::span!("explain.build", "goal {}", self.goal);
+        let _span = vadalog::span!("explain.build", goal = self.goal.to_string());
         let default_glossary;
         let glossary = match self.glossary {
             Some(g) => g,
@@ -210,7 +210,7 @@ impl<'a> PipelineBuilder<'a> {
         for (i, path) in analysis.paths.iter().enumerate() {
             pipeline_trip(&self.guard, start)?;
             let t = Instant::now();
-            let _span = vadalog::span!("explain.template", "path {}", i);
+            let _span = vadalog::span!("explain.template", path = i);
             let det = generate(&program, glossary, path, i, TemplateStyle::Deterministic);
             let fluent = generate(&program, glossary, path, i, TemplateStyle::Fluent);
             report.template_ns += t.elapsed().as_nanos() as u64;
@@ -264,6 +264,31 @@ impl<'a> PipelineBuilder<'a> {
         report.enhancement_retries = u64::from(stats.enhancement_retries);
         report.enhancement_fallbacks = stats.enhancement_fallbacks as u64;
         report.total_ns = start.elapsed().as_nanos() as u64;
+        let registry = vadalog::obs::metrics::global();
+        registry
+            .counter(
+                "vadalog_explain_builds_total",
+                "Explanation pipelines built to completion.",
+            )
+            .inc();
+        registry
+            .counter(
+                "vadalog_explain_paths_total",
+                "Reasoning paths surfaced by structural analysis.",
+            )
+            .add(report.paths);
+        registry
+            .counter(
+                "vadalog_explain_templates_total",
+                "Explanation templates generated (deterministic style).",
+            )
+            .add(report.templates);
+        registry
+            .counter(
+                "vadalog_explain_enhancement_fallbacks_total",
+                "Enhancements that fell back to the deterministic template.",
+            )
+            .add(report.enhancement_fallbacks);
         Ok(ExplanationPipeline {
             program,
             analysis,

@@ -6,8 +6,10 @@
 
 use finkg::apps::{close_links, control, golden_power, simple_stress, stress};
 use finkg::scenario;
+use std::sync::Arc;
 use vadalog::{
-    Budget, CancelToken, ChaseError, ChaseOutcome, ChaseSession, Database, Fact, Program, RunGuard,
+    Budget, CancelToken, ChaseConfig, ChaseError, ChaseOutcome, ChaseSession, Database, Fact,
+    MetricsRegistry, Program, RunGuard,
 };
 
 const THREAD_SWEEP: [usize; 2] = [2, 8];
@@ -136,6 +138,49 @@ fn seeded_control_bundle_is_thread_invariant() {
 fn seeded_stress_bundle_is_thread_invariant() {
     let bundle = finkg::generator::stress_bundle(4, 6, 43);
     assert_thread_invariant("bundle/stress", &stress::program(), &bundle.database);
+}
+
+/// The determinism contract extends to the metrics registry: running the
+/// same chase into a fresh registry at 1, 2 and 8 worker threads must
+/// leave bitwise-identical counter, gauge and histogram-observation
+/// counts (`MetricsRegistry::count_fingerprint`). Only histogram bucket
+/// placement — wall-clock latency — is exempt.
+#[test]
+fn metric_counts_are_thread_invariant() {
+    let cases: [(&str, Program, Database); 2] = [
+        ("control", control::program(), scenario::database()),
+        (
+            "stress",
+            stress::program(),
+            finkg::random_debt_network(60, 3, 5, 11),
+        ),
+    ];
+    for (name, program, db) in &cases {
+        let run = |threads: usize| {
+            let registry = Arc::new(MetricsRegistry::new());
+            ChaseSession::new(program)
+                .config(
+                    ChaseConfig::default()
+                        .with_threads(threads)
+                        .with_metrics(registry.clone()),
+                )
+                .run(db.clone())
+                .unwrap_or_else(|e| panic!("{name}: chase at {threads} threads failed: {e}"));
+            registry.count_fingerprint()
+        };
+        let expected = run(1);
+        assert!(
+            expected.contains("vadalog_chase_runs_total"),
+            "{name}: registry missing run counters:\n{expected}"
+        );
+        for threads in THREAD_SWEEP {
+            assert_eq!(
+                run(threads),
+                expected,
+                "{name}: metric counts diverged at {threads} threads"
+            );
+        }
+    }
 }
 
 /// The determinism contract extends across interruption: a chase tripped

@@ -277,6 +277,7 @@ pub fn save(
             report: &outcome.report,
             resume: outcome.resume.as_ref(),
         },
+        &config.metrics_registry(),
     )
 }
 
@@ -293,6 +294,14 @@ pub fn load(
     program: &Program,
     config: &ChaseConfig,
 ) -> Result<ChaseOutcome, CheckpointError> {
+    let _span = crate::span!("checkpoint.load", path = path.display().to_string());
+    config
+        .metrics_registry()
+        .counter(
+            "vadalog_checkpoint_loads_total",
+            "Checkpoint snapshots read back from disk.",
+        )
+        .inc();
     faultpoint::io("checkpoint.read")?;
     let bytes = fs::read(path)?;
     if bytes.is_empty() {
@@ -368,7 +377,13 @@ pub(crate) fn save_parts(
     path: &Path,
     fingerprint: u64,
     parts: &SnapshotParts<'_>,
+    registry: &crate::obs::metrics::MetricsRegistry,
 ) -> Result<(), CheckpointError> {
+    let _span = crate::span!(
+        "checkpoint.save",
+        path = path.display().to_string(),
+        facts = parts.db.len(),
+    );
     let body = encode_body(parts);
     let mut bytes = Vec::with_capacity(HEADER_LEN + body.len());
     bytes.extend_from_slice(&MAGIC);
@@ -392,7 +407,15 @@ pub(crate) fn save_parts(
     let mut f = fs::File::create(&tmp)?;
     f.write_all(&bytes)?;
     faultpoint::io("checkpoint.sync")?;
+    let sync_start = std::time::Instant::now();
     f.sync_all()?;
+    registry
+        .histogram(
+            "vadalog_checkpoint_fsync_ns",
+            &[100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000],
+            "Time spent in fsync per checkpoint write, in nanoseconds.",
+        )
+        .observe(sync_start.elapsed().as_nanos() as u64);
     drop(f);
     // A crash here (after the durable temp write, before the rename)
     // leaves the previous snapshot untouched — the atomicity the tests
@@ -405,6 +428,20 @@ pub(crate) fn save_parts(
         // filesystems support fsync on directories).
         let _ = fs::File::open(dir).and_then(|d| d.sync_all());
     }
+    // Counted only after the rename: a snapshot isn't "saved" until it
+    // is the file at `path`.
+    registry
+        .counter(
+            "vadalog_checkpoint_bytes_total",
+            "Bytes written to committed checkpoint snapshots (header + body).",
+        )
+        .add(bytes.len() as u64);
+    registry
+        .counter(
+            "vadalog_checkpoint_saves_total",
+            "Checkpoint snapshots committed durably.",
+        )
+        .inc();
     Ok(())
 }
 

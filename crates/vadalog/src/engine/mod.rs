@@ -49,6 +49,7 @@ use crate::database::{Database, FactId};
 use crate::error::{ChaseError, EvalError};
 use crate::expr::Bindings;
 use crate::faultpoint;
+use crate::obs::metrics::{Histogram, MetricsRegistry};
 use crate::program::Program;
 use crate::provenance::{ChaseGraph, Derivation};
 use crate::rule::{AggFunc, Head, Rule, RuleId};
@@ -112,6 +113,13 @@ pub struct ChaseConfig {
     /// at most the work since the last snapshot:
     /// [`ChaseSession::resume_from_path`] picks it up. Default: off.
     pub autosave: Option<AutosavePolicy>,
+    /// The metrics registry the run reports into. `None` (default) uses
+    /// the process-wide [`crate::obs::metrics::global`] registry; tests
+    /// pass their own to observe a single run in isolation. Every metric
+    /// the engine writes is derived from the deterministic run telemetry,
+    /// so registry contents are thread-count invariant (latency histogram
+    /// *bucket placement* excepted — observation counts still are).
+    pub metrics: Option<std::sync::Arc<MetricsRegistry>>,
 }
 
 impl Default for ChaseConfig {
@@ -126,6 +134,7 @@ impl Default for ChaseConfig {
             guard: RunGuard::default(),
             full_telemetry: true,
             autosave: None,
+            metrics: None,
         }
     }
 }
@@ -186,6 +195,20 @@ impl ChaseConfig {
     pub fn with_autosave(mut self, policy: AutosavePolicy) -> ChaseConfig {
         self.autosave = Some(policy);
         self
+    }
+
+    /// Directs the run's metrics into `registry` instead of the
+    /// process-wide [`crate::obs::metrics::global`] registry.
+    pub fn with_metrics(mut self, registry: std::sync::Arc<MetricsRegistry>) -> ChaseConfig {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// The registry this run reports into.
+    pub(crate) fn metrics_registry(&self) -> std::sync::Arc<MetricsRegistry> {
+        self.metrics
+            .clone()
+            .unwrap_or_else(|| crate::obs::metrics::global().clone())
     }
 
     /// The resolved worker count: `threads`, or the host's available
@@ -519,6 +542,7 @@ impl<'p> ChaseSession<'p> {
             Some(state) => (state.last_seen_len.clone(), Some(state)),
             None => (vec![watermark; program.len()], None),
         };
+        let metrics = EngineMetrics::new(program, &self.config);
         let engine = Chase {
             program,
             db: database,
@@ -532,6 +556,7 @@ impl<'p> ChaseSession<'p> {
             initial_facts,
             report: RunReport::default(),
             resume_from,
+            metrics,
         };
         // `initial_facts` counts the pre-extension closure plus the new
         // input facts, so `derived_facts` of the result counts only the
@@ -662,6 +687,80 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Pre-resolved metric handles the engine updates during a run.
+/// Resolving a handle takes the registry lock once; updating one is a
+/// relaxed atomic, cheap enough to stay on unconditionally.
+struct EngineMetrics {
+    registry: std::sync::Arc<MetricsRegistry>,
+    /// Commit latency per rule, indexed like `Program::rules`. Observation
+    /// *counts* are deterministic (the commit phase is sequential); bucket
+    /// placement is wall-clock.
+    rule_commit_ns: Vec<std::sync::Arc<Histogram>>,
+    /// Facts committed per completed round.
+    commit_batch_facts: std::sync::Arc<Histogram>,
+    /// Wall-clock extent per completed round (0 under reduced telemetry).
+    round_duration_ns: std::sync::Arc<Histogram>,
+}
+
+/// Nanosecond histogram bounds: 10µs .. 10s, decade-spaced.
+const NS_BOUNDS: &[u64] = &[
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+impl EngineMetrics {
+    fn new(program: &Program, config: &ChaseConfig) -> EngineMetrics {
+        let registry = config.metrics_registry();
+        let rule_commit_ns = program
+            .rules()
+            .iter()
+            .map(|rule| {
+                registry.histogram_with(
+                    "vadalog_rule_commit_ns",
+                    &[("rule", &rule.label)],
+                    NS_BOUNDS,
+                    "Commit-phase latency per rule (match top-up, canonicalization and firing), in nanoseconds.",
+                )
+            })
+            .collect();
+        let commit_batch_facts = registry.histogram(
+            "vadalog_commit_batch_facts",
+            &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000],
+            "Facts committed per completed chase round.",
+        );
+        let round_duration_ns = registry.histogram(
+            "vadalog_round_duration_ns",
+            NS_BOUNDS,
+            "Wall-clock extent per completed chase round, in nanoseconds.",
+        );
+        EngineMetrics {
+            registry,
+            rule_commit_ns,
+            commit_batch_facts,
+            round_duration_ns,
+        }
+    }
+}
+
+/// Observes a rule-commit's latency into its histogram when dropped, so
+/// every exit path of the commit block (no-match skips included) counts
+/// exactly once.
+struct LatencyGuard {
+    hist: std::sync::Arc<Histogram>,
+    timer: Option<Instant>,
+}
+
+impl Drop for LatencyGuard {
+    fn drop(&mut self) {
+        self.hist.observe(lap(self.timer.take()));
+    }
+}
+
 struct Chase<'p> {
     program: &'p Program,
     db: Database,
@@ -687,6 +786,8 @@ struct Chase<'p> {
     report: RunReport,
     /// Trip-point state to continue from, set by [`ChaseSession::resume`].
     resume_from: Option<EngineResume>,
+    /// Pre-resolved handles into the run's metrics registry.
+    metrics: EngineMetrics,
 }
 
 impl<'p> Chase<'p> {
@@ -696,6 +797,7 @@ impl<'p> Chase<'p> {
             graph.mark_extensional(id);
         }
         let initial_facts = db.len();
+        let metrics = EngineMetrics::new(program, &config);
         Chase {
             program,
             db,
@@ -709,6 +811,7 @@ impl<'p> Chase<'p> {
             initial_facts,
             report: RunReport::default(),
             resume_from: None,
+            metrics,
         }
     }
 
@@ -724,7 +827,9 @@ impl<'p> Chase<'p> {
             self.config.max_rounds,
             self.config.max_facts,
         );
-        let _run_span = crate::span!("chase.run");
+        let threads = self.config.effective_threads();
+        let strata = self.program.stratification().strata;
+        let _run_span = crate::span!("chase.run", strata = strata, threads = threads);
 
         // Build every statically-probed positional index before the first
         // parallel phase: a cold index must never be constructed while the
@@ -739,8 +844,6 @@ impl<'p> Chase<'p> {
         }
         self.report.timings.index_build_ns += lap(t);
 
-        let threads = self.config.effective_threads();
-        let strata = self.program.stratification().strata;
         self.report.threads = threads;
         self.report.strata = strata as u32;
         self.report.rules = self
@@ -762,7 +865,7 @@ impl<'p> Chase<'p> {
         // once its predicate's stratum has reached fixpoint, giving the
         // standard perfect-model semantics for stratified negation.
         for stratum in first_stratum..strata {
-            let _stratum_span = crate::span!("chase.stratum", "stratum {}", stratum);
+            let _stratum_span = crate::span!("chase.stratum", stratum = stratum);
             // Completion pass: finish a round that a previous run left
             // interrupted mid-commit, starting at the rule the trip
             // stopped before. Its matches are re-derived from each rule's
@@ -829,7 +932,7 @@ impl<'p> Chase<'p> {
                 }
                 faultpoint::trigger("chase.round");
                 round += 1;
-                let _round_span = crate::span!("chase.round", "round {}", round);
+                let _round_span = crate::span!("chase.round", round = round);
                 let round_t = self.timer();
                 let snapshot_len = self.db.len();
                 let matches_before = self.report.total_matches();
@@ -931,10 +1034,17 @@ impl<'p> Chase<'p> {
         facts_before: usize,
         round_t: Option<Instant>,
     ) {
+        let facts_end = self.db.len();
+        // Round histograms are always on: their observation counts derive
+        // from the deterministic round structure. The duration value is 0
+        // under reduced telemetry (no clock was read).
+        self.metrics
+            .commit_batch_facts
+            .observe((facts_end - facts_before) as u64);
+        self.metrics.round_duration_ns.observe(lap(round_t));
         if !self.config.full_telemetry {
             return;
         }
-        let facts_end = self.db.len();
         self.report.rounds_log.push(RoundStats {
             round,
             stratum: stratum as u32,
@@ -1060,6 +1170,7 @@ impl<'p> Chase<'p> {
                 report: &report,
                 resume: Some(&resume),
             },
+            &self.metrics.registry,
         );
         self.report.timings.checkpoint_save_ns += lap(t);
         if result.is_err() {
@@ -1137,6 +1248,7 @@ impl<'p> Chase<'p> {
         if self.config.full_telemetry {
             self.report.timings.total_ns = start.elapsed().as_nanos() as u64;
         }
+        self.flush_metrics();
         ChaseOutcome {
             derived_facts: self.db.len() - self.initial_facts,
             database: self.db,
@@ -1146,6 +1258,101 @@ impl<'p> Chase<'p> {
             report: self.report,
             resume,
         }
+    }
+
+    /// Flushes the sealed report's counters into the run's metrics
+    /// registry. Every value here comes from the deterministic run
+    /// telemetry, so registry counts are bitwise identical at any
+    /// worker-thread count.
+    fn flush_metrics(&self) {
+        let registry = &self.metrics.registry;
+        let status = match &self.report.termination {
+            Termination::Completed => "completed",
+            Termination::Exhausted { .. } => "exhausted",
+            Termination::Suspended => "suspended",
+            Termination::Panicked { .. } => "panicked",
+        };
+        registry
+            .counter_with(
+                "vadalog_chase_runs_total",
+                &[("status", status)],
+                "Chase runs sealed, by termination status.",
+            )
+            .inc();
+        registry
+            .counter(
+                "vadalog_chase_rounds_total",
+                "Chase rounds completed across runs.",
+            )
+            .add(u64::from(self.report.rounds));
+        registry
+            .counter(
+                "vadalog_chase_matches_total",
+                "Body matches enumerated across runs.",
+            )
+            .add(self.report.total_matches());
+        registry
+            .counter(
+                "vadalog_chase_facts_derived_total",
+                "Facts derived (beyond the EDB) across runs.",
+            )
+            .add((self.db.len() - self.initial_facts) as u64);
+        let mut probes = 0;
+        let mut scans = 0;
+        let mut duplicates = 0;
+        for rule in &self.report.rules {
+            probes += rule.index_probes;
+            scans += rule.scans;
+            duplicates += rule.duplicates_preempted;
+        }
+        registry
+            .counter(
+                "vadalog_index_probes_total",
+                "Positional-index probes during matching (vs vadalog_index_scans_total: the probe/scan ratio).",
+            )
+            .add(probes);
+        registry
+            .counter(
+                "vadalog_index_scans_total",
+                "Full-predicate scans during matching.",
+            )
+            .add(scans);
+        registry
+            .counter(
+                "vadalog_duplicates_preempted_total",
+                "Chase steps preempted because the fact already existed.",
+            )
+            .add(duplicates);
+        registry
+            .counter(
+                "vadalog_autosaves_total",
+                "Autosave checkpoints written by the engine.",
+            )
+            .add(self.report.autosaves);
+        if let Termination::Exhausted { budget, .. } = &self.report.termination {
+            registry
+                .counter_with(
+                    "vadalog_guard_trips_total",
+                    &[("budget", budget.kind())],
+                    "Resource-guard trips, by exhausted budget.",
+                )
+                .inc();
+        }
+        if let Termination::Panicked { rule } = &self.report.termination {
+            registry
+                .counter_with(
+                    "vadalog_worker_panics_total",
+                    &[("rule", rule)],
+                    "Match-phase worker panics isolated by the engine, by rule.",
+                )
+                .inc();
+        }
+        registry
+            .gauge(
+                "vadalog_peak_facts",
+                "Largest fact store observed at the end of any run.",
+            )
+            .set_max(self.report.peak.facts);
     }
 
     /// True iff `rule` is matched semi-naively (delta expansion per pivot)
@@ -1450,7 +1657,11 @@ impl<'p> Chase<'p> {
             if watermark == current_len {
                 continue; // nothing new since last evaluation
             }
-            let _rule_span = crate::span!("chase.rule", "rule {}", rule.label);
+            let _rule_span = crate::span!("chase.rule", rule = &rule.label, stratum = stratum);
+            let _rule_latency = LatencyGuard {
+                hist: self.metrics.rule_commit_ns[idx].clone(),
+                timer: self.timer(),
+            };
             let eval_err = |source| ChaseError::Eval {
                 rule: rule.label.clone(),
                 source,

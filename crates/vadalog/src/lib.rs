@@ -23,7 +23,12 @@
 //!   written atomically by an autosave policy or on demand, resumable to
 //!   a bitwise-identical state via `ChaseSession::resume_from_path` —
 //!   with [`faultpoint`] hooks (feature `faultpoints`) for deterministic
-//!   crash and I/O-failure injection in tests.
+//!   crash and I/O-failure injection in tests;
+//! * [`obs`]: always-compiled observability — the structured
+//!   [`span!`](crate::span!) collector with pluggable sinks, an
+//!   always-on [`MetricsRegistry`]
+//!   (Prometheus text exposition), and a Chrome `trace_event` exporter
+//!   for Perfetto.
 //!
 //! ## Quick start
 //!
@@ -62,6 +67,7 @@ pub mod engine;
 pub mod error;
 pub mod expr;
 pub mod faultpoint;
+pub mod obs;
 pub mod parser;
 pub mod program;
 pub mod provenance;
@@ -84,6 +90,8 @@ pub mod prelude {
     pub use crate::engine::{ChaseConfig, ChaseOutcome, ChaseSession};
     pub use crate::error::{ChaseError, EvalError, ParseError, ProgramError};
     pub use crate::expr::{ArithOp, Assignment, Bindings, CmpOp, Condition, Expr};
+    pub use crate::obs::metrics::MetricsRegistry;
+    pub use crate::obs::span::{RingCollector, SpanRecord, SpanSink};
     pub use crate::parser::{parse_program, ParsedProgram};
     pub use crate::program::Program;
     pub use crate::provenance::{

@@ -1,0 +1,129 @@
+//! Chrome `trace_event` export for collected spans.
+//!
+//! Renders a slice of [`SpanRecord`]s as the JSON Array Format that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly: one complete event (`"ph": "X"`) per span, with
+//! microsecond `ts`/`dur`, the collecting thread as `tid`, and the
+//! span's typed fields (plus its id and parent id) under `args`.
+//!
+//! ```
+//! use vadalog::obs::chrome::to_chrome_trace;
+//! use vadalog::obs::span::{RingCollector, self};
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(RingCollector::new(1024));
+//! span::install(ring.clone());
+//! {
+//!     let _run = vadalog::span!("chase.run", strata = 2u64);
+//! }
+//! span::uninstall();
+//! let json = to_chrome_trace(&ring.snapshot());
+//! assert!(json.contains("\"chase.run\""));
+//! ```
+
+use super::json::JsonWriter;
+use super::span::{FieldValue, SpanRecord};
+
+/// Renders spans as a Chrome `trace_event` JSON array of complete
+/// (`"ph": "X"`) events. The output is a single self-contained JSON
+/// document suitable for Perfetto / `chrome://tracing`.
+pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut w = JsonWriter::new();
+    w.open_array();
+    for span in spans {
+        w.open_object();
+        w.field_str("name", span.name);
+        w.field_str("cat", category(span.name));
+        w.field_str("ph", "X");
+        // trace_event timestamps are microseconds; keep fractional
+        // precision so short spans don't collapse to zero width.
+        w.key("ts");
+        w.value_f64(span.start_ns as f64 / 1_000.0);
+        w.key("dur");
+        w.value_f64(span.duration_ns as f64 / 1_000.0);
+        w.field_u64("pid", 1);
+        w.field_u64("tid", span.thread);
+        w.key("args");
+        w.open_object();
+        w.field_u64("span_id", span.id);
+        if let Some(parent) = span.parent {
+            w.field_u64("parent_id", parent);
+        }
+        for (key, value) in &span.fields {
+            match value {
+                FieldValue::U64(v) => w.field_u64(key, *v),
+                FieldValue::I64(v) => {
+                    w.key(key);
+                    w.value_f64(*v as f64);
+                }
+                FieldValue::F64(v) => w.field_f64(key, *v),
+                FieldValue::Str(v) => w.field_str(key, v),
+                FieldValue::Bool(v) => w.field_str(key, if *v { "true" } else { "false" }),
+            }
+        }
+        w.close_object();
+        w.close_object();
+    }
+    w.close_array();
+    w.finish()
+}
+
+/// The span's taxonomy root (`chase` in `chase.round`), used as the
+/// trace_event category so viewers can filter per subsystem.
+fn category(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::json::{self, JsonValue};
+
+    fn record(id: u64, parent: Option<u64>, name: &'static str) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            fields: vec![("rule", FieldValue::Str("r0".into()))],
+            thread: 1,
+            start_ns: 1_500,
+            duration_ns: 2_500,
+        }
+    }
+
+    #[test]
+    fn emits_parseable_complete_events() {
+        let spans = vec![
+            record(1, None, "chase.run"),
+            record(2, Some(1), "chase.stratum"),
+        ];
+        let text = to_chrome_trace(&spans);
+        let parsed = json::parse(&text).expect("valid JSON");
+        let events = parsed.as_arr().expect("array");
+        assert_eq!(events.len(), 2);
+        let first = &events[0];
+        assert_eq!(first.get("ph").and_then(JsonValue::as_str), Some("X"));
+        assert_eq!(
+            first.get("name").and_then(JsonValue::as_str),
+            Some("chase.run")
+        );
+        assert_eq!(first.get("cat").and_then(JsonValue::as_str), Some("chase"));
+        assert_eq!(first.get("ts").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(first.get("dur").and_then(JsonValue::as_f64), Some(2.5));
+        let second_args = events[1].get("args").expect("args");
+        assert_eq!(
+            second_args.get("parent_id").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            second_args.get("rule").and_then(JsonValue::as_str),
+            Some("r0")
+        );
+    }
+
+    #[test]
+    fn empty_span_list_is_an_empty_array() {
+        let parsed = json::parse(&to_chrome_trace(&[])).expect("valid JSON");
+        assert_eq!(parsed.as_arr().map(<[_]>::len), Some(0));
+    }
+}

@@ -1,0 +1,560 @@
+//! The always-on metrics registry: named counters, gauges and
+//! fixed-bucket histograms with Prometheus text exposition.
+//!
+//! Unlike the per-run [`RunReport`](crate::telemetry::RunReport) (a
+//! value returned to the caller of one chase), the registry accumulates
+//! *across* runs, process-wide, the way a service scrape endpoint needs
+//! it. Handles are resolved once ([`MetricsRegistry::counter`] is
+//! get-or-create) and then updated with single relaxed atomic operations
+//! — cheap enough to leave on in release builds.
+//!
+//! **Determinism contract:** every counter and gauge the engine writes
+//! is computed from the deterministic run telemetry, so their values are
+//! bitwise identical at any worker-thread count.
+//! [`MetricsRegistry::count_fingerprint`] renders exactly that invariant
+//! subset (plus histogram observation *counts*; bucket placement of
+//! latency histograms is wall-clock and excluded), mirroring
+//! [`RunReport::count_fingerprint`](crate::telemetry::RunReport::count_fingerprint).
+//!
+//! ```
+//! use vadalog::obs::metrics::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let hits = registry.counter("cache_hits_total", "Cache hits served.");
+//! hits.inc();
+//! let text = registry.to_prometheus();
+//! assert!(text.contains("cache_hits_total 1"));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can be set to arbitrary levels.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Sets the value if it exceeds the current one (peak tracking;
+    /// best-effort under concurrency, exact when single-writer).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// Bucket semantics follow Prometheus: an observation `v` lands in the
+/// first bucket whose upper bound satisfies `v <= bound`, and in the
+/// implicit `+Inf` bucket otherwise. Bounds are deduplicated and sorted
+/// at construction; exports render buckets cumulatively.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Sorted, deduplicated inclusive upper bounds (excluding `+Inf`).
+    bounds: Vec<u64>,
+    /// Per-bucket (non-cumulative) counts; one extra slot for `+Inf`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        let mut bounds: Vec<u64> = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The configured upper bounds (excluding `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Cumulative count of observations `<=` each bound, ending with the
+    /// `+Inf` total — the shape Prometheus exposition uses.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.buckets
+            .iter()
+            .map(|b| {
+                total += b.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Registry key: metric name plus its sorted label set.
+type Key = (String, Vec<(String, String)>);
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: HashMap<Key, Metric>,
+    /// Help text per metric *name* (shared across label sets).
+    help: HashMap<String, &'static str>,
+}
+
+/// A named collection of [`Counter`]s, [`Gauge`]s and [`Histogram`]s
+/// with Prometheus text exposition.
+///
+/// The engine uses [`global()`] unless a run is configured with its own
+/// registry
+/// ([`ChaseConfig::with_metrics`](crate::engine::ChaseConfig::with_metrics)
+/// — which tests use to observe one run in isolation).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        (name.to_owned(), labels)
+    }
+
+    /// Gets or creates an unlabelled counter. `help` is recorded on
+    /// first registration (later texts are ignored).
+    pub fn counter(&self, name: &str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Gets or creates a labelled counter.
+    ///
+    /// # Panics
+    /// If `name` (with these labels) is already registered as a
+    /// different metric type.
+    pub fn counter_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &'static str,
+    ) -> Arc<Counter> {
+        let mut inner = self.lock();
+        inner.help.entry(name.to_owned()).or_insert(help);
+        let metric = inner
+            .metrics
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
+        match metric {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Gets or creates an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Gets or creates a labelled gauge.
+    ///
+    /// # Panics
+    /// If `name` (with these labels) is already registered as a
+    /// different metric type.
+    pub fn gauge_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &'static str,
+    ) -> Arc<Gauge> {
+        let mut inner = self.lock();
+        inner.help.entry(name.to_owned()).or_insert(help);
+        let metric = inner
+            .metrics
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
+        match metric {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Gets or creates an unlabelled histogram with the given inclusive
+    /// upper bounds (an implicit `+Inf` bucket is always added).
+    pub fn histogram(&self, name: &str, bounds: &[u64], help: &'static str) -> Arc<Histogram> {
+        self.histogram_with(name, &[], bounds, help)
+    }
+
+    /// Gets or creates a labelled histogram. The bounds of the first
+    /// registration win.
+    ///
+    /// # Panics
+    /// If `name` (with these labels) is already registered as a
+    /// different metric type.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+        help: &'static str,
+    ) -> Arc<Histogram> {
+        let mut inner = self.lock();
+        inner.help.entry(name.to_owned()).or_insert(help);
+        let metric = inner
+            .metrics
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))));
+        match metric {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Every registered metric, sorted by name then labels, with its
+    /// kind tag.
+    fn sorted(&self) -> Vec<(Key, Metric, Option<&'static str>)> {
+        let inner = self.lock();
+        let mut entries: Vec<(Key, Metric, Option<&'static str>)> = inner
+            .metrics
+            .iter()
+            .map(|(k, m)| (k.clone(), m.clone(), inner.help.get(&k.0).copied()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers per metric name,
+    /// label values escaped per the spec (`\\`, `\"`, `\n`), histograms
+    /// as cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<String> = None;
+        for ((name, labels), metric, help) in self.sorted() {
+            if last_name.as_deref() != Some(&name) {
+                if let Some(help) = help {
+                    let _ = writeln!(out, "# HELP {} {}", name, escape_help(help));
+                }
+                let _ = writeln!(out, "# TYPE {} {}", name, metric.kind());
+                last_name = Some(name.clone());
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", name, render_labels(&labels, None), c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", name, render_labels(&labels, None), g.get());
+                }
+                Metric::Histogram(h) => {
+                    let cumulative = h.cumulative();
+                    for (bound, cum) in h.bounds().iter().zip(&cumulative) {
+                        let le = bound.to_string();
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            name,
+                            render_labels(&labels, Some(&le)),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        name,
+                        render_labels(&labels, Some("+Inf")),
+                        cumulative.last().copied().unwrap_or(0)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        name,
+                        render_labels(&labels, None),
+                        h.sum()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        name,
+                        render_labels(&labels, None),
+                        h.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the thread-invariant subset: counters, gauges and
+    /// histogram observation counts (no sums or buckets — latency
+    /// histograms place observations by wall clock). Two identically
+    /// configured runs must produce equal fingerprints at any worker
+    /// count.
+    pub fn count_fingerprint(&self) -> String {
+        let mut out = String::new();
+        for ((name, labels), metric, _) in self.sorted() {
+            let rendered = render_labels(&labels, None);
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "counter {}{}={}", name, rendered, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "gauge {}{}={}", name, rendered, g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "histogram {}{} count={}", name, rendered, h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double quote and newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes help text per the Prometheus text format: backslash and
+/// newline (quotes stay literal in help lines).
+fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",...}` (with an optional `le` label appended), or the
+/// empty string when there are no labels.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", k, escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{}\"", escape_label(le));
+    }
+    out.push('}');
+    out
+}
+
+/// The process-wide default registry: what the engine, the checkpoint
+/// layer and the explanation pipeline write to unless a run overrides it
+/// with [`ChaseConfig::with_metrics`](crate::engine::ChaseConfig::with_metrics).
+pub fn global() -> &'static Arc<MetricsRegistry> {
+    static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("c_total", "a counter");
+        c.inc();
+        c.add(4);
+        // Resolving again returns the same underlying counter.
+        assert_eq!(r.counter("c_total", "ignored").get(), 5);
+        let g = r.gauge("g", "a gauge");
+        g.set(10);
+        g.set_max(7);
+        assert_eq!(g.get(), 10);
+        g.set_max(12);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        // Exact edges land in their own bucket (le semantics)...
+        h.observe(10);
+        h.observe(100);
+        h.observe(1000);
+        // ...zero lands in the first bucket...
+        h.observe(0);
+        // ...one past an edge lands in the next...
+        h.observe(11);
+        h.observe(1001);
+        // ...and u64::MAX lands in +Inf.
+        h.observe(u64::MAX);
+        assert_eq!(h.cumulative(), vec![2, 4, 5, 7]);
+        assert_eq!(h.count(), 7);
+        let expected_sum = 10u64 + 100 + 1000 + 11 + 1001;
+        assert_eq!(h.sum(), expected_sum.wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_bounds_are_sorted_and_deduplicated() {
+        let h = Histogram::new(&[100, 10, 100, 1]);
+        assert_eq!(h.bounds(), &[1, 10, 100]);
+    }
+
+    #[test]
+    fn prometheus_text_escapes_label_values() {
+        let r = MetricsRegistry::new();
+        r.counter_with("weird_total", &[("rule", "a\"b\\c\nd")], "odd labels")
+            .inc();
+        let text = r.to_prometheus();
+        assert!(
+            text.contains(r#"weird_total{rule="a\"b\\c\nd"} 1"#),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE weird_total counter"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_text_renders_histograms_cumulatively() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_ns", &[10, 100], "latency");
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        let text = r.to_prometheus();
+        for line in [
+            "# HELP lat_ns latency",
+            "# TYPE lat_ns histogram",
+            "lat_ns_bucket{le=\"10\"} 1",
+            "lat_ns_bucket{le=\"100\"} 2",
+            "lat_ns_bucket{le=\"+Inf\"} 3",
+            "lat_ns_sum 555",
+            "lat_ns_count 3",
+        ] {
+            assert!(text.contains(line), "missing '{line}' in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_covers_counts_not_buckets() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        for r in [&a, &b] {
+            r.counter("c_total", "c").add(3);
+            r.gauge("g", "g").set(9);
+        }
+        // Same observation count, different (wall-clock-like) values.
+        a.histogram("h_ns", &[10, 100], "h").observe(5);
+        b.histogram("h_ns", &[10, 100], "h").observe(99);
+        assert_eq!(a.count_fingerprint(), b.count_fingerprint());
+        b.counter("c_total", "c").inc();
+        assert_ne!(a.count_fingerprint(), b.count_fingerprint());
+    }
+
+    #[test]
+    fn labelled_series_sort_deterministically() {
+        let r = MetricsRegistry::new();
+        r.counter_with("m_total", &[("rule", "b")], "m").add(2);
+        r.counter_with("m_total", &[("rule", "a")], "m").add(1);
+        let text = r.to_prometheus();
+        let a = text.find("rule=\"a\"").unwrap();
+        let b = text.find("rule=\"b\"").unwrap();
+        assert!(a < b, "{text}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Dependency-free observability: structured spans, an always-on
+//! metrics registry, and exporters.
+//!
+//! Three pillars, each cheap enough to stay compiled into release
+//! builds:
+//!
+//! * [`span`] — the structured span collector behind the
+//!   [`span!`](crate::span!) macro: thread-local span stacks, parent
+//!   links, typed fields, a pluggable [`SpanSink`] with
+//!   the bounded [`RingCollector`] as the standard
+//!   choice. Disabled cost: one relaxed atomic load per span site.
+//! * [`metrics`] — named counters, gauges and fixed-bucket histograms
+//!   in a [`MetricsRegistry`], exported in
+//!   Prometheus text exposition format. Engine-written counters are
+//!   derived from deterministic run telemetry, so their values are
+//!   bitwise identical at any worker-thread count.
+//! * [`chrome`] — renders collected spans as Chrome `trace_event` JSON
+//!   that loads directly in [Perfetto](https://ui.perfetto.dev).
+//!
+//! [`json`] holds the shared dependency-free JSON writer (re-exported
+//! as `vadalog::telemetry::JsonWriter` for existing callers) and the
+//! parser the exporter tests use to validate emitted documents.
+//!
+//! # Span taxonomy
+//!
+//! | span | fields | opened by |
+//! |------|--------|-----------|
+//! | `chase.run` | `strata`, `threads` | one whole [`run`](crate::engine::ChaseSession) |
+//! | `chase.stratum` | `stratum` | each stratum |
+//! | `chase.round` | `round` | each chase round |
+//! | `chase.rule` | `rule`, `stratum` | each rule's match+commit in a round |
+//! | `checkpoint.save` | `path`, `facts` | checkpoint serialization + fsync |
+//! | `checkpoint.load` | `path` | checkpoint restore |
+//! | `explain.build` | `target` | one whole explanation build |
+//! | `explain.analysis` | — | provenance analysis stage |
+//! | `explain.template` | — | template instantiation stage |
+//! | `explain.fallbacks` | — | fallback synthesis stage |
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use chrome::to_chrome_trace;
+pub use json::JsonWriter;
+pub use metrics::MetricsRegistry;
+pub use span::{RingCollector, SpanRecord, SpanSink};

@@ -1,0 +1,546 @@
+//! The structured span collector: always-compiled, pluggable tracing.
+//!
+//! Every instrumented scope of the engine, the checkpoint layer and the
+//! explanation pipeline opens a [`Span`] via the [`span!`](crate::span!)
+//! macro. Spans carry a process-unique id, a parent link (the innermost
+//! open span of the same thread), typed key=value [fields](FieldValue)
+//! and wall-clock extent. On close, the finished [`SpanRecord`] is handed
+//! to the installed [`SpanSink`] — by default the bounded, lock-light
+//! [`RingCollector`], whose contents export to Chrome `trace_event` JSON
+//! ([`crate::obs::chrome`]) for Perfetto / `chrome://tracing`.
+//!
+//! # Cost model
+//!
+//! Span *compilation* is unconditional — there is no feature gate on the
+//! instrumentation itself. With no collector installed, entering a span
+//! costs one relaxed atomic load and constructs nothing (the field
+//! closure is never called). The `tracing` cargo feature only arms a
+//! *default stderr sink* (active when the `VADALOG_TRACE` environment
+//! variable is set and no collector is installed); with a collector
+//! installed, feature-gated and default builds produce identical trace
+//! output.
+//!
+//! ```
+//! use vadalog::obs::span::{install, uninstall, RingCollector};
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(RingCollector::new(4096));
+//! install(ring.clone());
+//! {
+//!     let _outer = vadalog::span!("doc.outer", answer = 42u64);
+//!     let _inner = vadalog::span!("doc.inner");
+//! }
+//! uninstall();
+//! let spans = ring.drain();
+//! assert_eq!(spans.len(), 2); // inner closes (and records) first
+//! assert_eq!(spans[0].name, "doc.inner");
+//! assert_eq!(spans[0].parent, Some(spans[1].id));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A typed span field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! field_from {
+    ($($ty:ty => $variant:ident as $conv:ty),+ $(,)?) => {
+        $(impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> FieldValue {
+                FieldValue::$variant(v as $conv)
+            }
+        })+
+    };
+}
+
+field_from! {
+    u64 => U64 as u64, u32 => U64 as u64, u16 => U64 as u64, u8 => U64 as u64,
+    usize => U64 as u64, i64 => I64 as i64, i32 => I64 as i64, f64 => F64 as f64,
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<&String> for FieldValue {
+    fn from(v: &String) -> FieldValue {
+        FieldValue::Str(v.clone())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// A finished span, as handed to the [`SpanSink`].
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Process-unique span id (monotonic, starts at 1).
+    pub id: u64,
+    /// Id of the innermost span open on the same thread at entry.
+    pub parent: Option<u64>,
+    /// The span's static name (e.g. `"chase.round"`).
+    pub name: &'static str,
+    /// Typed key=value fields captured at entry.
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Dense id of the recording thread (process-local, starts at 1).
+    pub thread: u64,
+    /// Entry time in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock extent in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// A span consumer. Implementations must be cheap and non-blocking: the
+/// `record` call sits on the instrumented hot path.
+pub trait SpanSink: Send + Sync {
+    /// Consumes one finished span.
+    fn record(&self, span: SpanRecord);
+}
+
+/// The default collector: a bounded ring buffer of the most recent
+/// spans, behind a single uncontended mutex (spans close on the
+/// recording thread; the engine's instrumented scopes are sequential).
+///
+/// When full, the oldest span is evicted and counted in
+/// [`dropped`](RingCollector::dropped) — the collector never grows
+/// without bound and never blocks the engine on a slow consumer.
+#[derive(Debug)]
+pub struct RingCollector {
+    buf: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl RingCollector {
+    /// A collector keeping at most `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> RingCollector {
+        RingCollector {
+            buf: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Removes and returns every collected span, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .collect()
+    }
+
+    /// Copies every collected span without clearing, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of spans evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Spans currently held.
+    pub fn len(&self) -> usize {
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// True iff no span is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SpanSink for RingCollector {
+    fn record(&self, span: SpanRecord) {
+        let mut buf = self
+            .buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if buf.len() >= self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(span);
+    }
+}
+
+/// A sink that prints one line per span to stderr (the `tracing`
+/// feature's default sink; also installable explicitly).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrSink;
+
+impl SpanSink for StderrSink {
+    fn record(&self, span: SpanRecord) {
+        let mut line = format!(
+            "[span] {} id={} parent={} thread={} start={}ns dur={}ns",
+            span.name,
+            span.id,
+            span.parent.unwrap_or(0),
+            span.thread,
+            span.start_ns,
+            span.duration_ns
+        );
+        for (key, value) in &span.fields {
+            line.push_str(&format!(" {key}={value}"));
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Fast "is any sink listening" flag: the whole cost of a disabled span.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// The installed collector. Read-locked per span close — uncontended in
+/// practice (installation is a test/startup-time event).
+static COLLECTOR: RwLock<Option<Arc<dyn SpanSink>>> = RwLock::new(None);
+/// Whether the feature-gated stderr fallback is armed (resolved once).
+static STDERR_ARMED: OnceLock<bool> = OnceLock::new();
+/// Monotonic span-id source.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Monotonic thread-id source (0 = unassigned sentinel in the TLS cell).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+/// The process trace epoch: all `start_ns` values are relative to this.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// This thread's dense trace id (0 until first assigned).
+    static THREAD_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// True iff the feature-gated stderr fallback should report spans.
+fn stderr_armed() -> bool {
+    *STDERR_ARMED
+        .get_or_init(|| cfg!(feature = "tracing") && std::env::var_os("VADALOG_TRACE").is_some())
+}
+
+/// Installs `sink` as the process-wide span collector, replacing any
+/// previous one. Spans already open keep reporting — to the new sink.
+pub fn install(sink: Arc<dyn SpanSink>) {
+    *COLLECTOR
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the installed collector. Span observation stays on only if
+/// the `tracing` feature's stderr fallback is armed.
+pub fn uninstall() {
+    *COLLECTOR
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    ENABLED.store(stderr_armed(), Ordering::Release);
+}
+
+/// True iff spans are being observed (a collector is installed, or the
+/// stderr fallback is armed). One relaxed atomic load; the `span!` macro
+/// checks this before constructing anything.
+#[inline]
+pub fn span_enabled() -> bool {
+    if ENABLED.load(Ordering::Relaxed) {
+        return true;
+    }
+    // The stderr fallback arms lazily on the first probe (it consults
+    // the environment exactly once).
+    if stderr_armed() {
+        ENABLED.store(true, Ordering::Release);
+        return true;
+    }
+    false
+}
+
+/// Nanoseconds since the process trace epoch.
+fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// This thread's dense trace id, assigned on first use.
+fn thread_id() -> u64 {
+    THREAD_ID.with(|cell| {
+        let id = cell.get();
+        if id != 0 {
+            return id;
+        }
+        let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+        cell.set(id);
+        id
+    })
+}
+
+/// An RAII span guard: records entry on construction, reports the
+/// finished [`SpanRecord`] to the installed sink when dropped.
+///
+/// Construct via the [`span!`](crate::span!) macro, which skips all of
+/// this (including field evaluation) when no sink is listening.
+#[derive(Debug)]
+#[must_use = "a span measures the enclosing scope; bind it with `let _span = ...`"]
+pub struct Span(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+    start_ns: u64,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span, evaluating `fields` only if a sink is listening.
+    pub fn enter(
+        name: &'static str,
+        fields: impl FnOnce() -> Vec<(&'static str, FieldValue)>,
+    ) -> Span {
+        if !span_enabled() {
+            return Span(None);
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        Span(Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            fields: fields(),
+            start_ns: now_ns(),
+            start: Instant::now(),
+        }))
+    }
+
+    /// An inert span (no sink was listening at entry).
+    pub fn disabled() -> Span {
+        Span(None)
+    }
+
+    /// The span's id, if it is live.
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else {
+            return;
+        };
+        let duration_ns = active.start.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Scoped drops close in LIFO order; a non-lexical drop order
+            // still removes the right entry.
+            if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            fields: active.fields,
+            thread: thread_id(),
+            start_ns: active.start_ns,
+            duration_ns,
+        };
+        let sink = COLLECTOR
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        match sink {
+            Some(sink) => sink.record(record),
+            None => {
+                if stderr_armed() {
+                    StderrSink.record(record);
+                }
+            }
+        }
+    }
+}
+
+/// Opens a structured telemetry span around the enclosing scope.
+///
+/// Always compiled; when no collector is installed the expansion costs
+/// one atomic load and evaluates none of the field expressions. Bind the
+/// result (`let _span = vadalog::span!(...)`) so the span covers the
+/// scope:
+///
+/// ```
+/// let _span = vadalog::span!("example.work", items = 3u64, kind = "doc");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(,)?) => {
+        $crate::obs::span::Span::enter($name, ::std::vec::Vec::new)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::obs::span::Span::enter($name, || {
+            ::std::vec![$((
+                stringify!($key),
+                $crate::obs::span::FieldValue::from($value),
+            )),+]
+        })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collector installation is process-global; every test that installs
+    /// one serializes on this lock so parallel test threads don't steal
+    /// each other's sink.
+    pub(crate) static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_cost_nothing_and_collect_nothing() {
+        let _guard = INSTALL_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        uninstall();
+        let ring = RingCollector::new(8);
+        {
+            let span = crate::span!("test.disabled", expensive = "ignored");
+            assert_eq!(span.id(), None);
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_collector_records_nesting_and_fields() {
+        let _guard = INSTALL_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ring = Arc::new(RingCollector::new(64));
+        install(ring.clone());
+        {
+            let outer = crate::span!("test.outer", label = "o", n = 7u64);
+            let outer_id = outer.id().expect("enabled");
+            {
+                let inner = crate::span!("test.inner", flag = true);
+                assert_ne!(inner.id(), Some(outer_id));
+            }
+        }
+        uninstall();
+        // Other unit tests in this binary may run chases concurrently;
+        // keep only this test's spans.
+        let spans: Vec<SpanRecord> = ring
+            .drain()
+            .into_iter()
+            .filter(|s| s.name.starts_with("test."))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        let inner = &spans[0];
+        let outer = &spans[1];
+        assert_eq!(inner.name, "test.inner");
+        assert_eq!(outer.name, "test.outer");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert_eq!(
+            outer.fields,
+            vec![
+                ("label", FieldValue::Str("o".into())),
+                ("n", FieldValue::U64(7)),
+            ]
+        );
+        assert_eq!(inner.fields, vec![("flag", FieldValue::Bool(true))]);
+        assert_eq!(inner.thread, outer.thread);
+    }
+
+    #[test]
+    fn ring_collector_bounds_memory_and_counts_drops() {
+        let ring = RingCollector::new(2);
+        for i in 0..5u64 {
+            ring.record(SpanRecord {
+                id: i + 1,
+                parent: None,
+                name: "test.evict",
+                fields: Vec::new(),
+                thread: 1,
+                start_ns: i,
+                duration_ns: 1,
+            });
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let kept: Vec<u64> = ring.drain().iter().map(|s| s.id).collect();
+        assert_eq!(kept, vec![4, 5]);
+    }
+
+    #[test]
+    fn worker_thread_spans_have_own_stack() {
+        let _guard = INSTALL_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ring = Arc::new(RingCollector::new(64));
+        install(ring.clone());
+        {
+            let _outer = crate::span!("test.main");
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _w = crate::span!("test.worker");
+                });
+            });
+        }
+        uninstall();
+        let spans = ring.drain();
+        let worker = spans.iter().find(|s| s.name == "test.worker").unwrap();
+        let main = spans.iter().find(|s| s.name == "test.main").unwrap();
+        // Parent links are per-thread: the worker span is a root on its
+        // own thread, not a child of the main thread's open span.
+        assert_eq!(worker.parent, None);
+        assert_ne!(worker.thread, main.thread);
+    }
+}

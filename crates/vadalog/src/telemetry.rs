@@ -572,214 +572,10 @@ impl RunReport {
     }
 }
 
-/// A tiny dependency-free JSON writer (objects, arrays, strings, u64/f64),
-/// shared by [`RunReport::to_json`] and the bench harness.
-#[derive(Debug, Default)]
-pub struct JsonWriter {
-    out: String,
-    /// Stack of "needs a comma before the next element" flags.
-    needs_comma: Vec<bool>,
-}
-
-impl JsonWriter {
-    /// An empty writer.
-    pub fn new() -> JsonWriter {
-        JsonWriter::default()
-    }
-
-    fn elem(&mut self) {
-        if let Some(top) = self.needs_comma.last_mut() {
-            if *top {
-                self.out.push(',');
-            }
-            *top = true;
-        }
-    }
-
-    /// Writes an object key (inside an open object).
-    pub fn key(&mut self, key: &str) {
-        self.elem();
-        self.push_str_escaped(key);
-        self.out.push(':');
-        // The value that follows is part of this element.
-        if let Some(top) = self.needs_comma.last_mut() {
-            *top = false;
-        }
-    }
-
-    /// Opens `{`.
-    pub fn open_object(&mut self) {
-        self.elem();
-        self.out.push('{');
-        self.needs_comma.push(false);
-    }
-
-    /// Closes `}`.
-    pub fn close_object(&mut self) {
-        self.needs_comma.pop();
-        self.out.push('}');
-        if let Some(top) = self.needs_comma.last_mut() {
-            *top = true;
-        }
-    }
-
-    /// Opens `[`.
-    pub fn open_array(&mut self) {
-        self.elem();
-        self.out.push('[');
-        self.needs_comma.push(false);
-    }
-
-    /// Closes `]`.
-    pub fn close_array(&mut self) {
-        self.needs_comma.pop();
-        self.out.push(']');
-        if let Some(top) = self.needs_comma.last_mut() {
-            *top = true;
-        }
-    }
-
-    /// Writes a string value (or, with a preceding [`JsonWriter::key`],
-    /// nothing else is needed: use [`JsonWriter::field_str`]).
-    pub fn value_str(&mut self, value: &str) {
-        self.elem();
-        self.push_str_escaped(value);
-    }
-
-    /// Writes an unsigned integer value.
-    pub fn value_u64(&mut self, value: u64) {
-        self.elem();
-        self.out.push_str(&value.to_string());
-    }
-
-    /// Writes a float value with up to 3 decimal places.
-    pub fn value_f64(&mut self, value: f64) {
-        self.elem();
-        if value.is_finite() {
-            self.out.push_str(&format!("{:.3}", value));
-        } else {
-            self.out.push_str("null");
-        }
-    }
-
-    /// `"key": "value"`.
-    pub fn field_str(&mut self, key: &str, value: &str) {
-        self.key(key);
-        self.value_str(value);
-    }
-
-    /// `"key": value` (unsigned).
-    pub fn field_u64(&mut self, key: &str, value: u64) {
-        self.key(key);
-        self.value_u64(value);
-    }
-
-    /// `"key": value` (float, 3 decimals).
-    pub fn field_f64(&mut self, key: &str, value: f64) {
-        self.key(key);
-        self.value_f64(value);
-    }
-
-    fn push_str_escaped(&mut self, s: &str) {
-        self.out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => self.out.push_str("\\\""),
-                '\\' => self.out.push_str("\\\\"),
-                '\n' => self.out.push_str("\\n"),
-                '\r' => self.out.push_str("\\r"),
-                '\t' => self.out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    self.out.push_str(&format!("\\u{:04x}", c as u32));
-                }
-                c => self.out.push(c),
-            }
-        }
-        self.out.push('"');
-    }
-
-    /// The accumulated JSON text.
-    pub fn finish(self) -> String {
-        self.out
-    }
-}
-
-/// Feature-gated span observation (`--features tracing`): zero-cost when
-/// the feature is off, a pluggable callback when on.
-#[cfg(feature = "tracing")]
-pub mod trace {
-    use std::sync::OnceLock;
-    use std::time::Instant;
-
-    /// Observer callback: span name, formatted detail, elapsed nanos.
-    pub type SpanObserver = fn(name: &'static str, detail: &str, elapsed_ns: u64);
-
-    static OBSERVER: OnceLock<SpanObserver> = OnceLock::new();
-
-    /// Installs the process-wide span observer (first call wins).
-    pub fn set_observer(observer: SpanObserver) {
-        let _ = OBSERVER.set(observer);
-    }
-
-    /// An RAII span: reports its wall-clock extent to the observer (if
-    /// any) when dropped.
-    #[derive(Debug)]
-    pub struct Span {
-        name: &'static str,
-        detail: String,
-        start: Instant,
-    }
-
-    impl Span {
-        /// Opens a span.
-        pub fn enter(name: &'static str, detail: String) -> Span {
-            Span {
-                name,
-                detail,
-                start: Instant::now(),
-            }
-        }
-    }
-
-    impl Drop for Span {
-        fn drop(&mut self) {
-            if let Some(observer) = OBSERVER.get() {
-                observer(
-                    self.name,
-                    &self.detail,
-                    self.start.elapsed().as_nanos() as u64,
-                );
-            }
-        }
-    }
-}
-
-/// Opens a telemetry span around the enclosing scope.
-///
-/// With the `tracing` feature the expansion constructs a
-/// [`trace::Span`]; without it the macro expands to `()` — zero cost.
-/// Bind the result (`let _span = vadalog::span!(...)`) so the span spans
-/// the scope.
-#[cfg(feature = "tracing")]
-#[macro_export]
-macro_rules! span {
-    ($name:expr) => {
-        $crate::telemetry::trace::Span::enter($name, String::new())
-    };
-    ($name:expr, $($arg:tt)+) => {
-        $crate::telemetry::trace::Span::enter($name, format!($($arg)+))
-    };
-}
-
-/// Opens a telemetry span around the enclosing scope (disabled: the
-/// `tracing` feature is off, the expansion is `()`).
-#[cfg(not(feature = "tracing"))]
-#[macro_export]
-macro_rules! span {
-    ($($t:tt)*) => {
-        ()
-    };
-}
+/// The dependency-free JSON writer, re-exported from its home in
+/// [`crate::obs::json`] for existing callers of
+/// `vadalog::telemetry::JsonWriter`.
+pub use crate::obs::json::JsonWriter;
 
 #[cfg(test)]
 mod tests {

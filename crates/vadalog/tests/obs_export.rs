@@ -1,0 +1,174 @@
+//! Exporter contract tests over the public `vadalog::obs` API:
+//! histogram bucket boundaries, Prometheus escaping, and Chrome-trace
+//! validity for synthetic and real span streams.
+
+use std::sync::{Arc, Mutex};
+use vadalog::obs::json::{self, JsonValue};
+use vadalog::obs::span::{self, FieldValue, RingCollector, SpanRecord};
+use vadalog::obs::{to_chrome_trace, MetricsRegistry};
+
+#[test]
+fn histogram_buckets_are_inclusive_at_exact_edges() {
+    let registry = MetricsRegistry::new();
+    let h = registry.histogram("edges_ns", &[0, 10, 1_000], "edge cases");
+    h.observe(0); // lands in le="0"
+    h.observe(10); // exact edge: le="10"
+    h.observe(11); // one past: le="1000"
+    h.observe(1_000); // exact edge: le="1000"
+    h.observe(u64::MAX); // only +Inf holds it
+    let text = registry.to_prometheus();
+    for line in [
+        "edges_ns_bucket{le=\"0\"} 1",
+        "edges_ns_bucket{le=\"10\"} 2",
+        "edges_ns_bucket{le=\"1000\"} 4",
+        "edges_ns_bucket{le=\"+Inf\"} 5",
+        "edges_ns_count 5",
+    ] {
+        assert!(text.contains(line), "missing '{line}' in:\n{text}");
+    }
+    // The sum wraps on u64::MAX; it must still render as a bare integer.
+    let sum_line = text
+        .lines()
+        .find(|l| l.starts_with("edges_ns_sum "))
+        .expect("sum line");
+    let rendered: u64 = sum_line
+        .rsplit_once(' ')
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("numeric sum");
+    assert_eq!(rendered, 1021u64.wrapping_add(u64::MAX));
+}
+
+#[test]
+fn prometheus_label_values_escape_newline_quote_backslash() {
+    let registry = MetricsRegistry::new();
+    registry
+        .counter_with(
+            "escapes_total",
+            &[("rule", "line1\nline2 \"quoted\" back\\slash")],
+            "escaping",
+        )
+        .add(7);
+    let text = registry.to_prometheus();
+    assert!(
+        text.contains(r#"escapes_total{rule="line1\nline2 \"quoted\" back\\slash"} 7"#),
+        "bad escaping in:\n{text}"
+    );
+    // The raw newline must never appear inside a sample line.
+    for line in text.lines().filter(|l| l.starts_with("escapes_total{")) {
+        assert!(!line.contains('\u{a}') || line.ends_with('7'), "{line}");
+        assert!(line.rsplit_once(' ').is_some(), "{line}");
+    }
+}
+
+/// The span collector is process-global; chase-running tests in this
+/// binary serialize on this lock so a parallel test's spans can't
+/// interleave into an installed ring.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn chrome_trace_of_a_real_run_parses_and_nests() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let ring = Arc::new(RingCollector::new(4_096));
+    span::install(ring.clone());
+    let parsed = vadalog::parse_program(
+        r#"
+        t: edge(x, y) -> reach(x, y).
+        c: reach(x, y), edge(y, z) -> reach(x, z).
+        edge("a", "b"). edge("b", "c"). edge("c", "d").
+        "#,
+    )
+    .expect("parse");
+    let db: vadalog::Database = parsed.facts.into_iter().collect();
+    vadalog::ChaseSession::new(&parsed.program)
+        .run(db)
+        .expect("chase");
+    span::uninstall();
+    let spans = ring.drain();
+    assert!(
+        spans.iter().any(|s| s.name == "chase.run"),
+        "no chase.run span collected"
+    );
+
+    let trace = to_chrome_trace(&spans);
+    let doc = json::parse(&trace).expect("valid JSON");
+    let events = doc.as_arr().expect("array of events");
+    assert_eq!(events.len(), spans.len());
+    // Nesting well-formedness: every parent_id refers to an event whose
+    // [ts, ts+dur] interval contains the child's.
+    let mut intervals = std::collections::HashMap::new();
+    for event in events {
+        let args = event.get("args").expect("args");
+        let id = args.get("span_id").and_then(JsonValue::as_u64).expect("id");
+        let ts = event.get("ts").and_then(JsonValue::as_f64).expect("ts");
+        let dur = event.get("dur").and_then(JsonValue::as_f64).expect("dur");
+        intervals.insert(id, (ts, ts + dur));
+    }
+    let mut nested = 0;
+    for event in events {
+        let args = event.get("args").expect("args");
+        let Some(parent) = args.get("parent_id").and_then(JsonValue::as_u64) else {
+            continue;
+        };
+        let id = args.get("span_id").and_then(JsonValue::as_u64).expect("id");
+        let (cs, ce) = intervals[&id];
+        let (ps, pe) = intervals
+            .get(&parent)
+            .unwrap_or_else(|| panic!("event {id} references unknown parent {parent}"));
+        // value_f64 rounds to milli-microseconds; allow that much slack.
+        assert!(
+            *ps <= cs + 0.002 && ce <= pe + 0.002,
+            "event {id} [{cs}, {ce}] escapes parent {parent} [{ps}, {pe}]"
+        );
+        nested += 1;
+    }
+    assert!(nested > 0, "no nested event in the trace");
+}
+
+#[test]
+fn chrome_trace_escapes_hostile_field_values() {
+    let spans = vec![SpanRecord {
+        id: 1,
+        parent: None,
+        name: "test.hostile",
+        fields: vec![("detail", FieldValue::Str("a\"b\\c\nd\te".into()))],
+        thread: 1,
+        start_ns: 0,
+        duration_ns: 10,
+    }];
+    let trace = to_chrome_trace(&spans);
+    let doc = json::parse(&trace).expect("hostile fields must still be valid JSON");
+    let detail = doc.as_arr().expect("array")[0]
+        .get("args")
+        .and_then(|a| a.get("detail"))
+        .and_then(JsonValue::as_str)
+        .expect("detail field")
+        .to_string();
+    assert_eq!(detail, "a\"b\\c\nd\te");
+}
+
+#[test]
+fn identical_runs_yield_identical_metric_fingerprints() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let run = || {
+        let registry = Arc::new(MetricsRegistry::new());
+        let parsed = vadalog::parse_program(
+            r#"
+            t: edge(x, y) -> reach(x, y).
+            c: reach(x, y), edge(y, z) -> reach(x, z).
+            edge("a", "b"). edge("b", "c").
+            "#,
+        )
+        .expect("parse");
+        let db: vadalog::Database = parsed.facts.into_iter().collect();
+        vadalog::ChaseSession::new(&parsed.program)
+            .config(vadalog::ChaseConfig::default().with_metrics(registry.clone()))
+            .run(db)
+            .expect("chase");
+        registry.count_fingerprint()
+    };
+    assert_eq!(run(), run());
+}
