@@ -1,0 +1,233 @@
+//! Equivalence and determinism suite for the static join-planning layer:
+//! the composite-index plan, the legacy single-position plan and the
+//! index-free scan ablation must enumerate the same matches in the same
+//! order — observable as bitwise-identical fact stores, `FactId`
+//! assignment and derivation logs — at 1, 2 and 8 worker threads, on
+//! seeded finkg bundles and on randomized programs with negation,
+//! aggregation and existentials.
+
+use finkg::apps::{control, golden_power, stress};
+use finkg::scenario;
+use proptest::prelude::*;
+use vadalog::{parse_program, ChaseConfig, ChaseOutcome, ChaseSession, Database, Program, Value};
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
+/// The three index configurations under comparison. Matches — not
+/// counters — are required to agree across them: the configs probe
+/// differently by design.
+fn configs() -> [(&'static str, ChaseConfig); 3] {
+    // Index use is pinned explicitly so the sweep stays meaningful when
+    // CI flips the default via VADALOG_NO_INDEX.
+    [
+        (
+            "composite_plan",
+            ChaseConfig::default().with_positional_index(true),
+        ),
+        (
+            "legacy_single_position",
+            ChaseConfig::default()
+                .with_positional_index(true)
+                .with_join_planning(false),
+        ),
+        (
+            "scan_ablation",
+            ChaseConfig::default().with_positional_index(false),
+        ),
+    ]
+}
+
+/// Full structural fingerprint: every fact in id order with its activity
+/// flag, every derivation in recording order, rounds and violations.
+fn fingerprint(out: &ChaseOutcome) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for (id, fact) in out.database.iter() {
+        let _ = writeln!(s, "{id} {fact} active={}", out.database.is_active(id));
+    }
+    for d in out.graph.derivations() {
+        let _ = writeln!(
+            s,
+            "r{} {:?} -> {} round={} contrib={}",
+            d.rule.0, d.premises, d.conclusion, d.round, d.contributors
+        );
+    }
+    let _ = write!(s, "rounds={} violations={:?}", out.rounds, out.violations);
+    s
+}
+
+/// Chases `db` under every config × thread combination and asserts:
+/// one structural fingerprint across all of them, and one
+/// `count_fingerprint()` per config across its thread sweep.
+fn assert_plan_equivalent(name: &str, program: &Program, db: &Database) {
+    let mut expected: Option<String> = None;
+    for (config_name, config) in configs() {
+        let mut counters: Option<String> = None;
+        for threads in THREAD_SWEEP {
+            let out = ChaseSession::new(program)
+                .config(config.clone().with_threads(threads))
+                .run(db.clone())
+                .unwrap_or_else(|e| {
+                    panic!("{name}/{config_name}: chase at {threads} threads failed: {e}")
+                });
+            let fp = fingerprint(&out);
+            match &expected {
+                Some(reference) => assert_eq!(
+                    &fp, reference,
+                    "{name}/{config_name}: matches diverged at {threads} threads"
+                ),
+                None => expected = Some(fp),
+            }
+            let counts = out.report.count_fingerprint();
+            match &counters {
+                Some(reference) => assert_eq!(
+                    &counts, reference,
+                    "{name}/{config_name}: counters diverged at {threads} threads"
+                ),
+                None => counters = Some(counts),
+            }
+        }
+    }
+}
+
+#[test]
+fn finkg_applications_are_plan_invariant() {
+    assert_plan_equivalent(
+        "control/scenario",
+        &control::program(),
+        &scenario::database(),
+    );
+    assert_plan_equivalent(
+        "control/random",
+        &control::program(),
+        &finkg::random_ownership(80, 3, 7),
+    );
+    assert_plan_equivalent(
+        "stress/random",
+        &stress::program(),
+        &finkg::random_debt_network(80, 3, 5, 11),
+    );
+    assert_plan_equivalent(
+        "golden_power/random",
+        &golden_power::program(),
+        &finkg::random_ownership(60, 4, 9),
+    );
+}
+
+#[test]
+fn seeded_bundles_are_plan_invariant() {
+    let bundle = finkg::control_bundle(5, 4, 42);
+    assert_plan_equivalent("bundle/control", &control::program(), &bundle.database);
+    let bundle = finkg::stress_bundle(4, 4, 43);
+    assert_plan_equivalent("bundle/stress", &stress::program(), &bundle.database);
+}
+
+/// With the composite plan active, negated-atom checks and restricted-
+/// chase satisfaction checks are answered by index probes, never by the
+/// linear scan — the headline claim of the planner.
+#[test]
+fn planned_negation_and_satisfaction_never_scan() {
+    let program = parse_program(
+        "p1: own(x, y, s) -> linked(x, y).
+         p2: linked(x, y), not sanctioned(x) -> clean(x, y).
+         p3: clean(x, y) -> audit(x, z).",
+    )
+    .unwrap()
+    .program;
+    let mut db = finkg::random_ownership(60, 3, 5);
+    for i in (0..60usize).step_by(4) {
+        db.add("sanctioned", &[format!("C{i}").as_str().into()]);
+    }
+    let out = ChaseSession::new(&program)
+        .config(ChaseConfig::default().with_positional_index(true))
+        .run(db.clone())
+        .unwrap();
+    let sum =
+        |f: fn(&vadalog::telemetry::RuleStats) -> u64| out.report.rules.iter().map(f).sum::<u64>();
+    assert!(sum(|r| r.negation_probes) > 0, "negation never exercised");
+    assert_eq!(
+        sum(|r| r.negation_scans),
+        0,
+        "planned negation fell back to a scan"
+    );
+    assert!(
+        sum(|r| r.satisfaction_probes) > 0,
+        "satisfaction check never exercised"
+    );
+    assert_eq!(
+        sum(|r| r.satisfaction_scans),
+        0,
+        "planned satisfaction check fell back to a scan"
+    );
+    assert!(
+        sum(|r| r.composite_probes) == 0 || sum(|r| r.index_probes) >= sum(|r| r.composite_probes)
+    );
+
+    // The legacy plan answers the same checks by scanning.
+    let legacy = ChaseSession::new(&program)
+        .config(
+            ChaseConfig::default()
+                .with_positional_index(true)
+                .with_join_planning(false),
+        )
+        .run(db)
+        .unwrap();
+    let lsum = |f: fn(&vadalog::telemetry::RuleStats) -> u64| {
+        legacy.report.rules.iter().map(f).sum::<u64>()
+    };
+    assert_eq!(lsum(|r| r.negation_probes), 0);
+    assert!(lsum(|r| r.negation_scans) > 0);
+    assert_eq!(lsum(|r| r.satisfaction_probes), 0);
+    assert!(lsum(|r| r.satisfaction_scans) > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On a randomized recursive program with negation and aggregation,
+    /// the planned/composite join produces the same matches in the same
+    /// order as the index-free full scan, at 1, 2 and 8 threads.
+    #[test]
+    fn random_programs_are_plan_invariant(
+        inputs in prop::collection::vec((0u8..10, 0u8..10, 30u8..100), 0..18),
+        sanctioned in prop::collection::vec(0u8..10, 0..5),
+    ) {
+        let program = parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o2: company(x) -> control(x, x).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).
+             o4: company(x), not controlled(x) -> top(x).
+             o5: control(x, y), x != y -> controlled(y).
+             o6: top(x), not sanctioned(x) -> clean_top(x, z).",
+        )
+        .unwrap()
+        .program;
+        let mut db = Database::new();
+        for i in 0..10u8 {
+            db.add("company", &[format!("c{i}").as_str().into()]);
+        }
+        for (a, b, s) in &inputs {
+            if a == b { continue; }
+            db.add("own", &[
+                format!("c{a}").as_str().into(),
+                format!("c{b}").as_str().into(),
+                Value::Float(f64::from(*s) / 100.0),
+            ]);
+        }
+        for s in &sanctioned {
+            db.add("sanctioned", &[format!("c{s}").as_str().into()]);
+        }
+        assert_plan_equivalent("random", &program, &db);
+    }
+
+    /// Seeded generator bundles stay plan-invariant for any seed.
+    #[test]
+    fn random_bundles_are_plan_invariant(
+        steps in 1usize..5,
+        count in 1usize..3,
+        seed in 0u64..500,
+    ) {
+        let bundle = finkg::control_bundle(steps, count, seed);
+        assert_plan_equivalent("bundle", &control::program(), &bundle.database);
+    }
+}

@@ -73,7 +73,10 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// The snapshot format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2 widened the per-rule stats block with the join-planning counters
+/// (composite/negation/satisfaction probe-vs-scan splits).
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 8] = *b"VDLGCKPT";
 /// magic (8) + version (4) + fingerprint (8) + body length (8) +
@@ -713,6 +716,11 @@ fn encode_report(e: &mut Enc, report: &RunReport, partial: bool) {
             r.satisfaction_preempted,
             r.index_probes,
             r.scans,
+            r.composite_probes,
+            r.negation_probes,
+            r.negation_scans,
+            r.satisfaction_probes,
+            r.satisfaction_scans,
         ] {
             e.u64(v);
         }
@@ -1013,7 +1021,7 @@ fn decode_report(d: &mut Dec<'_>) -> DecResult<RunReport> {
     let threads = d.u64()? as usize;
     let rounds = d.u32()?;
     let strata = d.u32()?;
-    let n_rules = d.count(68, "rule stats")?;
+    let n_rules = d.count(108, "rule stats")?;
     let mut rules = Vec::with_capacity(n_rules);
     for _ in 0..n_rules {
         let label = d.str()?.as_str().to_string();
@@ -1029,6 +1037,11 @@ fn decode_report(d: &mut Dec<'_>) -> DecResult<RunReport> {
         r.satisfaction_preempted = d.u64()?;
         r.index_probes = d.u64()?;
         r.scans = d.u64()?;
+        r.composite_probes = d.u64()?;
+        r.negation_probes = d.u64()?;
+        r.negation_scans = d.u64()?;
+        r.satisfaction_probes = d.u64()?;
+        r.satisfaction_scans = d.u64()?;
         rules.push(r);
     }
     let n_rounds = d.count(40, "round stats")?;
@@ -1156,7 +1169,9 @@ mod tests {
     fn fingerprint_tracks_program_and_semantics_only() {
         let (program, _) = small_outcome();
         let other = parse_program("r: p(x) -> q(x).").unwrap().program;
-        let base = ChaseConfig::default();
+        // Pinned so the ne-assertions below hold when VADALOG_NO_INDEX
+        // flips the default.
+        let base = ChaseConfig::default().with_positional_index(true);
         let fp = fingerprint(&program, &base);
         assert_eq!(fp, fingerprint(&program, &base.clone().with_threads(8)));
         assert_eq!(fp, fingerprint(&program, &base.clone().with_max_rounds(3)));

@@ -1,10 +1,9 @@
-//! The fact store: deduplicated facts with per-predicate and positional
-//! indexes.
+//! The fact store: deduplicated facts with per-predicate and composite
+//! positional indexes.
 
 use crate::atom::Fact;
 use crate::symbol::Symbol;
 use crate::value::Value;
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Identifier of a fact inside a [`Database`]. Ids are dense and stable:
@@ -18,24 +17,66 @@ impl std::fmt::Display for FactId {
     }
 }
 
+/// A composite positional index over one predicate: maps the tuple of
+/// values at `positions` to the ids of the facts carrying them, postings
+/// in insertion order. A fact is posted iff it has a value at *every*
+/// indexed position (shorter facts are simply absent and can never match
+/// a probe that binds those positions).
+#[derive(Clone, Debug)]
+struct CompositeIndex {
+    /// Indexed argument positions, ascending and distinct.
+    positions: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<FactId>>,
+}
+
+impl CompositeIndex {
+    /// The index key of `fact`, or `None` if the fact is too short to
+    /// carry values at all indexed positions.
+    fn key_of(&self, fact: &Fact) -> Option<Vec<Value>> {
+        self.positions
+            .iter()
+            .map(|&p| fact.values.get(p).copied())
+            .collect()
+    }
+}
+
 /// A deduplicated store of facts.
 ///
-/// Lookups can be restricted by bound argument positions; positional hash
-/// indexes are created lazily the first time a (predicate, position) pair
-/// is probed and maintained incrementally afterwards.
+/// Lookups can be restricted by bound argument positions: each predicate
+/// may carry any number of *composite* positional hash indexes, each
+/// keyed by the tuple of values at a fixed set of positions
+/// (`(predicate, [positions]) -> key -> ids`, postings in insertion
+/// order). Single-position indexes are the one-position special case.
+/// Indexes are created lazily the first time a signature is probed via
+/// [`Database::facts_with`], or eagerly via
+/// [`Database::ensure_composite_index`] (as the chase engine does from
+/// its join plans), and maintained incrementally by inserts afterwards.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     facts: Vec<Fact>,
     dedup: HashMap<Fact, FactId>,
     by_predicate: HashMap<Symbol, Vec<FactId>>,
-    /// Lazily-built positional indexes: (predicate, position) -> value -> ids.
-    positional: HashMap<(Symbol, usize), HashMap<Value, Vec<FactId>>>,
+    /// Composite positional indexes, grouped by predicate so an insert
+    /// only ever touches the indexes of its own predicate.
+    indexes: HashMap<Symbol, Vec<CompositeIndex>>,
     /// Facts superseded by a fuller monotonic aggregate: still stored (the
     /// chase graph references them) but excluded from matching.
     inactive: std::collections::HashSet<FactId>,
+    /// Deactivated-fact count per predicate, so the active population of a
+    /// predicate is O(1) to read (the engine sizes match chunks from it).
+    inactive_by_pred: HashMap<Symbol, usize>,
     /// Running approximation of the store's heap footprint, maintained in
     /// O(1) per insert so the engine's memory budget can poll it cheaply.
     approx_bytes: usize,
+    /// Posting bytes recorded by a checkpoint but not yet rebuilt locally:
+    /// eager index builds after a restore consume this credit instead of
+    /// re-charging `approx_bytes` (see [`Database::restore_approx_bytes`]).
+    index_byte_credit: usize,
+    /// Total posting-list entries ever built, eagerly or incrementally.
+    /// A plain work counter (never decremented), deterministic for a given
+    /// insertion/indexing sequence; used by tests and metrics to verify
+    /// that inserts touch only their own predicate's indexes.
+    postings_built: u64,
 }
 
 impl Database {
@@ -54,11 +95,13 @@ impl Database {
             .entry(fact.predicate)
             .or_default()
             .push(id);
-        // Maintain any existing positional indexes for this predicate.
-        for ((pred, pos), index) in self.positional.iter_mut() {
-            if *pred == fact.predicate {
-                if let Some(v) = fact.values.get(*pos) {
-                    index.entry(*v).or_default().push(id);
+        // Maintain the existing indexes of this predicate — and only this
+        // predicate; indexes of unrelated predicates are never visited.
+        if let Some(indexes) = self.indexes.get_mut(&fact.predicate) {
+            for index in indexes.iter_mut() {
+                if let Some(key) = index.key_of(&fact) {
+                    index.map.entry(key).or_default().push(id);
+                    self.postings_built += 1;
                     self.approx_bytes += std::mem::size_of::<FactId>();
                 }
             }
@@ -109,6 +152,13 @@ impl Database {
         self.by_predicate.get(&predicate).map_or(&[], Vec::as_slice)
     }
 
+    /// Number of *active* (not aggregate-superseded) facts of `predicate`.
+    /// O(1): maintained alongside [`Database::deactivate`].
+    pub fn active_count(&self, predicate: Symbol) -> usize {
+        let total = self.facts_of(predicate).len();
+        total - self.inactive_by_pred.get(&predicate).copied().unwrap_or(0)
+    }
+
     /// Iterates over all facts with their ids.
     pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact)> {
         self.facts
@@ -125,52 +175,120 @@ impl Database {
     /// access (as the parallel chase phase does).
     pub fn facts_with(&mut self, predicate: Symbol, position: usize, value: &Value) -> &[FactId] {
         self.ensure_index(predicate, position);
-        self.positional[&(predicate, position)]
-            .get(value)
-            .map_or(&[], Vec::as_slice)
+        let key = [*value];
+        self.probe_composite(predicate, &[position], &key)
+            .unwrap_or(&[])
     }
 
-    /// Eagerly builds the positional index on `(predicate, position)` if it
+    /// Eagerly builds the single-position index on `(predicate, position)`
+    /// if it does not exist yet. Shorthand for
+    /// [`Database::ensure_composite_index`] with a one-position signature.
+    pub fn ensure_index(&mut self, predicate: Symbol, position: usize) {
+        self.ensure_composite_index(predicate, &[position]);
+    }
+
+    /// Eagerly builds the composite index on `(predicate, positions)` if it
     /// does not exist yet. Indexes are maintained incrementally by
     /// [`Database::insert`] afterwards.
     ///
-    /// The chase engine calls this for every statically-probed
-    /// (predicate, position) pair *before* its parallel matching phase, so
-    /// that a cold index is never built while the store is shared
-    /// read-only across worker threads.
-    pub fn ensure_index(&mut self, predicate: Symbol, position: usize) {
-        if let Entry::Vacant(e) = self.positional.entry((predicate, position)) {
-            let mut index: HashMap<Value, Vec<FactId>> = HashMap::new();
-            if let Some(ids) = self.by_predicate.get(&predicate) {
-                for &id in ids {
-                    if let Some(v) = self.facts[id.0 as usize].values.get(position) {
-                        index.entry(*v).or_default().push(id);
-                    }
+    /// `positions` must be ascending and distinct (join plans emit them
+    /// that way); the signature identifies the index, so probing requires
+    /// the same ordering. The chase engine calls this for every planned
+    /// probe signature *before* its parallel matching phase, so that a
+    /// cold index is never built while the store is shared read-only
+    /// across worker threads.
+    ///
+    /// Eagerly-built postings are charged to [`Database::approx_bytes`]
+    /// exactly like incrementally-maintained ones, so the footprint
+    /// estimate does not depend on whether an index was created before or
+    /// after its facts were inserted.
+    pub fn ensure_composite_index(&mut self, predicate: Symbol, positions: &[usize]) {
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]) && !positions.is_empty(),
+            "index signature must be non-empty, ascending and distinct: {positions:?}"
+        );
+        if self.has_composite_index(predicate, positions) {
+            return;
+        }
+        let mut index = CompositeIndex {
+            positions: positions.to_vec(),
+            map: HashMap::new(),
+        };
+        let mut postings = 0usize;
+        if let Some(ids) = self.by_predicate.get(&predicate) {
+            for &id in ids {
+                if let Some(key) = index.key_of(&self.facts[id.0 as usize]) {
+                    index.map.entry(key).or_default().push(id);
+                    postings += 1;
                 }
             }
-            e.insert(index);
         }
+        self.postings_built += postings as u64;
+        // Charge the new posting lists, first consuming any credit left by
+        // a checkpoint restore (whose recorded estimate already includes
+        // the postings of the captured run's indexes).
+        let bytes = postings * std::mem::size_of::<FactId>();
+        let credited = bytes.min(self.index_byte_credit);
+        self.index_byte_credit -= credited;
+        self.approx_bytes += bytes - credited;
+        self.indexes.entry(predicate).or_default().push(index);
     }
 
-    /// True iff the positional index on `(predicate, position)` exists.
+    /// True iff the single-position index on `(predicate, position)` exists.
     pub fn has_index(&self, predicate: Symbol, position: usize) -> bool {
-        self.positional.contains_key(&(predicate, position))
+        self.has_composite_index(predicate, &[position])
     }
 
-    /// Read-only probe of the positional index on `(predicate, position)`:
-    /// returns the matching ids (in insertion order) if the index exists,
-    /// `None` if it was never built. Never builds an index — safe to call
-    /// concurrently from matching workers.
+    /// True iff the composite index on `(predicate, positions)` exists.
+    pub fn has_composite_index(&self, predicate: Symbol, positions: &[usize]) -> bool {
+        self.indexes
+            .get(&predicate)
+            .is_some_and(|v| v.iter().any(|ix| ix.positions == positions))
+    }
+
+    /// Read-only probe of the single-position index on
+    /// `(predicate, position)`: returns the matching ids (in insertion
+    /// order) if the index exists, `None` if it was never built. Never
+    /// builds an index — safe to call concurrently from matching workers.
     pub fn probe(&self, predicate: Symbol, position: usize, value: &Value) -> Option<&[FactId]> {
-        self.positional
-            .get(&(predicate, position))
-            .map(|index| index.get(value).map_or(&[] as &[FactId], Vec::as_slice))
+        let key = [*value];
+        self.probe_composite(predicate, &[position], &key)
+    }
+
+    /// Read-only probe of the composite index on `(predicate, positions)`
+    /// for the facts whose values at those positions equal `key`
+    /// (element-for-element). Returns the posting list in insertion order
+    /// if the index exists, `None` if it was never built. Never builds an
+    /// index — safe to call concurrently from matching workers.
+    pub fn probe_composite(
+        &self,
+        predicate: Symbol,
+        positions: &[usize],
+        key: &[Value],
+    ) -> Option<&[FactId]> {
+        debug_assert_eq!(positions.len(), key.len());
+        let index = self
+            .indexes
+            .get(&predicate)?
+            .iter()
+            .find(|ix| ix.positions == positions)?;
+        Some(index.map.get(key).map_or(&[] as &[FactId], Vec::as_slice))
+    }
+
+    /// Total posting-list entries built so far, eagerly and incrementally.
+    /// A monotone work counter: a deterministic function of the
+    /// insertion/indexing sequence, independent of thread count.
+    pub fn postings_built(&self) -> u64 {
+        self.postings_built
     }
 
     /// Marks a fact as superseded: it stays in the store (ids and
     /// provenance remain valid) but no longer participates in matching.
     pub fn deactivate(&mut self, id: FactId) {
-        self.inactive.insert(id);
+        if self.inactive.insert(id) {
+            let pred = self.facts[id.0 as usize].predicate;
+            *self.inactive_by_pred.entry(pred).or_default() += 1;
+        }
     }
 
     /// True iff `id` participates in matching.
@@ -193,21 +311,89 @@ impl Database {
 
     /// Overwrites the running footprint estimate with a recorded value.
     ///
-    /// Used by checkpoint restore only: [`Database::insert`] accounts for
-    /// the positional indexes that exist *at insert time*, so replaying
-    /// the facts of a snapshot into a fresh (index-less) store would
-    /// under-count relative to the live run it captured — and a resumed
-    /// memory budget would then trip at a different point than the
-    /// uninterrupted run. Restoring the recorded estimate keeps the
-    /// memory observation bitwise identical across a save/load cycle.
+    /// Used by checkpoint restore only: replaying the facts of a snapshot
+    /// into a fresh (index-less) store under-counts relative to the live
+    /// run it captured, because the recorded estimate includes the posting
+    /// lists of the run's indexes. Restoring the recorded value keeps the
+    /// memory observation bitwise identical across a save/load cycle. The
+    /// difference between the recorded value and the locally-replayed one
+    /// is retained as a credit that subsequent eager index rebuilds
+    /// consume instead of charging those postings a second time — so a
+    /// resumed run's estimate tracks the uninterrupted run exactly.
     pub(crate) fn restore_approx_bytes(&mut self, approx_bytes: usize) {
+        self.index_byte_credit = approx_bytes.saturating_sub(self.approx_bytes);
         self.approx_bytes = approx_bytes;
     }
 
     /// Finds an *active* fact of `predicate` matching `pattern`, where
     /// `None` entries are wildcards. Used by the restricted-chase
-    /// satisfaction check and safe negation.
+    /// satisfaction check and safe negation. Linear scan; see
+    /// [`Database::find_matching_metered`] for the index-accelerated path.
     pub fn find_matching(&self, predicate: Symbol, pattern: &[Option<Value>]) -> Option<FactId> {
+        self.find_matching_metered(predicate, pattern).0
+    }
+
+    /// Like [`Database::find_matching`], but reports whether the lookup
+    /// was served by an index probe (`true`) or a full predicate scan
+    /// (`false`).
+    ///
+    /// The probe path auto-selects the widest existing index whose
+    /// positions are all bound (`Some`) in `pattern`, walks its posting
+    /// list in insertion order and filters on the full pattern — yielding
+    /// the *same* fact as the scan (the first matching active fact in
+    /// insertion order), because postings preserve insertion order and a
+    /// fact outside the probed key can never match the pattern. Falls
+    /// back to the linear scan when no usable index exists.
+    pub fn find_matching_metered(
+        &self,
+        predicate: Symbol,
+        pattern: &[Option<Value>],
+    ) -> (Option<FactId>, bool) {
+        let matches = |id: FactId| {
+            if !self.is_active(id) {
+                return false;
+            }
+            let f = self.fact(id);
+            f.values.len() == pattern.len()
+                && f.values
+                    .iter()
+                    .zip(pattern)
+                    .all(|(v, p)| p.is_none_or(|pv| *v == pv))
+        };
+        let best = self.indexes.get(&predicate).and_then(|indexes| {
+            indexes
+                .iter()
+                .filter(|ix| {
+                    ix.positions
+                        .iter()
+                        .all(|&p| pattern.get(p).copied().flatten().is_some())
+                })
+                .max_by_key(|ix| ix.positions.len())
+        });
+        if let Some(index) = best {
+            let key: Vec<Value> = index
+                .positions
+                .iter()
+                .map(|&p| pattern[p].expect("probed position is bound"))
+                .collect();
+            let hit = index
+                .map
+                .get(&key)
+                .and_then(|ids| ids.iter().copied().find(|&id| matches(id)));
+            (hit, true)
+        } else {
+            (self.find_matching_scan(predicate, pattern), false)
+        }
+    }
+
+    /// Forced linear-scan variant of [`Database::find_matching`], used by
+    /// the index-ablation paths so "scan mode" stays an honest scan even
+    /// when indexes happen to exist.
+    pub(crate) fn find_matching_scan(
+        &self,
+        predicate: Symbol,
+        pattern: &[Option<Value>],
+    ) -> Option<FactId> {
         self.facts_of(predicate).iter().copied().find(|&id| {
             if !self.is_active(id) {
                 return false;
@@ -297,6 +483,70 @@ mod tests {
     }
 
     #[test]
+    fn composite_index_probes_all_bound_positions_at_once() {
+        let mut db = Database::new();
+        let e0 = db.add("edge", &["A".into(), "B".into()]);
+        db.add("edge", &["A".into(), "C".into()]);
+        db.add("edge", &["B".into(), "B".into()]);
+        let e3 = db.add("edge", &["A".into(), "B".into(), 1i64.into()]);
+        let pred = Symbol::new("edge");
+        assert!(!db.has_composite_index(pred, &[0, 1]));
+        db.ensure_composite_index(pred, &[0, 1]);
+        assert!(db.has_composite_index(pred, &[0, 1]));
+        // Longer facts with the same prefix share the key; postings stay
+        // in insertion order.
+        let hits = db
+            .probe_composite(pred, &[0, 1], &[Value::str("A"), Value::str("B")])
+            .unwrap();
+        assert_eq!(hits, &[e0, e3]);
+        // Incremental maintenance after the eager build.
+        let e4 = db.add("edge", &["A".into(), "B".into(), 2i64.into()]);
+        let hits = db
+            .probe_composite(pred, &[0, 1], &[Value::str("A"), Value::str("B")])
+            .unwrap();
+        assert_eq!(hits, &[e0, e3, e4]);
+        // Unseen key: index hit, empty postings. Unbuilt signature: None.
+        assert_eq!(
+            db.probe_composite(pred, &[0, 1], &[Value::str("Z"), Value::str("Z")]),
+            Some(&[] as &[FactId])
+        );
+        assert!(db.probe_composite(pred, &[1], &[Value::str("B")]).is_none());
+    }
+
+    #[test]
+    fn composite_index_skips_facts_missing_an_indexed_position() {
+        let mut db = Database::new();
+        db.add("p", &["A".into()]); // too short for position 1
+        let long = db.add("p", &["A".into(), "B".into()]);
+        let pred = Symbol::new("p");
+        db.ensure_composite_index(pred, &[0, 1]);
+        let hits = db
+            .probe_composite(pred, &[0, 1], &[Value::str("A"), Value::str("B")])
+            .unwrap();
+        assert_eq!(hits, &[long]);
+    }
+
+    /// Regression test for the foreign-predicate insert bug: inserting a
+    /// fact must maintain only its *own* predicate's indexes. With indexes
+    /// on `own` only, inserting `company` facts must build zero postings.
+    #[test]
+    fn insert_never_touches_foreign_predicate_indexes() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        db.ensure_index(Symbol::new("own"), 0);
+        db.ensure_composite_index(Symbol::new("own"), &[0, 1]);
+        let after_build = db.postings_built();
+        assert_eq!(after_build, 2);
+        // Foreign-predicate inserts: no postings anywhere.
+        db.add("company", &["A".into()]);
+        db.add("company", &["B".into()]);
+        assert_eq!(db.postings_built(), after_build);
+        // Own-predicate insert: exactly one posting per index of `own`.
+        db.add("own", &["B".into(), "C".into(), 0.4.into()]);
+        assert_eq!(db.postings_built(), after_build + 2);
+    }
+
+    #[test]
     fn find_matching_treats_none_as_wildcard() {
         let mut db = Database::new();
         db.add("risk", &["C".into(), 11i64.into()]);
@@ -312,6 +562,53 @@ mod tests {
             .is_none());
         // Arity mismatch never matches.
         assert!(db.find_matching(pred, &[None]).is_none());
+    }
+
+    #[test]
+    fn find_matching_metered_agrees_with_scan_and_reports_the_path() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        db.add("own", &["A".into(), "C".into(), 0.3.into()]);
+        db.add("own", &["B".into(), "C".into(), 0.2.into()]);
+        let pred = Symbol::new("own");
+        let pattern = [Some(Value::str("A")), None, None];
+        // No index yet: scan path.
+        let (scan_hit, used) = db.find_matching_metered(pred, &pattern);
+        assert!(!used);
+        db.ensure_index(pred, 0);
+        let (probe_hit, used) = db.find_matching_metered(pred, &pattern);
+        assert!(used);
+        assert_eq!(scan_hit, probe_hit);
+        // The widest applicable index wins; result unchanged.
+        db.ensure_composite_index(pred, &[0, 1]);
+        let full = [Some(Value::str("A")), Some(Value::str("C")), None];
+        let (hit, used) = db.find_matching_metered(pred, &full);
+        assert!(used);
+        assert_eq!(hit, db.find_matching(pred, &full));
+        // Deactivated facts are invisible on both paths.
+        let target = hit.unwrap();
+        db.deactivate(target);
+        let (hit, used) = db.find_matching_metered(pred, &full);
+        assert!(used);
+        assert_eq!(hit, None);
+    }
+
+    #[test]
+    fn active_count_tracks_deactivation_per_predicate() {
+        let mut db = Database::new();
+        let a = db.add("p", &[1i64.into()]);
+        db.add("p", &[2i64.into()]);
+        db.add("q", &[3i64.into()]);
+        let p = Symbol::new("p");
+        let q = Symbol::new("q");
+        assert_eq!(db.active_count(p), 2);
+        assert_eq!(db.active_count(q), 1);
+        db.deactivate(a);
+        db.deactivate(a); // idempotent
+        assert_eq!(db.active_count(p), 1);
+        assert_eq!(db.active_count(q), 1);
+        assert_eq!(db.facts_of(p).len(), 2, "facts_of still counts inactive");
+        assert_eq!(db.active_count(Symbol::new("zzz")), 0);
     }
 
     #[test]
@@ -337,6 +634,63 @@ mod tests {
         assert_eq!(db.approx_bytes(), after_one);
         db.add("own", &["A".into(), "C".into(), 0.4.into()]);
         assert!(db.approx_bytes() > after_one);
+
+        // The estimate must not depend on whether an index was built
+        // before or after its facts were inserted: eager builds charge
+        // their postings exactly like incremental maintenance does.
+        let facts = [
+            Fact::new("own", vec!["A".into(), "B".into(), 0.6.into()]),
+            Fact::new("own", vec!["A".into(), "C".into(), 0.4.into()]),
+            Fact::new("company", vec!["A".into()]),
+        ];
+        let pred = Symbol::new("own");
+        let mut index_first = Database::new();
+        index_first.ensure_index(pred, 0);
+        index_first.ensure_composite_index(pred, &[0, 1]);
+        for f in &facts {
+            index_first.insert(f.clone());
+        }
+        let mut facts_first = Database::new();
+        for f in &facts {
+            facts_first.insert(f.clone());
+        }
+        facts_first.ensure_index(pred, 0);
+        facts_first.ensure_composite_index(pred, &[0, 1]);
+        assert_eq!(index_first.approx_bytes(), facts_first.approx_bytes());
+        assert_eq!(index_first.postings_built(), facts_first.postings_built());
+        // And the indexed store is strictly heavier than an unindexed one.
+        let plain: Database = facts.iter().cloned().collect();
+        assert!(facts_first.approx_bytes() > plain.approx_bytes());
+    }
+
+    #[test]
+    fn restore_credit_absorbs_eager_rebuild_charges() {
+        // Simulates a checkpoint restore: the recorded estimate includes
+        // posting bytes; the replayed store has no indexes yet. The eager
+        // rebuild must consume the restored credit instead of charging the
+        // postings a second time.
+        let mut live = Database::new();
+        live.ensure_index(Symbol::new("own"), 0);
+        live.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        live.add("own", &["B".into(), "C".into(), 0.4.into()]);
+        let recorded = live.approx_bytes();
+
+        let mut restored = Database::new();
+        restored.add("own", &["A".into(), "B".into(), 0.6.into()]);
+        restored.add("own", &["B".into(), "C".into(), 0.4.into()]);
+        assert!(restored.approx_bytes() < recorded);
+        restored.restore_approx_bytes(recorded);
+        assert_eq!(restored.approx_bytes(), recorded);
+        restored.ensure_index(Symbol::new("own"), 0);
+        assert_eq!(
+            restored.approx_bytes(),
+            recorded,
+            "rebuild must not double-charge restored postings"
+        );
+        // Fresh postings beyond the credit are charged normally.
+        restored.add("own", &["C".into(), "D".into(), 0.2.into()]);
+        live.add("own", &["C".into(), "D".into(), 0.2.into()]);
+        assert_eq!(restored.approx_bytes(), live.approx_bytes());
     }
 
     #[test]

@@ -1,18 +1,26 @@
 //! Body matching: enumerating homomorphisms from rule bodies into the
 //! database.
 //!
-//! The core join is *read-only*: it probes positional indexes via
-//! [`Database::probe`] (falling back to predicate scans when an index was
-//! never built) and therefore runs safely from many threads over a shared
-//! `&Database` snapshot. The `&mut` entry points kept for compatibility
-//! eagerly build the statically-required indexes and delegate to the
-//! read-only core.
+//! Joins are driven by a static, per-rule [`JoinPlan`]: for every body
+//! atom (positive *and* negated) the plan records the probe signature —
+//! the set of argument positions bound by constants or earlier atoms —
+//! and the engine eagerly builds exactly the matching composite indexes
+//! before its parallel phase. A candidate lookup then probes *all*
+//! statically-bound positions at once via
+//! [`Database::probe_composite`], instead of probing one position and
+//! filtering the rest per candidate.
+//!
+//! The core join is *read-only*: probes fall back to predicate scans when
+//! an index was never built (same ids, same order, just slower) and
+//! therefore run safely from many threads over a shared `&Database`
+//! snapshot. The `&mut` entry points kept for compatibility eagerly build
+//! the planned indexes and delegate to the read-only core.
 //!
 //! Work is decomposed into [`MatchChunk`]s — disjoint slices of the
 //! outermost join loop — whose results, concatenated in chunk order,
 //! reproduce the sequential enumeration exactly. This is what makes the
 //! parallel chase phase deterministic: enumeration order is a property of
-//! the chunk list, never of thread scheduling.
+//! the plan and the chunk list, never of thread scheduling.
 
 use crate::atom::Atom;
 use crate::database::{Database, FactId};
@@ -49,6 +57,15 @@ pub struct MatchMetrics {
     /// Candidate lookups served by a predicate scan (index disabled or
     /// never built).
     pub scans: u64,
+    /// Subset of `index_probes` whose signature bound two or more
+    /// positions at once (a genuinely composite probe).
+    pub composite_probes: u64,
+    /// Negated-atom checks served by an index probe. Counted once per
+    /// complete positive match (in `finish_match`), so invariant across
+    /// chunk counts by construction.
+    pub negation_probes: u64,
+    /// Negated-atom checks served by a full predicate scan.
+    pub negation_scans: u64,
 }
 
 impl MatchMetrics {
@@ -56,6 +73,9 @@ impl MatchMetrics {
     pub fn merge(&mut self, other: &MatchMetrics) {
         self.index_probes += other.index_probes;
         self.scans += other.scans;
+        self.composite_probes += other.composite_probes;
+        self.negation_probes += other.negation_probes;
+        self.negation_scans += other.negation_scans;
     }
 }
 
@@ -103,14 +123,147 @@ impl MatchChunk {
     }
 }
 
-/// The statically-determined positional index probes of a rule body.
+/// The static join plan of one rule: the composite probe signature of
+/// every body atom, plus the signature of the head-satisfaction check.
 ///
 /// At join depth `d` the bound variables are exactly the variables of the
 /// positive atoms `0..d` (every candidate binds all of its atom's
-/// variables), so the probed `(predicate, position)` pair of each atom is
-/// a static property of the rule: the first position holding a constant or
-/// an already-bound variable. The engine eagerly builds precisely these
-/// indexes before its parallel phase.
+/// variables), so the set of bound argument positions of each atom is a
+/// static property of the rule. The plan records that full set per
+/// positive atom; `candidates_for` probes the matching composite index
+/// with all of them bound at once. Negated atoms are checked once per
+/// complete positive match, when the body variables and assignment
+/// results are all bound — their signature is every position holding a
+/// constant or such a variable. The head signature covers the restricted
+/// chase's satisfaction check for existentially-quantified heads: every
+/// position holding a constant or a non-existential variable.
+///
+/// The plan determines which indexes exist, never which facts match or
+/// in which order: probes and scans yield identical candidate lists
+/// (insertion order), so enumeration order is a property of the rule and
+/// the database — not of the plan, and never of thread scheduling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// Per positive body atom, in body order: the statically-bound
+    /// argument positions (ascending; empty = no bound position, scan).
+    pub positive: Vec<Vec<usize>>,
+    /// Per negated body atom, in body order: the positions bound by the
+    /// rule's positive body and assignments.
+    pub negated: Vec<Vec<usize>>,
+    /// Probe signature of the head-satisfaction check, for rules with an
+    /// existentially-quantified head; `None` when the rule has no
+    /// existentials or no position is statically bound.
+    pub head: Option<Vec<usize>>,
+}
+
+impl JoinPlan {
+    /// The full composite plan of `rule`.
+    pub fn for_rule(rule: &Rule) -> JoinPlan {
+        let mut bound: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
+        let mut positive = Vec::new();
+        for atom in rule.positive_body() {
+            positive.push(bound_positions(atom, &bound));
+            for v in atom.variables() {
+                bound.insert(v);
+            }
+        }
+        // Negation runs after the assignments of a complete match.
+        for a in &rule.assignments {
+            bound.insert(a.var);
+        }
+        let negated = rule
+            .negated_body()
+            .map(|atom| bound_positions(atom, &bound))
+            .collect();
+        let head = match (&rule.head, rule.existential_variables()) {
+            (crate::rule::Head::Atom(h), ex) if !ex.is_empty() => {
+                let sig: Vec<usize> = h
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => !ex.contains(v),
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                (!sig.is_empty()).then_some(sig)
+            }
+            _ => None,
+        };
+        JoinPlan {
+            positive,
+            negated,
+            head,
+        }
+    }
+
+    /// The pre-composite plan: each positive atom probes only its *first*
+    /// bound position; negated atoms and the satisfaction check scan.
+    /// Kept as the measured baseline of the `join_plan` bench and as a
+    /// regression oracle — it reproduces the engine's behaviour before
+    /// join planning existed.
+    pub fn legacy(rule: &Rule) -> JoinPlan {
+        let mut bound: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
+        let mut positive = Vec::new();
+        for atom in rule.positive_body() {
+            let first = static_probe_position(atom, &bound);
+            positive.push(first.into_iter().collect());
+            for v in atom.variables() {
+                bound.insert(v);
+            }
+        }
+        JoinPlan {
+            positive,
+            negated: rule.negated_body().map(|_| Vec::new()).collect(),
+            head: None,
+        }
+    }
+
+    /// Every composite index this plan probes, as
+    /// `(predicate, positions)` signatures in plan order, deduplicated.
+    /// The engine builds exactly these before its parallel phase.
+    pub fn required_composite_indexes(&self, rule: &Rule) -> Vec<(Symbol, Vec<usize>)> {
+        let mut out: Vec<(Symbol, Vec<usize>)> = Vec::new();
+        let mut push = |pred: Symbol, sig: &[usize]| {
+            if !sig.is_empty() && !out.iter().any(|(p, s)| *p == pred && s == sig) {
+                out.push((pred, sig.to_vec()));
+            }
+        };
+        for (atom, sig) in rule.positive_body().zip(&self.positive) {
+            push(atom.predicate, sig);
+        }
+        for (atom, sig) in rule.negated_body().zip(&self.negated) {
+            push(atom.predicate, sig);
+        }
+        if let (Some(head), Some(sig)) = (rule.head.atom(), &self.head) {
+            push(head.predicate, sig);
+        }
+        out
+    }
+}
+
+/// The argument positions of `atom` holding a constant or a variable from
+/// `bound`, ascending. Variables repeated within `atom` only count as
+/// bound if an *earlier* atom (or assignment) bound them, mirroring the
+/// runtime bindings at candidate-lookup time.
+fn bound_positions(atom: &Atom, bound: &std::collections::HashSet<Symbol>) -> Vec<usize> {
+    atom.terms
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(v),
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The statically-determined single-position index probes of a rule body:
+/// for each positive atom, the first position holding a constant or an
+/// already-bound variable. Superseded by [`JoinPlan`] (which the engine
+/// now plans with) but kept as the stable, documented summary of the
+/// legacy probe selection.
 pub fn required_indexes(rule: &Rule) -> Vec<(Symbol, usize)> {
     let mut bound: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
     let mut out = Vec::new();
@@ -171,12 +324,26 @@ pub fn match_body_with_metered(
     use_index: bool,
     metrics: &mut MatchMetrics,
 ) -> Result<Vec<BodyMatch>, EvalError> {
+    let plan = JoinPlan::for_rule(rule);
+    match_body_planned(db, rule, &plan, use_index, metrics)
+}
+
+/// [`match_body_with_metered`] against a precomputed [`JoinPlan`]: builds
+/// the plan's composite indexes (when `use_index`) and runs the full
+/// unchunked match.
+pub fn match_body_planned(
+    db: &mut Database,
+    rule: &Rule,
+    plan: &JoinPlan,
+    use_index: bool,
+    metrics: &mut MatchMetrics,
+) -> Result<Vec<BodyMatch>, EvalError> {
     if use_index {
-        for (pred, pos) in required_indexes(rule) {
-            db.ensure_index(pred, pos);
+        for (pred, sig) in plan.required_composite_indexes(rule) {
+            db.ensure_composite_index(pred, &sig);
         }
     }
-    match_chunk_metered(db, rule, &MatchChunk::full(use_index), metrics)
+    match_chunk_planned(db, rule, plan, &MatchChunk::full(use_index), metrics)
 }
 
 /// Semi-naive incremental matching: enumerates only the matches that
@@ -203,15 +370,30 @@ pub fn match_body_incremental_metered(
     watermark: u32,
     metrics: &mut MatchMetrics,
 ) -> Result<Vec<BodyMatch>, EvalError> {
-    for (pred, pos) in required_indexes(rule) {
-        db.ensure_index(pred, pos);
+    let plan = JoinPlan::for_rule(rule);
+    match_body_incremental_planned(db, rule, &plan, watermark, metrics)
+}
+
+/// [`match_body_incremental_metered`] against a precomputed [`JoinPlan`]
+/// (the engine's commit-phase top-up path, which reuses the per-rule
+/// plans computed once per program).
+pub fn match_body_incremental_planned(
+    db: &mut Database,
+    rule: &Rule,
+    plan: &JoinPlan,
+    watermark: u32,
+    metrics: &mut MatchMetrics,
+) -> Result<Vec<BodyMatch>, EvalError> {
+    for (pred, sig) in plan.required_composite_indexes(rule) {
+        db.ensure_composite_index(pred, &sig);
     }
     let n_atoms = rule.positive_body().count();
     let mut out = Vec::new();
     let mut seen_premises: std::collections::HashSet<Vec<FactId>> =
         std::collections::HashSet::new();
     for pivot in 0..n_atoms {
-        for m in match_chunk_metered(db, rule, &MatchChunk::delta(pivot, watermark), metrics)? {
+        let chunk = MatchChunk::delta(pivot, watermark);
+        for m in match_chunk_planned(db, rule, plan, &chunk, metrics)? {
             if seen_premises.insert(m.premises.clone()) {
                 out.push(m);
             }
@@ -242,11 +424,27 @@ pub fn match_chunk_metered(
     chunk: &MatchChunk,
     metrics: &mut MatchMetrics,
 ) -> Result<Vec<BodyMatch>, EvalError> {
+    let plan = JoinPlan::for_rule(rule);
+    match_chunk_planned(db, rule, &plan, chunk, metrics)
+}
+
+/// [`match_chunk_metered`] against a precomputed [`JoinPlan`] — the
+/// parallel chase phase's entry point, which computes one plan per rule
+/// up front and shares it across all chunks.
+pub fn match_chunk_planned(
+    db: &Database,
+    rule: &Rule,
+    plan: &JoinPlan,
+    chunk: &MatchChunk,
+    metrics: &mut MatchMetrics,
+) -> Result<Vec<BodyMatch>, EvalError> {
+    static EMPTY: &[usize] = &[];
     let atoms: Vec<AtomPlan> = rule
         .positive_body()
         .enumerate()
         .map(|(i, atom)| AtomPlan {
             atom,
+            probe: plan.positive.get(i).map_or(EMPTY, Vec::as_slice),
             min_fact: match chunk.pivot {
                 Some((pivot, watermark)) if pivot == i => watermark,
                 _ => 0,
@@ -271,16 +469,20 @@ pub fn match_chunk_metered(
     Ok(out)
 }
 
-/// One body atom with its candidate restriction.
+/// One body atom with its planned probe and candidate restriction.
 struct AtomPlan<'a> {
     atom: &'a Atom,
+    /// The statically-bound positions this atom's lookup probes
+    /// (ascending; empty = unconstrained scan).
+    probe: &'a [usize],
     /// Only facts with id >= this participate (0 = unrestricted).
     min_fact: u32,
 }
 
 /// The candidate facts for `atom` under the current bindings, in insertion
-/// (= ascending id) order. Probes the positional index on the first bound
-/// position when available, scans otherwise.
+/// (= ascending id) order. Probes the composite index on the atom's
+/// planned signature when available, scans (filtering on the same
+/// positions) otherwise — identical ids in identical order either way.
 fn candidates_for(
     db: &Database,
     plan: &AtomPlan<'_>,
@@ -290,47 +492,49 @@ fn candidates_for(
     count: bool,
 ) -> Vec<FactId> {
     let atom = plan.atom;
-    // Pick the first argument position already bound (by a constant or an
-    // earlier atom) to drive an indexed lookup; fall back to a scan.
-    let mut probe: Option<(usize, Value)> = None;
-    if use_index {
-        for (i, t) in atom.terms.iter().enumerate() {
-            match t {
-                Term::Const(v) => {
-                    probe = Some((i, *v));
-                    break;
-                }
-                Term::Var(name) => {
-                    if let Some(v) = bindings.get(name) {
-                        probe = Some((i, *v));
-                        break;
+    let probe = if use_index { plan.probe } else { &[] };
+    // Every planned position holds a constant or a variable bound by an
+    // earlier atom, so the key is always fully resolvable.
+    let key: Option<Vec<Value>> = probe
+        .iter()
+        .map(|&p| match &atom.terms[p] {
+            Term::Const(v) => Some(*v),
+            Term::Var(name) => bindings.get(name).copied(),
+        })
+        .collect();
+    let mut candidates: Vec<FactId> = match key {
+        Some(key) if !probe.is_empty() => {
+            match db.probe_composite(atom.predicate, probe, &key) {
+                Some(hits) => {
+                    if count {
+                        metrics.index_probes += 1;
+                        if probe.len() > 1 {
+                            metrics.composite_probes += 1;
+                        }
                     }
+                    hits.to_vec()
+                }
+                // Index never built: scan the predicate and filter on the
+                // same positions — same ids, same order, just slower.
+                None => {
+                    if count {
+                        metrics.scans += 1;
+                    }
+                    db.facts_of(atom.predicate)
+                        .iter()
+                        .copied()
+                        .filter(|&id| {
+                            let f = db.fact(id);
+                            probe
+                                .iter()
+                                .zip(&key)
+                                .all(|(&p, v)| f.values.get(p) == Some(v))
+                        })
+                        .collect()
                 }
             }
         }
-    }
-    let mut candidates: Vec<FactId> = match probe {
-        Some((pos, val)) => match db.probe(atom.predicate, pos, &val) {
-            Some(hits) => {
-                if count {
-                    metrics.index_probes += 1;
-                }
-                hits.to_vec()
-            }
-            // Index never built: scan the predicate and filter in place —
-            // same ids, same order, just slower.
-            None => {
-                if count {
-                    metrics.scans += 1;
-                }
-                db.facts_of(atom.predicate)
-                    .iter()
-                    .copied()
-                    .filter(|&id| db.fact(id).values.get(pos) == Some(&val))
-                    .collect()
-            }
-        },
-        None => {
+        _ => {
             if count {
                 metrics.scans += 1;
             }
@@ -370,7 +574,7 @@ fn join(
     metrics: &mut MatchMetrics,
 ) -> Result<(), EvalError> {
     if depth == atoms.len() {
-        if let Some(m) = finish_match(db, rule, bindings, premises)? {
+        if let Some(m) = finish_match(db, rule, use_index, bindings, premises, metrics)? {
             out.push(m);
         }
         return Ok(());
@@ -448,11 +652,15 @@ fn join(
 
 /// Completes a full-atom match: assignments, negation, pre-aggregate
 /// conditions. Returns the finished match, or `None` if a check failed.
+/// Runs once per complete positive match, so the negation counters it
+/// feeds are invariant across chunk counts by construction.
 fn finish_match(
     db: &Database,
     rule: &Rule,
+    use_index: bool,
     bindings: &Bindings,
     premises: &[FactId],
+    metrics: &mut MatchMetrics,
 ) -> Result<Option<BodyMatch>, EvalError> {
     let mut full = bindings.clone();
 
@@ -461,7 +669,10 @@ fn finish_match(
         full.insert(a.var, v);
     }
 
-    // Negated atoms: fail the match if any fact matches under θ.
+    // Negated atoms: fail the match if any fact matches under θ. With
+    // indexes enabled the lookup probes the widest composite index whose
+    // positions are all bound (built eagerly from the rule's JoinPlan);
+    // in ablation mode it stays an honest linear scan.
     for atom in rule.negated_body() {
         let pattern: Vec<Option<Value>> = atom
             .terms
@@ -471,7 +682,17 @@ fn finish_match(
                 Term::Var(name) => full.get(name).copied(),
             })
             .collect();
-        if db.find_matching(atom.predicate, &pattern).is_some() {
+        let (hit, probed) = if use_index {
+            db.find_matching_metered(atom.predicate, &pattern)
+        } else {
+            (db.find_matching_scan(atom.predicate, &pattern), false)
+        };
+        if probed {
+            metrics.negation_probes += 1;
+        } else {
+            metrics.negation_scans += 1;
+        }
+        if hit.is_some() {
             return Ok(None);
         }
     }
@@ -802,6 +1023,163 @@ mod tests {
             ))
             .head(Atom::new("p", vec![Term::var("y")]));
         assert_eq!(required_indexes(&rule), vec![(Symbol::new("own"), 0)]);
+    }
+
+    #[test]
+    fn join_plan_signatures_cover_positive_negated_and_head_atoms() {
+        // own(x,z,s1), own(z,y,s2), not blocked(z,y) -> p(x,y,w) with w
+        // existential: atom 0 has no bound position, atom 1 probes [0],
+        // the negated atom is fully bound, the head probes its
+        // non-existential positions.
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("z"), Term::var("s1")],
+            ))
+            .body(Atom::new(
+                "own",
+                vec![Term::var("z"), Term::var("y"), Term::var("s2")],
+            ))
+            .body_not(Atom::new("blocked", vec![Term::var("z"), Term::var("y")]))
+            .head(Atom::new(
+                "p",
+                vec![Term::var("x"), Term::var("y"), Term::var("w")],
+            ));
+        let plan = JoinPlan::for_rule(&rule);
+        assert_eq!(plan.positive, vec![vec![], vec![0]]);
+        assert_eq!(plan.negated, vec![vec![0, 1]]);
+        assert_eq!(plan.head, Some(vec![0, 1]));
+        let sigs = plan.required_composite_indexes(&rule);
+        assert_eq!(
+            sigs,
+            vec![
+                (Symbol::new("own"), vec![0]),
+                (Symbol::new("blocked"), vec![0, 1]),
+                (Symbol::new("p"), vec![0, 1]),
+            ]
+        );
+        // The legacy plan knows only first-bound-position probes.
+        let legacy = JoinPlan::legacy(&rule);
+        assert_eq!(legacy.positive, vec![vec![], vec![0]]);
+        assert_eq!(legacy.negated, vec![vec![]]);
+        assert_eq!(legacy.head, None);
+    }
+
+    #[test]
+    fn join_plan_assignment_variables_bind_negated_positions() {
+        // pct is only bound after the assignment; the negated atom's
+        // second position still counts as bound.
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("y"), Term::var("s")],
+            ))
+            .assign(
+                "pct",
+                Expr::binary(
+                    crate::expr::ArithOp::Mul,
+                    Expr::var("s"),
+                    Expr::constant(100.0f64),
+                ),
+            )
+            .body_not(Atom::new("cap", vec![Term::var("x"), Term::var("pct")]))
+            .head(Atom::new("p", vec![Term::var("x")]));
+        let plan = JoinPlan::for_rule(&rule);
+        assert_eq!(plan.negated, vec![vec![0, 1]]);
+        assert_eq!(plan.head, None, "no existentials, no satisfaction probe");
+    }
+
+    #[test]
+    fn composite_probe_agrees_with_scan_and_counts_composites() {
+        // Triangle closure: the third atom has two bound positions, so the
+        // planned join probes a genuinely composite (edge, [0, 1]) index.
+        let mut db = Database::new();
+        for (a, b) in [
+            ("A", "B"),
+            ("B", "C"),
+            ("A", "C"),
+            ("C", "D"),
+            ("B", "D"),
+            ("A", "D"),
+        ] {
+            db.add("edge", &[a.into(), b.into()]);
+        }
+        let rule = RuleBuilder::new("tri")
+            .body(Atom::new("edge", vec![Term::var("x"), Term::var("y")]))
+            .body(Atom::new("edge", vec![Term::var("y"), Term::var("z")]))
+            .body(Atom::new("edge", vec![Term::var("x"), Term::var("z")]))
+            .head(Atom::new(
+                "triangle",
+                vec![Term::var("x"), Term::var("y"), Term::var("z")],
+            ));
+        let plan = JoinPlan::for_rule(&rule);
+        assert_eq!(plan.positive, vec![vec![], vec![0], vec![0, 1]]);
+        let mut metrics = MatchMetrics::default();
+        let indexed = match_body_planned(&mut db, &rule, &plan, true, &mut metrics).unwrap();
+        assert!(metrics.composite_probes > 0);
+        assert!(db.has_composite_index(Symbol::new("edge"), &[0, 1]));
+        let scanned = match_body_with(&mut db, &rule, false).unwrap();
+        assert_eq!(indexed.len(), scanned.len());
+        assert!(!indexed.is_empty());
+        for (a, b) in indexed.iter().zip(&scanned) {
+            assert_eq!(a.premises, b.premises);
+        }
+    }
+
+    #[test]
+    fn negation_probes_an_index_when_planned_and_scans_otherwise() {
+        let mut db = own_db();
+        db.add("blocked", &["A".into()]);
+        db.add("blocked", &["Z".into()]);
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("y"), Term::var("s")],
+            ))
+            .body_not(Atom::new("blocked", vec![Term::var("x")]))
+            .head(Atom::new("p", vec![Term::var("x"), Term::var("y")]));
+        let mut metrics = MatchMetrics::default();
+        let ms = match_body_with_metered(&mut db, &rule, true, &mut metrics).unwrap();
+        assert_eq!(ms.len(), 1);
+        // One negation check per complete positive match, all indexed.
+        assert_eq!(metrics.negation_probes, 3);
+        assert_eq!(metrics.negation_scans, 0);
+        // Ablation mode stays an honest scan even though the index exists.
+        let mut metrics = MatchMetrics::default();
+        let scanned = match_body_with_metered(&mut db, &rule, false, &mut metrics).unwrap();
+        assert_eq!(metrics.negation_probes, 0);
+        assert_eq!(metrics.negation_scans, 3);
+        assert_eq!(ms.len(), scanned.len());
+    }
+
+    #[test]
+    fn legacy_plan_produces_identical_matches() {
+        let mut db = own_db();
+        db.add("own", &["C".into(), "D".into(), 0.7.into()]);
+        db.add("blocked", &["A".into()]);
+        let rule = RuleBuilder::new("r")
+            .body(Atom::new(
+                "own",
+                vec![Term::var("x"), Term::var("z"), Term::var("s1")],
+            ))
+            .body(Atom::new(
+                "own",
+                vec![Term::var("z"), Term::var("y"), Term::var("s2")],
+            ))
+            .body_not(Atom::new("blocked", vec![Term::var("y")]))
+            .head(Atom::new("p", vec![Term::var("x"), Term::var("y")]));
+        let full = JoinPlan::for_rule(&rule);
+        let legacy = JoinPlan::legacy(&rule);
+        let planned =
+            match_body_planned(&mut db, &rule, &full, true, &mut MatchMetrics::default()).unwrap();
+        let legacy_ms =
+            match_body_planned(&mut db, &rule, &legacy, true, &mut MatchMetrics::default())
+                .unwrap();
+        assert_eq!(planned.len(), legacy_ms.len());
+        for (a, b) in planned.iter().zip(&legacy_ms) {
+            assert_eq!(a.premises, b.premises);
+            assert_eq!(a.bindings, b.bindings);
+        }
     }
 
     #[test]

@@ -38,8 +38,9 @@
 mod matcher;
 
 pub use matcher::{
-    match_body, match_body_incremental, match_body_incremental_metered, match_body_with,
-    match_body_with_metered, match_chunk, match_chunk_metered, required_indexes, BodyMatch,
+    match_body, match_body_incremental, match_body_incremental_metered,
+    match_body_incremental_planned, match_body_planned, match_body_with, match_body_with_metered,
+    match_chunk, match_chunk_metered, match_chunk_planned, required_indexes, BodyMatch, JoinPlan,
     MatchChunk, MatchMetrics,
 };
 
@@ -85,7 +86,21 @@ pub struct ChaseConfig {
     /// builds every statically-probed index eagerly before the first
     /// round. Disabling falls back to per-predicate scans — the
     /// engine-ablation baseline — and to a purely sequential evaluation.
+    ///
+    /// The default is `true` unless the `VADALOG_NO_INDEX` environment
+    /// variable is set (to anything but `0` or the empty string), which
+    /// flips the process default to the scan-ablation path — the knob CI
+    /// uses to run the whole test suite over the scan code path.
     pub use_positional_index: bool,
+    /// Plan joins statically per rule (default): probe composite indexes
+    /// binding *all* statically-bound positions of each atom, and serve
+    /// negated-atom and head-satisfaction checks from indexes built for
+    /// their planned signatures. Disabling reverts to the legacy
+    /// single-position probe (first bound position per atom, negation and
+    /// satisfaction by linear scan) — kept as the measured baseline of
+    /// the `join_plan` bench. Only meaningful while
+    /// `use_positional_index` is on.
+    pub join_planning: bool,
     /// Evaluate non-aggregate rules semi-naively: after the first round,
     /// only matches involving at least one new fact are enumerated
     /// (default). Aggregate rules always re-match fully, since their
@@ -122,13 +137,24 @@ pub struct ChaseConfig {
     pub metrics: Option<std::sync::Arc<MetricsRegistry>>,
 }
 
+/// True iff the `VADALOG_NO_INDEX` environment variable requests the
+/// scan-ablation default for [`ChaseConfig::use_positional_index`]. Read
+/// once per process: a config default must not change mid-run.
+fn scan_ablation_default() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::env::var_os("VADALOG_NO_INDEX").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
 impl Default for ChaseConfig {
     fn default() -> ChaseConfig {
         ChaseConfig {
             max_rounds: 10_000,
             max_facts: 5_000_000,
             fail_on_violation: false,
-            use_positional_index: true,
+            use_positional_index: !scan_ablation_default(),
+            join_planning: true,
             semi_naive: true,
             threads: 0,
             guard: RunGuard::default(),
@@ -167,6 +193,14 @@ impl ChaseConfig {
     /// Enables or disables positional-index matching.
     pub fn with_positional_index(mut self, use_index: bool) -> ChaseConfig {
         self.use_positional_index = use_index;
+        self
+    }
+
+    /// Enables or disables static join planning (composite-index probes
+    /// and indexed negation/satisfaction checks). Disabling reverts to
+    /// the legacy single-position probe selection.
+    pub fn with_join_planning(mut self, join_planning: bool) -> ChaseConfig {
+        self.join_planning = join_planning;
         self
     }
 
@@ -543,6 +577,8 @@ impl<'p> ChaseSession<'p> {
             None => (vec![watermark; program.len()], None),
         };
         let metrics = EngineMetrics::new(program, &self.config);
+        let plans = join_plans(program, &self.config);
+        let postings_at_start = database.postings_built();
         let engine = Chase {
             program,
             db: database,
@@ -557,6 +593,8 @@ impl<'p> ChaseSession<'p> {
             report: RunReport::default(),
             resume_from,
             metrics,
+            plans,
+            postings_at_start,
         };
         // `initial_facts` counts the pre-extension closure plus the new
         // input facts, so `derived_facts` of the result counts only the
@@ -614,6 +652,7 @@ const CHUNK_TARGET: usize = 64;
 struct WorkItem<'r> {
     rule_idx: usize,
     rule: &'r Rule,
+    plan: &'r JoinPlan,
     chunk: MatchChunk,
 }
 
@@ -788,6 +827,27 @@ struct Chase<'p> {
     resume_from: Option<EngineResume>,
     /// Pre-resolved handles into the run's metrics registry.
     metrics: EngineMetrics,
+    /// Static join plans, one per program rule, computed once up front
+    /// (composite when `config.join_planning`, legacy otherwise).
+    plans: Vec<JoinPlan>,
+    /// `db.postings_built()` at construction, so the run reports only the
+    /// posting-list entries it built itself.
+    postings_at_start: u64,
+}
+
+/// The per-rule join plans of `program` under `config`.
+fn join_plans(program: &Program, config: &ChaseConfig) -> Vec<JoinPlan> {
+    program
+        .rules()
+        .iter()
+        .map(|rule| {
+            if config.join_planning {
+                JoinPlan::for_rule(rule)
+            } else {
+                JoinPlan::legacy(rule)
+            }
+        })
+        .collect()
 }
 
 impl<'p> Chase<'p> {
@@ -798,6 +858,8 @@ impl<'p> Chase<'p> {
         }
         let initial_facts = db.len();
         let metrics = EngineMetrics::new(program, &config);
+        let plans = join_plans(program, &config);
+        let postings_at_start = db.postings_built();
         Chase {
             program,
             db,
@@ -812,6 +874,8 @@ impl<'p> Chase<'p> {
             report: RunReport::default(),
             resume_from: None,
             metrics,
+            plans,
+            postings_at_start,
         }
     }
 
@@ -831,14 +895,17 @@ impl<'p> Chase<'p> {
         let strata = self.program.stratification().strata;
         let _run_span = crate::span!("chase.run", strata = strata, threads = threads);
 
-        // Build every statically-probed positional index before the first
+        // Build exactly the planned composite indexes before the first
         // parallel phase: a cold index must never be constructed while the
-        // store is shared read-only across matching workers.
+        // store is shared read-only across matching workers. The plans
+        // cover positive-atom probes plus — under join planning — the
+        // negated-atom and head-satisfaction signatures, so those checks
+        // probe instead of scanning.
         let t = self.timer();
         if self.config.use_positional_index {
-            for rule in self.program.rules() {
-                for (pred, pos) in required_indexes(rule) {
-                    self.db.ensure_index(pred, pos);
+            for (rule, plan) in self.program.rules().iter().zip(&self.plans) {
+                for (pred, sig) in plan.required_composite_indexes(rule) {
+                    self.db.ensure_composite_index(pred, &sig);
                 }
             }
         }
@@ -949,6 +1016,9 @@ impl<'p> Chase<'p> {
                     let stats = &mut self.report.rules[*idx];
                     stats.index_probes += metrics.index_probes;
                     stats.scans += metrics.scans;
+                    stats.composite_probes += metrics.composite_probes;
+                    stats.negation_probes += metrics.negation_probes;
+                    stats.negation_scans += metrics.negation_scans;
                     stats.matches_enumerated += enumerated;
                 }
                 self.report.peak.match_buffer = self.report.peak.match_buffer.max(phase.buffered);
@@ -1299,10 +1369,20 @@ impl<'p> Chase<'p> {
             .add((self.db.len() - self.initial_facts) as u64);
         let mut probes = 0;
         let mut scans = 0;
+        let mut composite = 0;
+        let mut neg_probes = 0;
+        let mut neg_scans = 0;
+        let mut sat_probes = 0;
+        let mut sat_scans = 0;
         let mut duplicates = 0;
         for rule in &self.report.rules {
             probes += rule.index_probes;
             scans += rule.scans;
+            composite += rule.composite_probes;
+            neg_probes += rule.negation_probes;
+            neg_scans += rule.negation_scans;
+            sat_probes += rule.satisfaction_probes;
+            sat_scans += rule.satisfaction_scans;
             duplicates += rule.duplicates_preempted;
         }
         registry
@@ -1317,6 +1397,42 @@ impl<'p> Chase<'p> {
                 "Full-predicate scans during matching.",
             )
             .add(scans);
+        registry
+            .counter(
+                "vadalog_composite_probes_total",
+                "Multi-position composite-index probes during matching (subset of vadalog_index_probes_total).",
+            )
+            .add(composite);
+        registry
+            .counter(
+                "vadalog_negation_probes_total",
+                "Negated-atom checks answered by an index probe.",
+            )
+            .add(neg_probes);
+        registry
+            .counter(
+                "vadalog_negation_scans_total",
+                "Negated-atom checks answered by a full-predicate scan.",
+            )
+            .add(neg_scans);
+        registry
+            .counter(
+                "vadalog_satisfaction_probes_total",
+                "Restricted-chase head-satisfaction checks answered by an index probe.",
+            )
+            .add(sat_probes);
+        registry
+            .counter(
+                "vadalog_satisfaction_scans_total",
+                "Restricted-chase head-satisfaction checks answered by a full-predicate scan.",
+            )
+            .add(sat_scans);
+        registry
+            .counter(
+                "vadalog_index_postings_total",
+                "Index posting-list entries built (eager builds plus incremental inserts).",
+            )
+            .add(self.db.postings_built() - self.postings_at_start);
         registry
             .counter(
                 "vadalog_duplicates_preempted_total",
@@ -1401,6 +1517,7 @@ impl<'p> Chase<'p> {
                         items.push(WorkItem {
                             rule_idx: idx,
                             rule,
+                            plan: &self.plans[idx],
                             chunk: MatchChunk {
                                 pivot: Some((pivot, watermark as u32)),
                                 part,
@@ -1415,6 +1532,7 @@ impl<'p> Chase<'p> {
                     items.push(WorkItem {
                         rule_idx: idx,
                         rule,
+                        plan: &self.plans[idx],
                         chunk: MatchChunk {
                             pivot: None,
                             part,
@@ -1517,7 +1635,7 @@ impl<'p> Chase<'p> {
             panic::catch_unwind(AssertUnwindSafe(|| {
                 faultpoint::trigger("chase.match_chunk");
                 let mut metrics = MatchMetrics::default();
-                match_chunk_metered(&self.db, item.rule, &item.chunk, &mut metrics)
+                match_chunk_planned(&self.db, item.rule, item.plan, &item.chunk, &mut metrics)
                     .map(|ms| (ms, metrics))
             }))
             .map_err(|payload| {
@@ -1606,7 +1724,7 @@ impl<'p> Chase<'p> {
         let first = rule
             .positive_body()
             .next()
-            .map(|atom| self.db.facts_of(atom.predicate).len())
+            .map(|atom| self.db.active_count(atom.predicate))
             .unwrap_or(0);
         (first / CHUNK_TARGET).clamp(1, threads * 4)
     }
@@ -1674,16 +1792,18 @@ impl<'p> Chase<'p> {
             let phase_count = matches.len();
             if completion {
                 matches = if self.is_incremental(rule, watermark) {
-                    match_body_incremental_metered(
+                    match_body_incremental_planned(
                         &mut self.db,
                         rule,
+                        &self.plans[idx],
                         watermark as u32,
                         &mut metrics,
                     )
                 } else {
-                    match_body_with_metered(
+                    match_body_planned(
                         &mut self.db,
                         rule,
+                        &self.plans[idx],
                         self.config.use_positional_index,
                         &mut metrics,
                     )
@@ -1701,9 +1821,10 @@ impl<'p> Chase<'p> {
                 };
                 if current_len > topup_from {
                     matches.extend(
-                        match_body_incremental_metered(
+                        match_body_incremental_planned(
                             &mut self.db,
                             rule,
+                            &self.plans[idx],
                             topup_from as u32,
                             &mut metrics,
                         )
@@ -1731,6 +1852,9 @@ impl<'p> Chase<'p> {
                 let stats = &mut self.report.rules[idx];
                 stats.index_probes += metrics.index_probes;
                 stats.scans += metrics.scans;
+                stats.composite_probes += metrics.composite_probes;
+                stats.negation_probes += metrics.negation_probes;
+                stats.negation_scans += metrics.negation_scans;
                 stats.matches_enumerated += newly_enumerated;
             }
             self.last_seen_len[idx] = current_len;
@@ -1852,7 +1976,21 @@ impl<'p> Chase<'p> {
                 })
                 .collect();
             self.report.rules[rule_id.0].isomorphism_checks += 1;
-            if self.db.find_matching(head.predicate, &pattern).is_some() {
+            // Under join planning the head-signature index was built
+            // eagerly, so this is a hash probe; the scan path remains for
+            // the ablation baseline and for unplanned (all-existential)
+            // heads.
+            let (hit, probed) = if self.config.use_positional_index {
+                self.db.find_matching_metered(head.predicate, &pattern)
+            } else {
+                (self.db.find_matching_scan(head.predicate, &pattern), false)
+            };
+            if probed {
+                self.report.rules[rule_id.0].satisfaction_probes += 1;
+            } else {
+                self.report.rules[rule_id.0].satisfaction_scans += 1;
+            }
+            if hit.is_some() {
                 self.report.rules[rule_id.0].satisfaction_preempted += 1;
                 return Ok(false);
             }
@@ -3131,7 +3269,13 @@ mod governance_tests {
             db.add("a", &["y".into()]);
             db
         };
-        let out = ChaseSession::new(&program).threads(1).run(build()).unwrap();
+        // The hand-computed counts assume the indexed snapshot/top-up
+        // path, so pin it against VADALOG_NO_INDEX.
+        let out = ChaseSession::new(&program)
+            .config(ChaseConfig::default().with_positional_index(true))
+            .threads(1)
+            .run(build())
+            .unwrap();
         let report = &out.report;
         assert_eq!(out.database.len(), 7);
         assert_eq!(report.rounds, 2);
@@ -3165,6 +3309,7 @@ mod governance_tests {
         // The count fingerprint is thread-invariant.
         for threads in [2, 8] {
             let other = ChaseSession::new(&program)
+                .config(ChaseConfig::default().with_positional_index(true))
                 .threads(threads)
                 .run(build())
                 .unwrap();

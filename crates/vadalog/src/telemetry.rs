@@ -334,6 +334,19 @@ pub struct RuleStats {
     pub index_probes: u64,
     /// Candidate lookups served by a predicate scan.
     pub scans: u64,
+    /// Index probes that bound two or more positions at once (a subset
+    /// of `index_probes`).
+    pub composite_probes: u64,
+    /// Negated-atom checks answered by an index probe.
+    pub negation_probes: u64,
+    /// Negated-atom checks answered by a full-predicate scan.
+    pub negation_scans: u64,
+    /// Head-satisfaction checks answered by an index probe (a subset of
+    /// `isomorphism_checks`).
+    pub satisfaction_probes: u64,
+    /// Head-satisfaction checks answered by a full-predicate scan (the
+    /// complement of `satisfaction_probes`).
+    pub satisfaction_scans: u64,
 }
 
 /// Per-round counters of one run.
@@ -463,7 +476,7 @@ impl RunReport {
         for (i, r) in self.rules.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "rule[{i}]={} matches={} firings={} commits={} dups={} iso={} sat={} probes={} scans={}",
+                "rule[{i}]={} matches={} firings={} commits={} dups={} iso={} sat={} probes={} scans={} composite={} negp={} negs={} satp={} sats={}",
                 r.label,
                 r.matches_enumerated,
                 r.firings,
@@ -473,6 +486,11 @@ impl RunReport {
                 r.satisfaction_preempted,
                 r.index_probes,
                 r.scans,
+                r.composite_probes,
+                r.negation_probes,
+                r.negation_scans,
+                r.satisfaction_probes,
+                r.satisfaction_scans,
             );
         }
         for r in &self.rounds_log {
@@ -532,6 +550,11 @@ impl RunReport {
             w.field_u64("satisfaction_preempted", r.satisfaction_preempted);
             w.field_u64("index_probes", r.index_probes);
             w.field_u64("scans", r.scans);
+            w.field_u64("composite_probes", r.composite_probes);
+            w.field_u64("negation_probes", r.negation_probes);
+            w.field_u64("negation_scans", r.negation_scans);
+            w.field_u64("satisfaction_probes", r.satisfaction_probes);
+            w.field_u64("satisfaction_scans", r.satisfaction_scans);
             w.close_object();
         }
         w.close_array();
