@@ -47,7 +47,7 @@ fn bench_thread_sweep(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     ChaseSession::new(&program)
-                        .threads(threads)
+                        .with_threads(threads)
                         .run(db.clone())
                         .expect("chase")
                 })

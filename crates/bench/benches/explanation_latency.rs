@@ -12,7 +12,7 @@ fn bench_control(c: &mut Criterion) {
     for steps in [1usize, 5, 9, 15, 21] {
         let bundle = finkg::control_bundle(steps, 1, 18 + steps as u64);
         let pipeline = ExplanationPipeline::builder(control::program(), control::GOAL)
-            .glossary(&control::glossary())
+            .with_glossary(&control::glossary())
             .build()
             .expect("pipeline");
         let outcome = ChaseSession::new(&control::program())
@@ -36,7 +36,7 @@ fn bench_stress(c: &mut Criterion) {
         let bundle = finkg::stress_bundle(steps, 1, 18 + steps as u64);
         let goal = bundle.targets[0].predicate.as_str();
         let pipeline = ExplanationPipeline::builder(stress::program(), goal)
-            .glossary(&stress::glossary())
+            .with_glossary(&stress::glossary())
             .build()
             .expect("pipeline");
         let outcome = ChaseSession::new(&stress::program())
@@ -59,7 +59,7 @@ fn bench_pipeline_construction(c: &mut Criterion) {
     group.bench_function("company_control", |b| {
         b.iter(|| {
             ExplanationPipeline::builder(control::program(), control::GOAL)
-                .glossary(&control::glossary())
+                .with_glossary(&control::glossary())
                 .build()
                 .expect("pipeline")
         })
@@ -67,7 +67,7 @@ fn bench_pipeline_construction(c: &mut Criterion) {
     group.bench_function("stress_test", |b| {
         b.iter(|| {
             ExplanationPipeline::builder(stress::program(), stress::GOAL)
-                .glossary(&stress::glossary())
+                .with_glossary(&stress::glossary())
                 .build()
                 .expect("pipeline")
         })

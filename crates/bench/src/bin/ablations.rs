@@ -40,8 +40,8 @@ fn ablation_policy() {
         for seed in 0..6u64 {
             let bundle = finkg::control_bundle_aggregated(3, 2, seed);
             let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
-                .glossary(&glossary)
-                .policy(policy)
+                .with_glossary(&glossary)
+                .with_policy(policy)
                 .build()
                 .expect("pipeline");
             let outcome = ChaseSession::new(&program)
@@ -74,7 +74,7 @@ fn ablation_flavor() {
     let program = control::program();
     let glossary = control::glossary();
     let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
-        .glossary(&glossary)
+        .with_glossary(&glossary)
         .build()
         .expect("pipeline");
     let bundle = finkg::control_bundle(12, 5, 3);
@@ -146,7 +146,7 @@ fn ablation_semi_naive() {
             let cfg = ChaseConfig::default().with_semi_naive(semi_naive);
             let t0 = std::time::Instant::now();
             let out = ChaseSession::new(program)
-                .config(cfg)
+                .with_config(cfg)
                 .run(db.clone())
                 .expect("chase");
             let dt = t0.elapsed();
@@ -179,7 +179,7 @@ fn ablation_index() {
             let cfg = ChaseConfig::default().with_positional_index(use_index);
             let t0 = std::time::Instant::now();
             let out = ChaseSession::new(&program)
-                .config(cfg)
+                .with_config(cfg)
                 .run(db.clone())
                 .expect("chase");
             let dt = t0.elapsed();

@@ -54,7 +54,7 @@ struct AutosaveCell {
 
 fn autosave_sweep(program: &Program, db: &Database, path: &Path) -> Vec<AutosaveCell> {
     let reference = ChaseSession::new(program)
-        .threads(1)
+        .with_threads(1)
         .run(db.clone())
         .expect("chase");
     let fingerprint = reference.report.count_fingerprint();
@@ -68,7 +68,7 @@ fn autosave_sweep(program: &Program, db: &Database, path: &Path) -> Vec<Autosave
             }
             let t0 = Instant::now();
             let out = ChaseSession::new(program)
-                .config(config)
+                .with_config(config)
                 .run(db.clone())
                 .expect("chase");
             let dt = t0.elapsed().as_secs_f64() * 1e3;
@@ -122,7 +122,7 @@ fn main() {
     let path = dir.join("snapshot.ckpt");
 
     // Snapshot latency on the finished outcome.
-    let session = ChaseSession::new(&program).threads(1);
+    let session = ChaseSession::new(&program).with_threads(1);
     let outcome = session.run(db.clone()).expect("chase");
     let mut save_ms = Vec::with_capacity(IO_REPS);
     let mut load_ms = Vec::with_capacity(IO_REPS);

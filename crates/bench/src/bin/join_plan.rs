@@ -118,7 +118,7 @@ fn run_config(
         let reps = if threads == 1 { REPS } else { 1 };
         for _ in 0..reps {
             let out = ChaseSession::new(&w.program)
-                .config(config.clone().with_threads(threads))
+                .with_config(config.clone().with_threads(threads))
                 .run(w.db.clone())
                 .unwrap_or_else(|e| panic!("{}/{config_name}: chase failed: {e}", w.name));
             let facts = fact_fingerprint(&out);

@@ -40,7 +40,7 @@ fn workload() -> f64 {
         .expect("chase");
     let pipeline =
         ExplanationPipeline::builder(program.clone(), bundle.targets[0].predicate.as_str())
-            .glossary(&glossary)
+            .with_glossary(&glossary)
             .build()
             .expect("pipeline");
     for target in &bundle.targets {

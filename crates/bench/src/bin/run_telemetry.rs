@@ -46,7 +46,7 @@ fn ns_to_ms(ns: u64) -> f64 {
 
 fn sweep(name: &'static str, program: &Program, db: &Database) -> WorkloadRun {
     let reference = ChaseSession::new(program)
-        .threads(1)
+        .with_threads(1)
         .run(db.clone())
         .expect("chase");
     let fingerprint = reference.report.count_fingerprint();
@@ -57,7 +57,7 @@ fn sweep(name: &'static str, program: &Program, db: &Database) -> WorkloadRun {
         let mut total_ns = 0u64;
         for _ in 0..REPS {
             let out = ChaseSession::new(program)
-                .threads(threads)
+                .with_threads(threads)
                 .run(db.clone())
                 .expect("chase");
             assert_eq!(
@@ -96,8 +96,8 @@ fn sweep(name: &'static str, program: &Program, db: &Database) -> WorkloadRun {
     let timed_run = |full: bool| -> f64 {
         let t0 = std::time::Instant::now();
         let out = ChaseSession::new(program)
-            .config(ChaseConfig::default().with_full_telemetry(full))
-            .threads(1)
+            .with_config(ChaseConfig::default().with_full_telemetry(full))
+            .with_threads(1)
             .run(db.clone())
             .expect("chase");
         let dt = t0.elapsed().as_secs_f64();

@@ -62,7 +62,7 @@ pub fn run(app: App, steps: &[usize], proofs_per_len: usize, seed: u64) -> Vec<O
         // goal must match the target predicate.
         let goal = bundle.targets[0].predicate.as_str();
         let pipeline = ExplanationPipeline::builder(program.clone(), goal)
-            .glossary(&glossary)
+            .with_glossary(&glossary)
             .build()
             .expect("pipeline builds");
         let outcome = ChaseSession::new(&program)

@@ -44,7 +44,7 @@ pub fn run(app: App, steps: &[usize], proofs_per_len: usize, seed: u64) -> Vec<L
         };
         let goal = bundle.targets[0].predicate.as_str();
         let pipeline = ExplanationPipeline::builder(program.clone(), goal)
-            .glossary(&glossary)
+            .with_glossary(&glossary)
             .build()
             .expect("pipeline builds");
         let outcome = ChaseSession::new(&program)

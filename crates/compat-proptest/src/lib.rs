@@ -1,0 +1,555 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the strategy subset its property tests use as a local path
+//! dependency: range and tuple strategies, `any::<T>()`, regex-class
+//! string strategies (`"[a-z]{1,6}"`-style), `prop::collection::vec`,
+//! `prop_map`, `prop_oneof!`, the [`proptest!`] macro, `prop_assert*!`
+//! and [`ProptestConfig::with_cases`].
+//!
+//! Semantics: each generated test runs `cases` iterations over a
+//! deterministic per-test stream (seeded from the test's source
+//! location), so failures reproduce exactly. There is **no shrinking** —
+//! a failing case reports the panic of the raw sample. That trades
+//! minimal counterexamples for a zero-dependency build; the workspace's
+//! suites assert invariants whose raw inputs are already small.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (the used subset of proptest's `Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic generator driving one property test.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A per-test stream derived from the test's source location, so
+    /// every run draws the same cases.
+    pub fn for_test(file: &str, line: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= u64::from(line);
+        h = h.wrapping_mul(0x100_0000_01b3);
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+}
+
+/// A value generator: the used subset of proptest's `Strategy`.
+///
+/// Unlike upstream there is no value tree and no shrinking: a strategy
+/// samples a value directly from the test's deterministic stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.0.random_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.0.random_range(self.clone())
+    }
+}
+
+/// String strategies from a regex-class pattern: a sequence of
+/// `[class]` or literal-character elements, each optionally quantified
+/// with `{n}` or `{m,n}` (the subset the workspace's tests use, e.g.
+/// `"[a-z][a-z0-9_]{0,6}"`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let elements = parse_pattern(self);
+        let mut out = String::new();
+        for (alphabet, lo, hi) in &elements {
+            let n = if lo == hi {
+                *lo
+            } else {
+                rng.0.random_range(*lo..=*hi)
+            };
+            for _ in 0..n {
+                let i = (rng.next_u64() % alphabet.len() as u64) as usize;
+                out.push(alphabet[i]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses the supported pattern subset into `(alphabet, min, max)`
+/// elements. Panics on constructs outside the subset — a test authoring
+/// error, caught on the first run.
+fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elements = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let class: Vec<char> = chars[i + 1..i + close].to_vec();
+                i += close + 1;
+                expand_class(&class, pattern)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional {n} or {m,n} quantifier.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        elements.push((alphabet, lo, hi));
+    }
+    elements
+}
+
+/// Expands a character class body (literals and `a-z` ranges; a leading
+/// or trailing `-` is literal).
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if class[i] == '\\' {
+            i += 1;
+            if let Some(&c) = class.get(i) {
+                alphabet.push(c);
+                i += 1;
+            }
+            continue;
+        }
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+            continue;
+        }
+        alphabet.push(class[i]);
+        i += 1;
+    }
+    assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+    alphabet
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical whole-domain strategy (proptest's
+/// `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A uniform choice between boxed strategies (what `prop_oneof!`
+/// builds).
+pub struct Union<V> {
+    options: Vec<Box<dyn DynStrategyObj<V>>>,
+}
+
+/// Object-safe strategy erasure with the value type as a parameter, so
+/// differently-typed strategies erase to one box type. Implementation
+/// detail of [`Union`]; public only because the `prop_oneof!` expansion
+/// names it.
+#[doc(hidden)]
+pub trait DynStrategyObj<V> {
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> V;
+}
+
+impl<V, S: Strategy<Value = V>> DynStrategyObj<V> for S {
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        self.generate(rng)
+    }
+}
+
+impl<V> Union<V> {
+    /// A union over `options`, sampled uniformly.
+    pub fn new(options: Vec<Box<dyn DynStrategyObj<V>>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].gen_value(rng)
+    }
+}
+
+/// Boxes a strategy for [`Union`]; used by the `prop_oneof!` expansion.
+pub fn boxed_option<V, S: Strategy<Value = V> + 'static>(s: S) -> Box<dyn DynStrategyObj<V>> {
+    Box::new(s)
+}
+
+// The helper trait must be nameable by the macro expansion but is an
+// implementation detail; re-export under a stable path.
+pub use self::collection_support::*;
+
+mod collection_support {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Collection-size specifications accepted by
+    /// [`vec`](super::prop::collection::vec): an exact `usize`, `m..n`,
+    /// or `m..=n`.
+    pub trait SizeRange {
+        /// The inclusive `(min, max)` bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1))
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// The strategy returned by [`vec`](super::prop::collection::vec).
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) min: usize,
+        pub(crate) max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.min == self.max {
+                self.min
+            } else {
+                rng.0.random_range(self.min..=self.max)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `proptest::prop` namespace subset.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, VecStrategy};
+
+        /// A strategy for vectors of `element` with a size in `size`.
+        pub fn vec<S>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { element, min, max }
+        }
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::{any, Arbitrary, ProptestConfig, Strategy, TestRng, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (no shrinking: failure panics
+/// with the raw case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// A uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_option($strategy)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` running [`ProptestConfig::cases`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::for_test(file!(), line!());
+                for _case in 0..config.cases {
+                    let ($($arg,)+) = ($($crate::Strategy::generate(&$strategy, &mut rng),)+);
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_within_spec() {
+        let mut rng = TestRng::for_test("lib.rs", 1);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        for _ in 0..200 {
+            let s = "[ -~]{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+        // The parser-fuzz token-soup class: escapes and a literal '-'.
+        for _ in 0..50 {
+            let s = "[a-z0-9_@:,.()<>=!'\" \n*-]{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Tuple + vec + map composition sticks to its domains.
+        #[test]
+        fn composed_strategies_stay_in_domain(
+            pairs in prop::collection::vec((0usize..9, 1i64..10), 0..16),
+            flag in any::<bool>(),
+            scaled in (0u8..100).prop_map(|v| i32::from(v) * 2),
+        ) {
+            prop_assert!(pairs.len() < 16);
+            for (a, b) in &pairs {
+                prop_assert!(*a < 9);
+                prop_assert!((1..10).contains(b));
+            }
+            let _ = flag;
+            prop_assert!(scaled % 2 == 0 && (0..200).contains(&scaled));
+        }
+
+        /// prop_oneof samples every arm eventually (statistically).
+        #[test]
+        fn oneof_is_well_typed(v in prop_oneof![
+            (0i64..3).prop_map(|_| 0u8),
+            (0i64..3).prop_map(|_| 1u8),
+        ]) {
+            prop_assert!(v == 0 || v == 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_location() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::for_test("x.rs", 10);
+            (0..10).map(|_| (0u64..1000).generate(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::for_test("x.rs", 10);
+            (0..10).map(|_| (0u64..1000).generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifacts;
 pub mod dot;
 pub mod enhance;
 pub mod error;
@@ -44,6 +45,7 @@ pub mod template;
 pub mod verbalizer;
 pub mod whynot;
 
+pub use artifacts::{ArtifactCache, ArtifactsBuilder, Explainer, ProgramArtifacts};
 pub use dot::{analysis_dot, reasoning_path_dot};
 pub use enhance::{checked_enhance, EnhanceOutcome, Enhancer, IdentityEnhancer};
 pub use error::ExplainError;

@@ -6,18 +6,26 @@
 //! an [`Enhancer`] under the anti-omission check, and then answers
 //! *explanation queries* Q_e for any fact derived by a chase run — without
 //! ever exposing instance data to the enhancer.
+//!
+//! The once-per-application build product lives in
+//! [`ProgramArtifacts`] and is
+//! memoized by the process-wide
+//! [`ArtifactCache`](crate::artifacts::ArtifactCache): building a second
+//! pipeline for the same `(program, goal, glossary, analysis)` deployment
+//! reuses the shared artifacts instead of re-running the analysis. The
+//! pipeline itself is a thin handle — shared artifacts plus the
+//! per-instance derivation policy.
 
-use crate::enhance::{checked_enhance, Enhancer};
+use crate::artifacts::{ArtifactsBuilder, ProgramArtifacts};
+use crate::enhance::Enhancer;
 use crate::error::ExplainError;
 use crate::glossary::DomainGlossary;
-use crate::mapping::{cover_from, instantiate, step_infos, PathCover};
-use crate::structural::{analyze_with, AnalysisConfig, StructuralAnalysis};
-use crate::template::{generate, single_rule_path, Template, TemplateStyle};
-use std::time::Instant;
-use vadalog::telemetry::{Budget, JsonWriter, RunGuard};
+use crate::structural::{AnalysisConfig, StructuralAnalysis};
+use crate::template::Template;
+use std::sync::Arc;
+use vadalog::telemetry::{JsonWriter, RunGuard};
 use vadalog::{
-    ChaseConfig, ChaseError, ChaseOutcome, ChaseSession, DerivationId, DerivationPolicy, Fact,
-    FactId, Program, RuleId,
+    ChaseConfig, ChaseError, ChaseOutcome, ChaseSession, DerivationPolicy, Fact, FactId, Program,
 };
 
 /// Which template flavour an explanation query uses.
@@ -114,36 +122,21 @@ impl PipelineReport {
 /// # let program: vadalog::Program = todo!();
 /// # let glossary = DomainGlossary::new();
 /// let pipeline = ExplanationPipeline::builder(program, "default")
-///     .glossary(&glossary)
+///     .with_glossary(&glossary)
 ///     .build()?;
 /// # Ok::<(), explain::ExplainError>(())
 /// ```
+#[derive(Debug)]
 pub struct PipelineBuilder<'a> {
-    program: Program,
-    goal: String,
-    glossary: Option<&'a DomainGlossary>,
-    enhancer: Option<(&'a dyn Enhancer, u32)>,
+    inner: ArtifactsBuilder<'a>,
     policy: DerivationPolicy,
-    guard: RunGuard,
-    analysis: AnalysisConfig,
-}
-
-impl std::fmt::Debug for PipelineBuilder<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PipelineBuilder")
-            .field("goal", &self.goal)
-            .field("enhancer", &self.enhancer.map(|(_, retries)| retries))
-            .field("policy", &self.policy)
-            .field("guard", &self.guard)
-            .finish_non_exhaustive()
-    }
 }
 
 impl<'a> PipelineBuilder<'a> {
     /// Attaches the domain glossary used for verbalization (default:
     /// empty, yielding raw-atom renderings).
-    pub fn glossary(mut self, glossary: &'a DomainGlossary) -> PipelineBuilder<'a> {
-        self.glossary = Some(glossary);
+    pub fn with_glossary(mut self, glossary: &'a DomainGlossary) -> PipelineBuilder<'a> {
+        self.inner = self.inner.with_glossary(glossary);
         self
     }
 
@@ -151,13 +144,17 @@ impl<'a> PipelineBuilder<'a> {
     /// token-completeness check, with at most `max_retries` attempts per
     /// template before falling back to the fluent deterministic
     /// generation.
-    pub fn enhancer(mut self, enhancer: &'a dyn Enhancer, max_retries: u32) -> PipelineBuilder<'a> {
-        self.enhancer = Some((enhancer, max_retries));
+    pub fn with_enhancer(
+        mut self,
+        enhancer: &'a dyn Enhancer,
+        max_retries: u32,
+    ) -> PipelineBuilder<'a> {
+        self.inner = self.inner.with_enhancer(enhancer, max_retries);
         self
     }
 
     /// Overrides the derivation-selection policy (default: richest).
-    pub fn policy(mut self, policy: DerivationPolicy) -> PipelineBuilder<'a> {
+    pub fn with_policy(mut self, policy: DerivationPolicy) -> PipelineBuilder<'a> {
         self.policy = policy;
         self
     }
@@ -165,285 +162,136 @@ impl<'a> PipelineBuilder<'a> {
     /// Governs the construction with a deadline and/or cancellation token
     /// (round/fact budgets do not apply here). A trip surfaces as
     /// [`ExplainError::ResourceExhausted`].
-    pub fn guard(mut self, guard: RunGuard) -> PipelineBuilder<'a> {
-        self.guard = guard;
+    pub fn with_guard(mut self, guard: RunGuard) -> PipelineBuilder<'a> {
+        self.inner = self.inner.with_guard(guard);
         self
     }
 
     /// Overrides the structural-analysis configuration (path caps).
-    pub fn analysis_config(mut self, config: AnalysisConfig) -> PipelineBuilder<'a> {
-        self.analysis = config;
+    pub fn with_analysis_config(mut self, config: AnalysisConfig) -> PipelineBuilder<'a> {
+        self.inner = self.inner.with_analysis_config(config);
         self
+    }
+
+    /// Attaches the domain glossary used for verbalization.
+    #[deprecated(since = "0.1.0", note = "renamed to `with_glossary`")]
+    pub fn glossary(self, glossary: &'a DomainGlossary) -> PipelineBuilder<'a> {
+        self.with_glossary(glossary)
+    }
+
+    /// Passes each fluent template through `enhancer`.
+    #[deprecated(since = "0.1.0", note = "renamed to `with_enhancer`")]
+    pub fn enhancer(self, enhancer: &'a dyn Enhancer, max_retries: u32) -> PipelineBuilder<'a> {
+        self.with_enhancer(enhancer, max_retries)
+    }
+
+    /// Overrides the derivation-selection policy.
+    #[deprecated(since = "0.1.0", note = "renamed to `with_policy`")]
+    pub fn policy(self, policy: DerivationPolicy) -> PipelineBuilder<'a> {
+        self.with_policy(policy)
+    }
+
+    /// Governs the construction with a deadline and/or cancellation token.
+    #[deprecated(since = "0.1.0", note = "renamed to `with_guard`")]
+    pub fn guard(self, guard: RunGuard) -> PipelineBuilder<'a> {
+        self.with_guard(guard)
+    }
+
+    /// Overrides the structural-analysis configuration.
+    #[deprecated(since = "0.1.0", note = "renamed to `with_analysis_config`")]
+    pub fn analysis_config(self, config: AnalysisConfig) -> PipelineBuilder<'a> {
+        self.with_analysis_config(config)
     }
 
     /// Builds the pipeline: structural analysis, template generation,
     /// optional enhancement, per-rule fallbacks.
+    ///
+    /// The build goes through the process-wide
+    /// [`ArtifactCache`](crate::artifacts::ArtifactCache): repeated
+    /// builds of the same deployment share one artifact edition and skip
+    /// the analysis entirely. Builds with an enhancer or a non-default
+    /// guard stay private (their semantics cannot be keyed).
     pub fn build(self) -> Result<ExplanationPipeline, ExplainError> {
-        let start = Instant::now();
-        let _span = vadalog::span!("explain.build", goal = self.goal.to_string());
-        let default_glossary;
-        let glossary = match self.glossary {
-            Some(g) => g,
-            None => {
-                default_glossary = DomainGlossary::new();
-                &default_glossary
-            }
-        };
-        let mut report = PipelineReport::default();
-
-        pipeline_trip(&self.guard, start)?;
-        let t = Instant::now();
-        let analysis = {
-            let _span = vadalog::span!("explain.analysis");
-            analyze_with(&self.program, &self.goal, &self.analysis)?
-        };
-        report.analysis_ns = t.elapsed().as_nanos() as u64;
-        report.paths = analysis.paths.len() as u64;
-
-        let program = self.program;
-        let mut deterministic = Vec::with_capacity(analysis.paths.len());
-        let mut enhanced = Vec::with_capacity(analysis.paths.len());
-        let mut stats = PipelineStats {
-            paths: analysis.paths.len(),
-            ..PipelineStats::default()
-        };
-        for (i, path) in analysis.paths.iter().enumerate() {
-            pipeline_trip(&self.guard, start)?;
-            let t = Instant::now();
-            let _span = vadalog::span!("explain.template", path = i);
-            let det = generate(&program, glossary, path, i, TemplateStyle::Deterministic);
-            let fluent = generate(&program, glossary, path, i, TemplateStyle::Fluent);
-            report.template_ns += t.elapsed().as_nanos() as u64;
-            let enh = match self.enhancer {
-                None => fluent,
-                Some((e, retries)) => {
-                    let t = Instant::now();
-                    let out = checked_enhance(&fluent, e, retries);
-                    report.enhance_ns += t.elapsed().as_nanos() as u64;
-                    stats.enhancement_retries += out.retries;
-                    if out.fell_back {
-                        stats.enhancement_fallbacks += 1;
-                    }
-                    out.template
-                }
-            };
-            deterministic.push(det);
-            enhanced.push(enh);
-        }
-        pipeline_trip(&self.guard, start)?;
-        let t = Instant::now();
-        let fallbacks = {
-            let _span = vadalog::span!("explain.fallbacks");
-            (0..program.len())
-                .map(|i| {
-                    let rule = RuleId(i);
-                    let has_agg = program.rule(rule).has_aggregate();
-                    let solid = single_rule_path(&program, rule, false);
-                    let dashed = single_rule_path(&program, rule, has_agg);
-                    (
-                        generate(
-                            &program,
-                            glossary,
-                            &solid,
-                            usize::MAX,
-                            TemplateStyle::Fluent,
-                        ),
-                        generate(
-                            &program,
-                            glossary,
-                            &dashed,
-                            usize::MAX,
-                            TemplateStyle::Fluent,
-                        ),
-                    )
-                })
-                .collect()
-        };
-        report.fallback_ns = t.elapsed().as_nanos() as u64;
-        report.templates = deterministic.len() as u64;
-        report.enhancement_retries = u64::from(stats.enhancement_retries);
-        report.enhancement_fallbacks = stats.enhancement_fallbacks as u64;
-        report.total_ns = start.elapsed().as_nanos() as u64;
-        let registry = vadalog::obs::metrics::global();
-        registry
-            .counter(
-                "vadalog_explain_builds_total",
-                "Explanation pipelines built to completion.",
-            )
-            .inc();
-        registry
-            .counter(
-                "vadalog_explain_paths_total",
-                "Reasoning paths surfaced by structural analysis.",
-            )
-            .add(report.paths);
-        registry
-            .counter(
-                "vadalog_explain_templates_total",
-                "Explanation templates generated (deterministic style).",
-            )
-            .add(report.templates);
-        registry
-            .counter(
-                "vadalog_explain_enhancement_fallbacks_total",
-                "Enhancements that fell back to the deterministic template.",
-            )
-            .add(report.enhancement_fallbacks);
         Ok(ExplanationPipeline {
-            program,
-            analysis,
-            deterministic,
-            enhanced,
-            fallbacks,
+            artifacts: self.inner.build_cached()?,
             policy: self.policy,
-            stats,
-            report,
         })
     }
 }
 
-/// Checks the pipeline guard (deadline + cancellation only).
-fn pipeline_trip(guard: &RunGuard, start: Instant) -> Result<(), ExplainError> {
-    if let Some(token) = &guard.cancel {
-        if token.is_cancelled() {
-            return Err(ExplainError::ResourceExhausted {
-                budget: Budget::Cancelled,
-                observed: 0,
-            });
-        }
-    }
-    if let Some(timeout) = guard.timeout {
-        let elapsed = start.elapsed();
-        if elapsed >= timeout {
-            return Err(ExplainError::ResourceExhausted {
-                budget: Budget::Deadline(timeout),
-                observed: elapsed.as_millis() as u64,
-            });
-        }
-    }
-    Ok(())
-}
-
-/// The per-application explanation pipeline.
-#[derive(Debug)]
+/// The per-application explanation pipeline: shared
+/// [`ProgramArtifacts`] plus the per-instance derivation policy.
+#[derive(Clone, Debug)]
 pub struct ExplanationPipeline {
-    program: Program,
-    analysis: StructuralAnalysis,
-    deterministic: Vec<Template>,
-    enhanced: Vec<Template>,
-    /// Per-rule fallback templates (solid, dashed), used for side
-    /// derivations no reasoning path absorbs.
-    fallbacks: Vec<(Template, Template)>,
+    artifacts: Arc<ProgramArtifacts>,
     policy: DerivationPolicy,
-    stats: PipelineStats,
-    report: PipelineReport,
 }
 
 impl ExplanationPipeline {
     /// Starts a [`PipelineBuilder`] for `program` and the goal predicate.
     pub fn builder<'a>(program: Program, goal: &str) -> PipelineBuilder<'a> {
         PipelineBuilder {
-            program,
-            goal: goal.to_owned(),
-            glossary: None,
-            enhancer: None,
+            inner: ProgramArtifacts::builder(program, goal),
             policy: DerivationPolicy::Richest,
-            guard: RunGuard::default(),
-            analysis: AnalysisConfig::default(),
         }
     }
 
-    /// Builds the pipeline for `program` and the goal predicate, using the
-    /// built-in fluent generator as the (privacy-preserving) enhancement.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ExplanationPipeline::builder(program, goal).glossary(glossary).build()` instead"
-    )]
-    pub fn new(
-        program: Program,
-        goal: &str,
-        glossary: &DomainGlossary,
-    ) -> Result<ExplanationPipeline, ExplainError> {
-        Self::builder(program, goal).glossary(glossary).build()
+    /// Wraps already-built artifacts (e.g. obtained from the
+    /// [`ArtifactCache`](crate::artifacts::ArtifactCache)) with the
+    /// default policy.
+    pub fn from_artifacts(artifacts: Arc<ProgramArtifacts>) -> ExplanationPipeline {
+        ExplanationPipeline {
+            artifacts,
+            policy: DerivationPolicy::Richest,
+        }
     }
 
-    /// Builds the pipeline, additionally passing each fluent template
-    /// through `enhancer` under the token-completeness check (at most
-    /// `max_retries` attempts per template, falling back to the fluent
-    /// deterministic generation).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ExplanationPipeline::builder(program, goal).glossary(glossary).enhancer(enhancer, max_retries).build()` instead"
-    )]
-    pub fn with_enhancer(
-        program: Program,
-        goal: &str,
-        glossary: &DomainGlossary,
-        enhancer: &dyn Enhancer,
-        max_retries: u32,
-    ) -> Result<ExplanationPipeline, ExplainError> {
-        Self::builder(program, goal)
-            .glossary(glossary)
-            .enhancer(enhancer, max_retries)
-            .build()
-    }
-
-    /// Overrides the derivation-selection policy (default: richest).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ExplanationPipeline::builder(..).policy(policy)` instead"
-    )]
-    pub fn with_policy(mut self, policy: DerivationPolicy) -> Self {
-        self.policy = policy;
-        self
+    /// The shared artifacts backing this pipeline.
+    pub fn artifacts(&self) -> &Arc<ProgramArtifacts> {
+        &self.artifacts
     }
 
     /// The program driving the pipeline.
     pub fn program(&self) -> &Program {
-        &self.program
+        self.artifacts.program()
     }
 
     /// The structural analysis (reasoning paths).
     pub fn analysis(&self) -> &StructuralAnalysis {
-        &self.analysis
+        self.artifacts.analysis()
     }
 
     /// The generated templates of the given flavour, one per path.
     pub fn templates(&self, flavor: TemplateFlavor) -> &[Template] {
-        match flavor {
-            TemplateFlavor::Deterministic => &self.deterministic,
-            TemplateFlavor::Enhanced => &self.enhanced,
-        }
+        self.artifacts.templates(flavor)
     }
 
     /// Construction statistics.
     pub fn stats(&self) -> &PipelineStats {
-        &self.stats
+        self.artifacts.stats()
     }
 
     /// Construction telemetry: stage timings plus template counters
     /// (`report()` is the business-report query; this is the observability
     /// companion of [`vadalog::telemetry::RunReport`]).
     pub fn telemetry(&self) -> &PipelineReport {
-        &self.report
+        self.artifacts.telemetry()
     }
 
     /// Replaces the enhanced template at `index` with `text`, enforcing
     /// the token-completeness check. On failure returns the missing token
     /// display names and keeps the previous template (used by the
     /// human-in-the-loop review of [`crate::review`]).
+    ///
+    /// When the artifacts are shared (cache hit, clones), this
+    /// copy-on-writes a private edition first — other holders keep the
+    /// unedited templates.
     pub fn replace_enhanced_template(
         &mut self,
         index: usize,
         text: &str,
     ) -> Result<(), Vec<String>> {
-        let Some(current) = self.enhanced.get(index) else {
-            return Err(vec![format!("no template with index {index}")]);
-        };
-        let segments = current.reparse(text)?;
-        let replaced = current.with_segments(segments);
-        self.enhanced[index] = replaced;
-        Ok(())
+        Arc::make_mut(&mut self.artifacts).replace_enhanced_template(index, text)
     }
 
     /// Produces the *business report* of a chase run: one explanation per
@@ -455,14 +303,7 @@ impl ExplanationPipeline {
         outcome: &ChaseOutcome,
         flavor: TemplateFlavor,
     ) -> Result<Vec<Explanation>, ExplainError> {
-        let goal = self.analysis.goal;
-        outcome
-            .database
-            .facts_of(goal)
-            .iter()
-            .filter(|&&id| outcome.graph.is_derived(id))
-            .map(|&id| self.explain_id(outcome, id, flavor))
-            .collect()
+        self.artifacts.report(outcome, flavor, self.policy)
     }
 
     /// Renders a report as a plain-text document with one section per
@@ -477,7 +318,7 @@ impl ExplanationPipeline {
         out.push_str(&format!(
             "Business report — {} derived {} fact(s)\n\n",
             explanations.len(),
-            self.analysis.goal
+            self.analysis().goal
         ));
         for (i, e) in explanations.iter().enumerate() {
             out.push_str(&format!(
@@ -508,8 +349,8 @@ impl ExplanationPipeline {
         path: impl AsRef<std::path::Path>,
         config: ChaseConfig,
     ) -> Result<ChaseOutcome, ExplainError> {
-        ChaseSession::new(&self.program)
-            .config(config)
+        ChaseSession::new(self.program())
+            .with_config(config)
             .resume_from_path(path)
             .map_err(|e| match e {
                 ChaseError::ResourceExhausted {
@@ -537,10 +378,8 @@ impl ExplanationPipeline {
         fact: &Fact,
         flavor: TemplateFlavor,
     ) -> Result<Explanation, ExplainError> {
-        let id = outcome
-            .lookup(fact)
-            .ok_or(ExplainError::UnknownFact(FactId(u32::MAX)))?;
-        self.explain_id(outcome, id, flavor)
+        self.artifacts
+            .explain_fact(outcome, fact, flavor, self.policy)
     }
 
     /// Answers the explanation query for a fact id.
@@ -558,152 +397,7 @@ impl ExplanationPipeline {
         id: FactId,
         flavor: TemplateFlavor,
     ) -> Result<Explanation, ExplainError> {
-        if outcome.database.len() <= id.0 as usize {
-            return Err(ExplainError::UnknownFact(id));
-        }
-        if !outcome.graph.is_derived(id) {
-            return Err(ExplainError::ExtensionalFact(id));
-        }
-
-        let mut visited = std::collections::HashSet::new();
-        let mut texts: Vec<String> = Vec::new();
-        let mut paths: Vec<String> = Vec::new();
-        let chase_steps =
-            self.explain_rec(outcome, id, flavor, &mut visited, &mut texts, &mut paths, 0)?;
-
-        let support = outcome
-            .graph
-            .proof(id, self.policy)
-            .facts()
-            .into_iter()
-            .map(|f| outcome.database.fact(f).clone())
-            .collect();
-
-        Ok(Explanation {
-            fact: outcome.database.fact(id).clone(),
-            text: texts.join(" "),
-            paths,
-            chase_steps,
-            support,
-        })
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn explain_rec(
-        &self,
-        outcome: &ChaseOutcome,
-        id: FactId,
-        flavor: TemplateFlavor,
-        visited: &mut std::collections::HashSet<vadalog::DerivationId>,
-        texts: &mut Vec<String>,
-        paths: &mut Vec<String>,
-        depth: u32,
-    ) -> Result<usize, ExplainError> {
-        if depth > 64 {
-            return Ok(0);
-        }
-        let proof = outcome.graph.proof(id, self.policy);
-        let tau = proof.linearize(&outcome.graph);
-        let steps = step_infos(&outcome.graph, &tau, self.policy);
-        // A recursive call may find that a prefix of its spine was already
-        // told by the caller's cover; the story resumes mid-proof with
-        // reasoning cycles only.
-        let start = steps
-            .iter()
-            .position(|s| !visited.contains(&s.derivation))
-            .unwrap_or(steps.len());
-        let covering = cover_from(&self.program, &self.analysis, &outcome.graph, &steps, start)?;
-
-        // Everything verbalized by the selected pieces.
-        for s in &steps {
-            visited.insert(s.derivation);
-        }
-        for piece in &covering.pieces {
-            visited.extend(piece.assignments.values().copied());
-        }
-
-        // Side branches not absorbed by any piece: preconditions of this
-        // story, explained first. When a side fact's own sub-proof cannot
-        // be covered by the enumerated paths (its predicate is not the
-        // goal of any path), it is verbalized rule by rule — completeness
-        // never depends on path coverage.
-        for s in &steps {
-            for &side in &s.sides {
-                if visited.contains(&side) {
-                    continue;
-                }
-                // The recursion marks the side derivation itself (it is
-                // the last spine step of the side fact's proof); the
-                // single-rule fallback marks it explicitly.
-                let conclusion = outcome.graph.derivation(side).conclusion;
-                match self.explain_rec(
-                    outcome,
-                    conclusion,
-                    flavor,
-                    visited,
-                    texts,
-                    paths,
-                    depth + 1,
-                ) {
-                    Ok(_) => {}
-                    Err(ExplainError::NoCoveringPath { .. }) => {
-                        if visited.insert(side) {
-                            self.explain_single(outcome, side, visited, texts, paths, depth + 1);
-                        }
-                    }
-                    Err(other) => return Err(other),
-                }
-            }
-        }
-
-        let templates = self.templates(flavor);
-        for piece in &covering.pieces {
-            texts.push(instantiate(
-                &templates[piece.path_index],
-                piece,
-                &outcome.graph,
-            ));
-            paths.push(self.analysis.paths[piece.path_index].label(&self.program));
-        }
-        Ok(tau.len())
-    }
-
-    /// Verbalizes one derivation with its rule's fallback template,
-    /// explaining unvisited derived premises first (depth-first).
-    fn explain_single(
-        &self,
-        outcome: &ChaseOutcome,
-        did: DerivationId,
-        visited: &mut std::collections::HashSet<DerivationId>,
-        texts: &mut Vec<String>,
-        paths: &mut Vec<String>,
-        depth: u32,
-    ) {
-        if depth > 128 {
-            return;
-        }
-        let der = outcome.graph.derivation(did);
-        let (rule, contributors, premises) = (der.rule, der.contributors, der.premises.clone());
-        for p in premises {
-            if !outcome.graph.is_derived(p) {
-                continue;
-            }
-            if let Some(pd) = outcome.graph.choose_derivation(p, self.policy) {
-                if visited.insert(pd) {
-                    self.explain_single(outcome, pd, visited, texts, paths, depth + 1);
-                }
-            }
-        }
-        let (solid, dashed) = &self.fallbacks[rule.0];
-        let template = if contributors > 1 { dashed } else { solid };
-        let piece = PathCover {
-            path_index: usize::MAX,
-            assignments: std::iter::once((0usize, did)).collect(),
-            consumed: 0,
-            side_used: 0,
-        };
-        texts.push(instantiate(template, &piece, &outcome.graph));
-        paths.push(format!("[{}]", self.program.rule(rule).label));
+        self.artifacts.explain_id(outcome, id, flavor, self.policy)
     }
 }
 
@@ -711,6 +405,7 @@ impl ExplanationPipeline {
 mod tests {
     use super::*;
     use crate::glossary::{GlossaryEntry, ValueFormat};
+    use vadalog::telemetry::Budget;
     use vadalog::{parse_program, ChaseSession, Database};
 
     /// Example 4.3 with the Fig. 8 EDB and the Fig. 7 glossary.
@@ -762,7 +457,7 @@ mod tests {
                 "<c> is at risk of defaulting given its loan of <e> of exposures to a defaulted debtor",
             ));
         let pipeline = ExplanationPipeline::builder(parsed.program.clone(), "default")
-            .glossary(&glossary)
+            .with_glossary(&glossary)
             .build()
             .unwrap();
         let db: Database = parsed.facts.into_iter().collect();
@@ -931,7 +626,7 @@ mod tests {
         let token = vadalog::CancelToken::new();
         token.cancel();
         let err = ExplanationPipeline::builder(parsed.program, "reach")
-            .guard(vadalog::RunGuard::new().with_cancel_token(token))
+            .with_guard(vadalog::RunGuard::new().with_cancel_token(token))
             .build()
             .unwrap_err();
         assert!(matches!(
@@ -947,7 +642,7 @@ mod tests {
     fn elapsed_deadline_preempts_the_build() {
         let parsed = parse_program("alpha: edge(x, y) -> reach(x, y).").unwrap();
         let err = ExplanationPipeline::builder(parsed.program, "reach")
-            .guard(vadalog::RunGuard::new().with_timeout(std::time::Duration::ZERO))
+            .with_guard(vadalog::RunGuard::new().with_timeout(std::time::Duration::ZERO))
             .build()
             .unwrap_err();
         match err {
@@ -959,7 +654,7 @@ mod tests {
     }
 
     #[test]
-    fn builder_defaults_match_the_deprecated_constructor() {
+    fn builder_is_deterministic_across_builds() {
         let parsed = parse_program(
             r#"
             alpha: edge(x, y) -> reach(x, y).
@@ -968,10 +663,12 @@ mod tests {
         )
         .unwrap();
         let glossary = DomainGlossary::new();
-        #[allow(deprecated)]
-        let old = ExplanationPipeline::new(parsed.program.clone(), "reach", &glossary).unwrap();
-        let new = ExplanationPipeline::builder(parsed.program, "reach")
-            .glossary(&glossary)
+        let a = ExplanationPipeline::builder(parsed.program.clone(), "reach")
+            .with_glossary(&glossary)
+            .build()
+            .unwrap();
+        let b = ExplanationPipeline::builder(parsed.program, "reach")
+            .with_glossary(&glossary)
             .build()
             .unwrap();
         let rendered = |p: &ExplanationPipeline| -> Vec<String> {
@@ -980,8 +677,10 @@ mod tests {
                 .map(Template::render)
                 .collect()
         };
-        assert_eq!(rendered(&old), rendered(&new));
-        assert_eq!(old.stats().paths, new.stats().paths);
+        assert_eq!(rendered(&a), rendered(&b));
+        assert_eq!(a.stats().paths, b.stats().paths);
+        // Equal-deployment builds share one artifact edition.
+        assert!(Arc::ptr_eq(a.artifacts(), b.artifacts()));
     }
 
     #[test]
@@ -991,5 +690,27 @@ mod tests {
             .build()
             .unwrap();
         assert!(!pipeline.templates(TemplateFlavor::Enhanced).is_empty());
+    }
+
+    #[test]
+    fn template_edits_copy_on_write_shared_artifacts() {
+        let parsed = parse_program("alpha: edge(x, y) -> reach(x, y).").unwrap();
+        let glossary = DomainGlossary::new();
+        let a = ExplanationPipeline::builder(parsed.program.clone(), "reach")
+            .with_glossary(&glossary)
+            .build()
+            .unwrap();
+        let mut b = ExplanationPipeline::builder(parsed.program, "reach")
+            .with_glossary(&glossary)
+            .build()
+            .unwrap();
+        assert!(Arc::ptr_eq(a.artifacts(), b.artifacts()));
+        let original = a.templates(TemplateFlavor::Enhanced)[0].render();
+        let edited = format!("Edited: {original}");
+        b.replace_enhanced_template(0, &edited).unwrap();
+        // The edit is private to `b`; `a` (and the cache) keep the original.
+        assert!(!Arc::ptr_eq(a.artifacts(), b.artifacts()));
+        assert_eq!(a.templates(TemplateFlavor::Enhanced)[0].render(), original);
+        assert_eq!(b.templates(TemplateFlavor::Enhanced)[0].render(), edited);
     }
 }

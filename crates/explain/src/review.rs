@@ -124,7 +124,7 @@ mod tests {
         .unwrap()
         .program;
         ExplanationPipeline::builder(program, "control")
-            .glossary(&DomainGlossary::new())
+            .with_glossary(&DomainGlossary::new())
             .build()
             .unwrap()
     }

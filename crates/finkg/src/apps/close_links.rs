@@ -100,7 +100,7 @@ mod tests {
     fn explanations_cover_indirect_chains() {
         let p = program();
         let pipeline = ExplanationPipeline::builder(p.clone(), GOAL)
-            .glossary(&glossary())
+            .with_glossary(&glossary())
             .build()
             .unwrap();
         let mut db = Database::new();

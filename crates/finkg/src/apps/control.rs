@@ -108,7 +108,7 @@ mod tests {
         assert!(out.database.contains(&target));
 
         let pipeline = ExplanationPipeline::builder(p, GOAL)
-            .glossary(&glossary())
+            .with_glossary(&glossary())
             .build()
             .unwrap();
         let e = pipeline.explain(&out, &target).unwrap();

@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn explanation_covers_the_joint_stake_story() {
         let pipeline = ExplanationPipeline::builder(program(), GOAL)
-            .glossary(&glossary())
+            .with_glossary(&glossary())
             .build()
             .unwrap();
         let out = ChaseSession::new(&program()).run(scenario()).unwrap();

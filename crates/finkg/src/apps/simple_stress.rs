@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn example_4_8_pipeline_round_trip() {
         let pipeline = ExplanationPipeline::builder(program(), GOAL)
-            .glossary(&glossary())
+            .with_glossary(&glossary())
             .build()
             .unwrap();
         let out = ChaseSession::new(&program())

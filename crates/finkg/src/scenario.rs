@@ -70,7 +70,7 @@ mod tests {
         // Sec. 5: "the corresponding reasoning path followed — that in
         // this scenario is Π2".
         let pipeline = ExplanationPipeline::builder(control::program(), control::GOAL)
-            .glossary(&control::glossary())
+            .with_glossary(&control::glossary())
             .build()
             .unwrap();
         let out = ChaseSession::new(&control::program())
@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn q_e_default_f_mentions_both_channels() {
         let pipeline = ExplanationPipeline::builder(stress::program(), stress::GOAL)
-            .glossary(&stress::glossary())
+            .with_glossary(&stress::glossary())
             .build()
             .unwrap();
         let out = ChaseSession::new(&stress::program())

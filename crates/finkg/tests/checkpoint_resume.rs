@@ -43,7 +43,7 @@ fn tripped_chase_checkpointed_to_disk_resumes_identically() {
     let program = finkg::apps::control::program();
     let db = finkg::random_ownership(60, 3, 7);
     let reference = ChaseSession::new(&program)
-        .threads(1)
+        .with_threads(1)
         .run(db.clone())
         .expect("uninterrupted chase");
     let expected = fingerprint(&reference);
@@ -51,8 +51,8 @@ fn tripped_chase_checkpointed_to_disk_resumes_identically() {
     for threads in [1usize, 2, 8] {
         for budget in [80u64, 150, 400] {
             let session = ChaseSession::new(&program)
-                .threads(threads)
-                .guard(RunGuard::new().with_max_facts(budget));
+                .with_threads(threads)
+                .with_guard(RunGuard::new().with_max_facts(budget));
             let out = match session.run(db.clone()) {
                 Err(ChaseError::ResourceExhausted { partial, .. }) => {
                     tripped += 1;
@@ -64,7 +64,7 @@ fn tripped_chase_checkpointed_to_disk_resumes_identically() {
                     // Recover without the tripping guard (the budget is
                     // not part of the snapshot fingerprint).
                     ChaseSession::new(&program)
-                        .threads(threads)
+                        .with_threads(threads)
                         .resume_from_path(&path)
                         .expect("resume from disk")
                 }
@@ -86,12 +86,12 @@ fn guard_trip_autosaves_a_resumable_snapshot() {
     let program = finkg::apps::control::program();
     let db = finkg::random_ownership(60, 3, 7);
     let reference = ChaseSession::new(&program)
-        .threads(1)
+        .with_threads(1)
         .run(db.clone())
         .expect("uninterrupted chase");
     let expected = fingerprint(&reference);
     let path = tmp("guard-trip.ckpt");
-    let session = ChaseSession::new(&program).config(
+    let session = ChaseSession::new(&program).with_config(
         ChaseConfig::default()
             .with_threads(2)
             .with_guard(RunGuard::new().with_max_facts(150))
@@ -108,7 +108,7 @@ fn guard_trip_autosaves_a_resumable_snapshot() {
         "the guard trip should have written a snapshot"
     );
     let out = ChaseSession::new(&program)
-        .threads(2)
+        .with_threads(2)
         .resume_from_path(&path)
         .expect("resume from disk");
     assert_eq!(fingerprint(&out), expected);
@@ -119,12 +119,12 @@ fn periodic_autosaves_leave_a_resumable_snapshot_trail() {
     let program = finkg::apps::control::program();
     let db = finkg::random_ownership(60, 3, 7);
     let reference = ChaseSession::new(&program)
-        .threads(1)
+        .with_threads(1)
         .run(db.clone())
         .expect("uninterrupted chase");
     let expected = fingerprint(&reference);
     let path = tmp("periodic.ckpt");
-    let session = ChaseSession::new(&program).config(
+    let session = ChaseSession::new(&program).with_config(
         ChaseConfig::default()
             .with_threads(2)
             .with_autosave(AutosavePolicy::new(&path).every_rounds(1)),

@@ -45,13 +45,13 @@ fn fingerprint(out: &ChaseOutcome) -> String {
 /// fingerprints equal the single-threaded reference.
 fn assert_thread_invariant(name: &str, program: &Program, db: &Database) {
     let reference = ChaseSession::new(program)
-        .threads(1)
+        .with_threads(1)
         .run(db.clone())
         .unwrap_or_else(|e| panic!("{name}: single-threaded chase failed: {e}"));
     let expected = fingerprint(&reference);
     for threads in THREAD_SWEEP {
         let out = ChaseSession::new(program)
-            .threads(threads)
+            .with_threads(threads)
             .run(db.clone())
             .unwrap_or_else(|e| panic!("{name}: chase at {threads} threads failed: {e}"));
         assert_eq!(
@@ -159,7 +159,7 @@ fn metric_counts_are_thread_invariant() {
         let run = |threads: usize| {
             let registry = Arc::new(MetricsRegistry::new());
             ChaseSession::new(program)
-                .config(
+                .with_config(
                     ChaseConfig::default()
                         .with_threads(threads)
                         .with_metrics(registry.clone()),
@@ -192,7 +192,7 @@ fn budget_interrupted_chase_resumes_to_the_uninterrupted_state() {
     let program = control::program();
     let db = finkg::random_ownership(60, 3, 7);
     let reference = ChaseSession::new(&program)
-        .threads(1)
+        .with_threads(1)
         .run(db.clone())
         .expect("uninterrupted chase");
     let expected = fingerprint(&reference);
@@ -200,14 +200,14 @@ fn budget_interrupted_chase_resumes_to_the_uninterrupted_state() {
     for threads in [1usize, 2, 8] {
         for budget in [80u64, 150, 400] {
             let run = ChaseSession::new(&program)
-                .threads(threads)
-                .guard(RunGuard::new().with_max_facts(budget))
+                .with_threads(threads)
+                .with_guard(RunGuard::new().with_max_facts(budget))
                 .run(db.clone());
             let out = match run {
                 Err(ChaseError::ResourceExhausted { partial, .. }) => {
                     tripped += 1;
                     ChaseSession::new(&program)
-                        .threads(threads)
+                        .with_threads(threads)
                         .resume(*partial, Vec::<Fact>::new())
                         .expect("resume to fixpoint")
                 }
@@ -232,7 +232,7 @@ fn cancelled_chase_resumes_to_the_uninterrupted_state() {
     let program = control::program();
     let db = finkg::random_ownership(80, 3, 11);
     let reference = ChaseSession::new(&program)
-        .threads(1)
+        .with_threads(1)
         .run(db.clone())
         .expect("uninterrupted chase");
     let expected = fingerprint(&reference);
@@ -247,8 +247,8 @@ fn cancelled_chase_resumes_to_the_uninterrupted_state() {
                 })
             };
             let run = ChaseSession::new(&program)
-                .threads(threads)
-                .guard(RunGuard::new().with_cancel_token(token))
+                .with_threads(threads)
+                .with_guard(RunGuard::new().with_cancel_token(token))
                 .run(db.clone());
             canceller.join().unwrap();
             let out = match run {
@@ -257,7 +257,7 @@ fn cancelled_chase_resumes_to_the_uninterrupted_state() {
                     partial,
                     ..
                 }) => ChaseSession::new(&program)
-                    .threads(threads)
+                    .with_threads(threads)
                     .resume(*partial, Vec::<Fact>::new())
                     .expect("resume to fixpoint"),
                 Ok(out) => out,

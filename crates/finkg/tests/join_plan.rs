@@ -65,7 +65,7 @@ fn assert_plan_equivalent(name: &str, program: &Program, db: &Database) {
         let mut counters: Option<String> = None;
         for threads in THREAD_SWEEP {
             let out = ChaseSession::new(program)
-                .config(config.clone().with_threads(threads))
+                .with_config(config.clone().with_threads(threads))
                 .run(db.clone())
                 .unwrap_or_else(|e| {
                     panic!("{name}/{config_name}: chase at {threads} threads failed: {e}")
@@ -139,7 +139,7 @@ fn planned_negation_and_satisfaction_never_scan() {
         db.add("sanctioned", &[format!("C{i}").as_str().into()]);
     }
     let out = ChaseSession::new(&program)
-        .config(ChaseConfig::default().with_positional_index(true))
+        .with_config(ChaseConfig::default().with_positional_index(true))
         .run(db.clone())
         .unwrap();
     let sum =
@@ -165,7 +165,7 @@ fn planned_negation_and_satisfaction_never_scan() {
 
     // The legacy plan answers the same checks by scanning.
     let legacy = ChaseSession::new(&program)
-        .config(
+        .with_config(
             ChaseConfig::default()
                 .with_positional_index(true)
                 .with_join_planning(false),

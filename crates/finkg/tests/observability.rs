@@ -78,7 +78,7 @@ fn finkg_scenario_exports_valid_chrome_trace_and_prometheus_text() {
     let registry = Arc::new(MetricsRegistry::new());
 
     let out = ChaseSession::new(&control::program())
-        .config(
+        .with_config(
             ChaseConfig::default()
                 .with_threads(2)
                 .with_metrics(registry.clone()),
@@ -183,7 +183,7 @@ fn guard_trips_are_counted_by_budget_kind() {
     let _serial = serial();
     let registry = Arc::new(MetricsRegistry::new());
     let result = ChaseSession::new(&control::program())
-        .config(
+        .with_config(
             ChaseConfig::default()
                 .with_metrics(registry.clone())
                 .with_guard(vadalog::RunGuard::new().with_max_facts(20)),
@@ -217,7 +217,7 @@ fn checkpoint_saves_report_bytes_and_fsync_time() {
     let path = dir.join("snap.vck");
     let program = control::program();
     let out = ChaseSession::new(&program)
-        .config(ChaseConfig::default().with_metrics(registry.clone()))
+        .with_config(ChaseConfig::default().with_metrics(registry.clone()))
         .run(scenario::database())
         .expect("chase");
     vadalog::checkpoint::save(

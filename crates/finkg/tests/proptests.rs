@@ -109,12 +109,12 @@ proptest! {
         let program = control::program();
         let db = finkg::random_ownership(n, out_deg, seed);
         let reference = ChaseSession::new(&program)
-            .threads(1)
+            .with_threads(1)
             .run(db.clone())
             .unwrap();
         for threads in [2usize, 8] {
             let out = ChaseSession::new(&program)
-                .threads(threads)
+                .with_threads(threads)
                 .run(db.clone())
                 .unwrap();
             prop_assert_eq!(

@@ -1,0 +1,222 @@
+//! `finkg-serve`: a long-lived explanation server over one finkg
+//! application.
+//!
+//! Boots by chasing the selected application's knowledge graph, building
+//! (or fetching from the process cache) its explanation artifacts, and
+//! then serving explanation queries over HTTP until killed:
+//!
+//! ```text
+//! finkg-serve [--app control|stress|simple-stress|close-links|golden-power]
+//!             [--addr 127.0.0.1:7878] [--scale N] [--seed S] [--workers W]
+//! ```
+//!
+//! With `--scale N` the server generates a random graph of `N` entities
+//! (seeded, reproducible); without it, the representative Sec. 5
+//! scenario is used. Try:
+//!
+//! ```text
+//! curl -s localhost:7878/health
+//! curl -s -X POST localhost:7878/explain --data 'control("B", "D").'
+//! curl -s localhost:7878/metrics | grep vadalog_serve
+//! ```
+
+use explain::{DomainGlossary, ProgramArtifacts};
+use serve::{ExplainService, HttpServer, ServeConfig, SnapshotHandle};
+use std::sync::Arc;
+use vadalog::{ChaseSession, Database, Program};
+
+/// One servable finkg application.
+struct App {
+    name: &'static str,
+    program: Program,
+    goal: &'static str,
+    glossary: DomainGlossary,
+    /// The Sec. 5 scenario EDB, or a seeded random graph at `--scale`.
+    database: Box<dyn Fn(Option<usize>, u64) -> Database>,
+}
+
+fn apps() -> Vec<App> {
+    use finkg::apps::{close_links, control, golden_power, simple_stress, stress};
+    vec![
+        App {
+            name: "control",
+            program: control::program(),
+            goal: control::GOAL,
+            glossary: control::glossary(),
+            database: Box::new(|scale, seed| match scale {
+                Some(n) => finkg::generator::random_ownership(n, 3, seed),
+                None => finkg::scenario::database(),
+            }),
+        },
+        App {
+            name: "stress",
+            program: stress::program(),
+            goal: stress::GOAL,
+            glossary: stress::glossary(),
+            database: Box::new(|scale, seed| match scale {
+                Some(n) => finkg::generator::random_debt_network(n, 3, n / 10 + 1, seed),
+                None => finkg::scenario::database(),
+            }),
+        },
+        App {
+            name: "simple-stress",
+            program: simple_stress::program(),
+            goal: simple_stress::GOAL,
+            glossary: simple_stress::glossary(),
+            database: Box::new(|scale, seed| match scale {
+                Some(n) => finkg::generator::random_debt_network(n, 3, n / 10 + 1, seed),
+                None => finkg::scenario::database(),
+            }),
+        },
+        App {
+            name: "close-links",
+            program: close_links::program(),
+            goal: close_links::GOAL,
+            glossary: close_links::glossary(),
+            database: Box::new(|scale, seed| match scale {
+                Some(n) => finkg::generator::random_ownership(n, 3, seed),
+                None => finkg::scenario::database(),
+            }),
+        },
+        App {
+            name: "golden-power",
+            program: golden_power::program(),
+            goal: golden_power::GOAL,
+            glossary: golden_power::glossary(),
+            database: Box::new(|scale, seed| match scale {
+                Some(n) => finkg::generator::random_ownership(n, 3, seed),
+                None => finkg::scenario::database(),
+            }),
+        },
+    ]
+}
+
+struct Args {
+    app: String,
+    addr: String,
+    scale: Option<usize>,
+    seed: u64,
+    workers: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        app: "control".to_owned(),
+        addr: "127.0.0.1:7878".to_owned(),
+        scale: None,
+        seed: 7,
+        workers: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--app" => args.app = value("--app")?,
+            "--addr" => args.addr = value("--addr")?,
+            "--scale" => {
+                args.scale = Some(
+                    value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "finkg-serve [--app control|stress|simple-stress|close-links|golden-power]\n            [--addr HOST:PORT] [--scale N] [--seed S] [--workers W]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("finkg-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(app) = apps().into_iter().find(|a| a.name == args.app) else {
+        eprintln!(
+            "finkg-serve: unknown app {:?}; known: {}",
+            args.app,
+            apps().iter().map(|a| a.name).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    let db = (app.database)(args.scale, args.seed);
+    eprintln!(
+        "finkg-serve: chasing app {:?} over {} facts ...",
+        app.name,
+        db.len()
+    );
+    let outcome = match ChaseSession::new(&app.program).run(db) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("finkg-serve: chase failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "finkg-serve: chase done ({} derived facts, {} rounds)",
+        outcome.derived_facts, outcome.rounds
+    );
+
+    let artifacts = match ProgramArtifacts::builder(app.program.clone(), app.goal)
+        .with_glossary(&app.glossary)
+        .build_cached()
+    {
+        Ok(artifacts) => artifacts,
+        Err(e) => {
+            eprintln!("finkg-serve: artifact build failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "finkg-serve: artifacts ready ({} reasoning paths, {} templates)",
+        artifacts.stats().paths,
+        artifacts.templates(explain::TemplateFlavor::Enhanced).len()
+    );
+
+    let handle = SnapshotHandle::new(outcome);
+    let service = Arc::new(ExplainService::new(
+        artifacts,
+        handle,
+        ServeConfig::default().with_workers(args.workers),
+    ));
+    let server = match HttpServer::bind(&args.addr, service) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("finkg-serve: bind {} failed: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("finkg-serve: listening on http://{}", server.addr());
+    println!("  GET  /health    liveness + snapshot version");
+    println!("  GET  /metrics   Prometheus metrics");
+    println!("  GET  /snapshot  current snapshot summary");
+    println!(
+        "  POST /explain   goal fact literals, e.g. {}(...).",
+        app.goal
+    );
+
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

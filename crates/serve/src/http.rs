@@ -1,0 +1,274 @@
+//! A dependency-free HTTP/1.1 front end for the explanation service.
+//!
+//! Hand-rolled over `std::net::TcpListener` because the build ships no
+//! external crates: one accept loop, one short-lived handler per
+//! connection, `Connection: close` semantics. Heavy lifting (the actual
+//! explanation queries) happens on the [`ExplainService`] worker pool,
+//! so the accept loop stays thin.
+//!
+//! Endpoints:
+//!
+//! | Method & path   | Behaviour                                          |
+//! |-----------------|----------------------------------------------------|
+//! | `GET /health`   | liveness + current snapshot version                |
+//! | `GET /metrics`  | Prometheus text of the process metrics registry    |
+//! | `GET /snapshot` | current snapshot version and database size         |
+//! | `POST /explain` | body = goal fact literals (`control("B","D").`), one per line; answers each in order |
+
+use crate::service::{ExplainService, ServeError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use vadalog::obs::json::JsonWriter;
+
+/// A running HTTP server; dropping it (or calling
+/// [`stop`](HttpServer::stop)) shuts the accept loop down.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:7878"`, port 0 for ephemeral) and
+    /// starts serving `service` in a background accept loop.
+    pub fn bind(addr: &str, service: Arc<ExplainService>) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-http-accept".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    if let Err(e) = handle_connection(conn, &service) {
+                        vadalog::obs::metrics::global()
+                            .counter(
+                                "vadalog_serve_http_io_errors_total",
+                                "HTTP connections dropped on I/O errors.",
+                            )
+                            .inc();
+                        let _ = e; // connection-level errors are not fatal
+                    }
+                }
+            })?;
+        Ok(HttpServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One parsed request line + body.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Reads one HTTP/1.1 request (request line, headers, Content-Length
+/// body) from `conn`.
+fn read_request(conn: &mut TcpStream) -> std::io::Result<Request> {
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let path = parts.next().unwrap_or_default().to_owned();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    // Bound the body so a hostile Content-Length cannot exhaust memory.
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// Writes a full response and closes.
+fn respond(
+    conn: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        conn,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    conn.flush()
+}
+
+/// Routes one connection.
+fn handle_connection(mut conn: TcpStream, service: &ExplainService) -> std::io::Result<()> {
+    let request = read_request(&mut conn)?;
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => {
+            let mut w = JsonWriter::new();
+            w.open_object();
+            w.field_str("status", "ok");
+            w.field_u64(
+                "snapshot_version",
+                service.snapshot_handle().current().version(),
+            );
+            w.close_object();
+            respond(&mut conn, "200 OK", "application/json", &w.finish())
+        }
+        ("GET", "/metrics") => respond(
+            &mut conn,
+            "200 OK",
+            "text/plain; version=0.0.4",
+            &vadalog::obs::metrics::global().to_prometheus(),
+        ),
+        ("GET", "/snapshot") => {
+            let snapshot = service.snapshot_handle().current();
+            let mut w = JsonWriter::new();
+            w.open_object();
+            w.field_u64("version", snapshot.version());
+            w.field_u64("facts", snapshot.outcome().database.len() as u64);
+            w.field_u64("derived_facts", snapshot.outcome().derived_facts as u64);
+            w.field_u64("rounds", snapshot.outcome().rounds as u64);
+            w.close_object();
+            respond(&mut conn, "200 OK", "application/json", &w.finish())
+        }
+        ("POST", "/explain") => match parse_goals(&request.body) {
+            Err(detail) => {
+                let mut w = JsonWriter::new();
+                w.open_object();
+                w.field_str("error", &detail);
+                w.close_object();
+                respond(
+                    &mut conn,
+                    "400 Bad Request",
+                    "application/json",
+                    &w.finish(),
+                )
+            }
+            Ok(goals) => {
+                let (version, results) = service.explain_batch(&goals);
+                let mut w = JsonWriter::new();
+                w.open_object();
+                w.field_u64("snapshot_version", version);
+                w.key("answers");
+                w.open_array();
+                for (goal, result) in goals.iter().zip(&results) {
+                    w.open_object();
+                    w.field_str("goal", &goal.to_string());
+                    match result {
+                        Ok(e) => {
+                            w.field_str("text", &e.text);
+                            w.field_u64("chase_steps", e.chase_steps as u64);
+                            w.key("paths");
+                            w.open_array();
+                            for p in &e.paths {
+                                w.value_str(p);
+                            }
+                            w.close_array();
+                        }
+                        Err(err) => {
+                            w.field_str("error", &render_error(err));
+                        }
+                    }
+                    w.close_object();
+                }
+                w.close_array();
+                w.close_object();
+                respond(&mut conn, "200 OK", "application/json", &w.finish())
+            }
+        },
+        _ => respond(
+            &mut conn,
+            "404 Not Found",
+            "text/plain",
+            "unknown endpoint; try /health, /metrics, /snapshot or POST /explain\n",
+        ),
+    }
+}
+
+/// Renders an error with its full `source()` chain.
+fn render_error(err: &ServeError) -> String {
+    let mut text = err.to_string();
+    let mut source = std::error::Error::source(err);
+    while let Some(cause) = source {
+        text.push_str(": ");
+        text.push_str(&cause.to_string());
+        source = cause.source();
+    }
+    text
+}
+
+/// Parses an `/explain` body: one goal fact literal per statement, in
+/// the engine's surface syntax (e.g. `control("B", "D").`).
+fn parse_goals(body: &str) -> Result<Vec<vadalog::Fact>, String> {
+    let trimmed = body.trim();
+    if trimmed.is_empty() {
+        return Err("empty body; send goal fact literals like control(\"B\", \"D\").".to_owned());
+    }
+    let parsed = vadalog::parse_program(trimmed).map_err(|e| e.to_string())?;
+    if !parsed.program.is_empty() {
+        return Err("body must contain facts only, no rules".to_owned());
+    }
+    if parsed.facts.is_empty() {
+        return Err("no goal facts in body".to_owned());
+    }
+    Ok(parsed.facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goal_bodies_parse_and_reject_rules() {
+        let goals = parse_goals("control(\"B\", \"D\").\ncontrol(\"B\", \"E\").").unwrap();
+        assert_eq!(goals.len(), 2);
+        assert!(parse_goals("").is_err());
+        assert!(parse_goals("r: a(x) -> b(x).").is_err());
+        assert!(parse_goals("not a program").is_err());
+    }
+}

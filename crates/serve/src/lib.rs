@@ -1,0 +1,32 @@
+//! Explanation-as-a-service: concurrent serving of explanation queries
+//! over Arc-shared chase snapshots, with program artifacts cached across
+//! requests.
+//!
+//! The paper's applications (Sec. 5) are long-lived: a knowledge graph
+//! is chased once (and re-chased as data arrives), while explanation
+//! queries from compliance staff and auditors stream in continuously.
+//! This crate is that deployment shape:
+//!
+//! * [`SnapshotHandle`] — a versioned, atomically swappable slot holding
+//!   the current immutable chase outcome. Readers never block writers
+//!   and vice versa; in-flight queries finish on the snapshot they
+//!   captured.
+//! * [`ExplainService`] — a bounded worker pool answering batched
+//!   explanation goals concurrently against one snapshot, from shared
+//!   [`ProgramArtifacts`](explain::ProgramArtifacts). Answers are
+//!   byte-identical at any worker count.
+//! * [`HttpServer`] — a dependency-free HTTP/1.1 front end exposing
+//!   `/explain`, `/health`, `/snapshot` and the Prometheus `/metrics`
+//!   endpoint; the `finkg-serve` binary wires it to the finkg
+//!   applications.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod http;
+pub mod service;
+pub mod snapshot;
+
+pub use http::HttpServer;
+pub use service::{ExplainService, ServeConfig, ServeError};
+pub use snapshot::{Snapshot, SnapshotHandle};

@@ -1,0 +1,366 @@
+//! The concurrent explanation service: a bounded worker pool answering
+//! explanation goals against Arc-shared snapshots and cached artifacts.
+//!
+//! Every query is a pure function of `(artifacts, snapshot, goal)`, so
+//! parallelism needs no coordination beyond handing out work: N workers
+//! pull jobs from one bounded queue, each computes against the `Arc` of
+//! the snapshot captured when its batch entered, and results are placed
+//! back by index. Answers are therefore *byte-identical* at any worker
+//! count — the serving-side mirror of the engine's determinism contract —
+//! and a batch never observes two different snapshot versions even while
+//! a publisher swaps underneath it.
+
+use crate::snapshot::{Snapshot, SnapshotHandle};
+use explain::pipeline::{Explanation, TemplateFlavor};
+use explain::{ExplainError, ProgramArtifacts};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use vadalog::{DerivationPolicy, Fact};
+
+/// Configuration of an [`ExplainService`].
+///
+/// `#[non_exhaustive]`: construct via [`ServeConfig::default`] and the
+/// `with_*` setters so new knobs stay additive.
+#[non_exhaustive]
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads answering queries (`0` = available parallelism).
+    pub workers: usize,
+    /// Bound of the job queue; submissions beyond it apply backpressure.
+    pub queue_depth: usize,
+    /// Template flavour answers use.
+    pub flavor: TemplateFlavor,
+    /// Derivation-selection policy.
+    pub policy: DerivationPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 256,
+            flavor: TemplateFlavor::Enhanced,
+            policy: DerivationPolicy::Richest,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn with_workers(mut self, workers: usize) -> ServeConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the job-queue bound.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> ServeConfig {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+
+    /// Sets the template flavour.
+    pub fn with_flavor(mut self, flavor: TemplateFlavor) -> ServeConfig {
+        self.flavor = flavor;
+        self
+    }
+
+    /// Sets the derivation-selection policy.
+    pub fn with_policy(mut self, policy: DerivationPolicy) -> ServeConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// The effective worker count (resolving `0`).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// A serving-layer failure.
+///
+/// `#[non_exhaustive]`: match with a wildcard arm so new variants stay
+/// additive.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum ServeError {
+    /// The explanation query itself failed; `source()` yields the
+    /// underlying [`ExplainError`].
+    Explain {
+        /// The queried goal fact, rendered.
+        goal: String,
+        /// The pipeline failure.
+        source: ExplainError,
+    },
+    /// A request body could not be parsed into goal facts.
+    BadRequest {
+        /// What was wrong with the request.
+        detail: String,
+    },
+    /// The service is shutting down and dropped the job.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Explain { goal, .. } => write!(f, "explanation of {goal} failed"),
+            ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServeError::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Explain { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One unit of work: explain `fact` against the batch's snapshot and
+/// report the result under `index`.
+struct Job {
+    fact: Fact,
+    snapshot: Arc<Snapshot>,
+    index: usize,
+    done: Sender<(usize, Result<Explanation, ServeError>)>,
+}
+
+/// The concurrent explanation service.
+///
+/// Construction spawns the worker pool; dropping the service closes the
+/// queue and joins every worker. The service holds a [`SnapshotHandle`]
+/// clone — publishers swap new outcomes in through their own clone, and
+/// batches submitted after a swap observe the new version while batches
+/// in flight finish on the version they captured.
+pub struct ExplainService {
+    artifacts: Arc<ProgramArtifacts>,
+    handle: SnapshotHandle,
+    config: ServeConfig,
+    jobs: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ExplainService {
+    /// Spawns the worker pool over `artifacts` and the snapshot slot.
+    pub fn new(
+        artifacts: Arc<ProgramArtifacts>,
+        handle: SnapshotHandle,
+        config: ServeConfig,
+    ) -> ExplainService {
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.effective_workers())
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let artifacts = Arc::clone(&artifacts);
+                let flavor = config.flavor;
+                let policy = config.policy;
+                std::thread::Builder::new()
+                    .name(format!("explain-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &artifacts, flavor, policy))
+                    .expect("spawning explanation worker")
+            })
+            .collect();
+        ExplainService {
+            artifacts,
+            handle,
+            config,
+            jobs: Some(tx),
+            workers,
+        }
+    }
+
+    /// The shared artifacts answers are generated from.
+    pub fn artifacts(&self) -> &Arc<ProgramArtifacts> {
+        &self.artifacts
+    }
+
+    /// The snapshot slot the service serves from.
+    pub fn snapshot_handle(&self) -> &SnapshotHandle {
+        &self.handle
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Answers a batch of explanation goals concurrently, order-preserving.
+    ///
+    /// The whole batch is answered against the *one* snapshot current at
+    /// entry: a concurrent [`SnapshotHandle::swap`] never splits a batch
+    /// across versions. Returns one result per goal, in goal order,
+    /// together with the snapshot version used.
+    pub fn explain_batch(&self, goals: &[Fact]) -> (u64, Vec<Result<Explanation, ServeError>>) {
+        let snapshot = self.handle.current();
+        let version = snapshot.version();
+        let registry = vadalog::obs::metrics::global();
+        registry
+            .counter(
+                "vadalog_serve_requests_total",
+                "Explanation goals submitted to the serving layer.",
+            )
+            .add(goals.len() as u64);
+        let (done_tx, done_rx) = mpsc::channel();
+        let Some(jobs) = &self.jobs else {
+            return (
+                version,
+                goals.iter().map(|_| Err(ServeError::Shutdown)).collect(),
+            );
+        };
+        let mut submitted = 0usize;
+        for (index, fact) in goals.iter().enumerate() {
+            let job = Job {
+                fact: fact.clone(),
+                snapshot: Arc::clone(&snapshot),
+                index,
+                done: done_tx.clone(),
+            };
+            if jobs.send(job).is_err() {
+                break;
+            }
+            submitted += 1;
+        }
+        drop(done_tx);
+        let mut results: Vec<Option<Result<Explanation, ServeError>>> =
+            (0..goals.len()).map(|_| None).collect();
+        for (index, result) in done_rx.iter().take(submitted) {
+            results[index] = Some(result);
+        }
+        let errors = registry.counter(
+            "vadalog_serve_errors_total",
+            "Explanation goals the serving layer failed to answer.",
+        );
+        let results: Vec<Result<Explanation, ServeError>> = results
+            .into_iter()
+            .map(|r| r.unwrap_or(Err(ServeError::Shutdown)))
+            .collect();
+        errors.add(results.iter().filter(|r| r.is_err()).count() as u64);
+        (version, results)
+    }
+
+    /// Answers one explanation goal (a single-element batch).
+    pub fn explain_one(&self, goal: &Fact) -> (u64, Result<Explanation, ServeError>) {
+        let (version, mut results) = self.explain_batch(std::slice::from_ref(goal));
+        (version, results.pop().expect("one result per goal"))
+    }
+}
+
+impl Drop for ExplainService {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        self.jobs = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Pulls jobs until the queue closes. Workers steal from one shared
+/// receiver; fairness does not matter because results carry their index.
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    artifacts: &ProgramArtifacts,
+    flavor: TemplateFlavor,
+    policy: DerivationPolicy,
+) {
+    loop {
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        let result = artifacts
+            .explain_fact(job.snapshot.outcome(), &job.fact, flavor, policy)
+            .map_err(|source| ServeError::Explain {
+                goal: job.fact.to_string(),
+                source,
+            });
+        // A dropped batch receiver just discards the answer.
+        let _ = job.done.send((job.index, result));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog::{parse_program, ChaseSession, Database};
+
+    fn service(workers: usize) -> (ExplainService, Vec<Fact>) {
+        let parsed = parse_program(
+            r#"
+            alpha: edge(x, y) -> reach(x, y).
+            beta: reach(x, y), edge(y, z) -> reach(x, z).
+            edge("a", "b").
+            edge("b", "c").
+            edge("c", "d").
+        "#,
+        )
+        .unwrap();
+        let artifacts = ProgramArtifacts::builder(parsed.program.clone(), "reach")
+            .build_cached()
+            .unwrap();
+        let db: Database = parsed.facts.into_iter().collect();
+        let outcome = ChaseSession::new(&parsed.program).run(db).unwrap();
+        let handle = SnapshotHandle::new(outcome);
+        let goals = vec![
+            Fact::new("reach", vec!["a".into(), "d".into()]),
+            Fact::new("reach", vec!["b".into(), "d".into()]),
+            Fact::new("reach", vec!["a".into(), "c".into()]),
+        ];
+        (
+            ExplainService::new(
+                artifacts,
+                handle,
+                ServeConfig::default().with_workers(workers),
+            ),
+            goals,
+        )
+    }
+
+    #[test]
+    fn batches_preserve_goal_order() {
+        let (service, goals) = service(2);
+        let (version, results) = service.explain_batch(&goals);
+        assert_eq!(version, 1);
+        assert_eq!(results.len(), goals.len());
+        for (goal, result) in goals.iter().zip(&results) {
+            let e = result.as_ref().unwrap();
+            assert_eq!(&e.fact, goal);
+        }
+    }
+
+    #[test]
+    fn unknown_goals_fail_with_chained_source() {
+        let (service, _) = service(1);
+        let bogus = Fact::new("reach", vec!["z".into(), "q".into()]);
+        let (_, result) = service.explain_one(&bogus);
+        let err = result.unwrap_err();
+        assert!(matches!(err, ServeError::Explain { .. }));
+        let source = std::error::Error::source(&err).expect("source must chain");
+        assert!(source.downcast_ref::<ExplainError>().is_some());
+    }
+
+    #[test]
+    fn config_setters_follow_builder_conventions() {
+        let config = ServeConfig::default()
+            .with_workers(3)
+            .with_queue_depth(7)
+            .with_flavor(TemplateFlavor::Deterministic)
+            .with_policy(DerivationPolicy::Earliest);
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.effective_workers(), 3);
+        assert_eq!(config.queue_depth, 7);
+        assert_eq!(config.flavor, TemplateFlavor::Deterministic);
+    }
+}

@@ -1,0 +1,121 @@
+//! Immutable, versioned chase snapshots with atomic swap-on-update.
+//!
+//! A serving process answers explanation queries over the *result* of a
+//! chase run. That result never changes once computed — what changes is
+//! *which* result is current, as fresh extensional data arrives and a
+//! background re-chase produces a new outcome. [`SnapshotHandle`] models
+//! exactly that: readers take an `Arc` of the current [`Snapshot`] (two
+//! pointer reads under a briefly-held lock) and keep answering against it
+//! for as long as they like; a publisher [`swap`](SnapshotHandle::swap)s
+//! in the next outcome without waiting for readers to finish. There are
+//! no torn reads by construction — the outcome and its version travel in
+//! one immutable allocation.
+
+use std::sync::{Arc, RwLock};
+use vadalog::ChaseOutcome;
+
+/// One immutable chase outcome plus its publication version.
+#[derive(Debug)]
+pub struct Snapshot {
+    outcome: Arc<ChaseOutcome>,
+    version: u64,
+}
+
+impl Snapshot {
+    /// The chase outcome (database + derivation graph + run report).
+    pub fn outcome(&self) -> &Arc<ChaseOutcome> {
+        &self.outcome
+    }
+
+    /// The monotonically increasing publication version (first is 1).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// A cloneable handle on the current snapshot; the unit every serving
+/// worker and publisher shares.
+///
+/// Clones observe the same slot: a [`swap`](SnapshotHandle::swap) through
+/// any clone is visible to all. [`current`](SnapshotHandle::current)
+/// never blocks for longer than the pointer swap itself.
+#[derive(Clone, Debug)]
+pub struct SnapshotHandle {
+    slot: Arc<RwLock<Arc<Snapshot>>>,
+}
+
+impl SnapshotHandle {
+    /// Publishes `outcome` as version 1. Accepts an owned outcome or an
+    /// already-shared `Arc<ChaseOutcome>`.
+    pub fn new(outcome: impl Into<Arc<ChaseOutcome>>) -> SnapshotHandle {
+        SnapshotHandle {
+            slot: Arc::new(RwLock::new(Arc::new(Snapshot {
+                outcome: outcome.into(),
+                version: 1,
+            }))),
+        }
+    }
+
+    /// The current snapshot. The returned `Arc` stays valid (and
+    /// internally consistent) for as long as the caller holds it, even
+    /// across concurrent swaps.
+    pub fn current(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.slot.read().expect("snapshot slot poisoned"))
+    }
+
+    /// Atomically publishes `outcome` as the next version and returns
+    /// that version. In-flight readers keep the snapshot they already
+    /// took; new readers observe the new one.
+    pub fn swap(&self, outcome: impl Into<Arc<ChaseOutcome>>) -> u64 {
+        let mut slot = self.slot.write().expect("snapshot slot poisoned");
+        let version = slot.version + 1;
+        *slot = Arc::new(Snapshot {
+            outcome: outcome.into(),
+            version,
+        });
+        vadalog::obs::metrics::global()
+            .gauge(
+                "vadalog_serve_snapshot_version",
+                "Version of the currently published chase snapshot.",
+            )
+            .set(version);
+        version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog::{parse_program, ChaseSession, Database};
+
+    fn outcome(edges: &[(&str, &str)]) -> ChaseOutcome {
+        let parsed = parse_program("alpha: edge(x, y) -> reach(x, y).").unwrap();
+        let mut db = Database::new();
+        for (a, b) in edges {
+            db.add("edge", &[(*a).into(), (*b).into()]);
+        }
+        ChaseSession::new(&parsed.program).run(db).unwrap()
+    }
+
+    #[test]
+    fn swap_bumps_version_and_keeps_old_readers_valid() {
+        let handle = SnapshotHandle::new(outcome(&[("a", "b")]));
+        let before = handle.current();
+        assert_eq!(before.version(), 1);
+        let v2 = handle.swap(outcome(&[("a", "b"), ("b", "c")]));
+        assert_eq!(v2, 2);
+        // The old snapshot is untouched; the new one is independent.
+        assert_eq!(before.outcome().derived_facts, 1);
+        let after = handle.current();
+        assert_eq!(after.version(), 2);
+        assert_eq!(after.outcome().derived_facts, 2);
+    }
+
+    #[test]
+    fn clones_share_the_slot() {
+        let handle = SnapshotHandle::new(outcome(&[("a", "b")]));
+        let clone = handle.clone();
+        handle.swap(outcome(&[("x", "y")]));
+        assert_eq!(clone.current().version(), 2);
+    }
+}

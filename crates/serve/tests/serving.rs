@@ -1,0 +1,216 @@
+//! The serving-layer contracts: byte-identical answers at any worker
+//! count, snapshot swaps without torn reads, and a live HTTP smoke test.
+
+use explain::{Explainer, ProgramArtifacts};
+use serve::{ExplainService, HttpServer, ServeConfig, SnapshotHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use vadalog::{ChaseOutcome, ChaseSession, Fact};
+
+/// Chases the control app over a seeded random ownership graph.
+fn control_outcome(entities: usize, seed: u64) -> ChaseOutcome {
+    let program = finkg::apps::control::program();
+    let db = finkg::generator::random_ownership(entities, 3, seed);
+    ChaseSession::new(&program).run(db).unwrap()
+}
+
+fn control_artifacts() -> Arc<ProgramArtifacts> {
+    ProgramArtifacts::builder(finkg::apps::control::program(), finkg::apps::control::GOAL)
+        .with_glossary(&finkg::apps::control::glossary())
+        .build_cached()
+        .unwrap()
+}
+
+/// All derived goal facts of `outcome`, in derivation order.
+fn derived_goals(outcome: &ChaseOutcome) -> Vec<Fact> {
+    outcome
+        .facts_of(finkg::apps::control::GOAL)
+        .into_iter()
+        .filter(|(id, _)| outcome.graph.is_derived(*id))
+        .map(|(_, fact)| fact.clone())
+        .collect()
+}
+
+/// The sequential reference: every goal explained one by one on the
+/// calling thread, no pool involved.
+fn sequential_texts(artifacts: &Arc<ProgramArtifacts>, outcome: Arc<ChaseOutcome>) -> Vec<String> {
+    let goals = derived_goals(&outcome);
+    let explainer = Explainer::for_snapshot(Arc::clone(artifacts), outcome);
+    goals
+        .iter()
+        .map(|goal| explainer.explain(goal).unwrap().text)
+        .collect()
+}
+
+#[test]
+fn concurrent_answers_are_byte_identical_to_sequential() {
+    let artifacts = control_artifacts();
+    let outcome = control_outcome(40, 7);
+    let goals = derived_goals(&outcome);
+    assert!(goals.len() >= 10, "workload too small: {}", goals.len());
+    let handle = SnapshotHandle::new(outcome);
+    let reference = sequential_texts(&artifacts, Arc::clone(handle.current().outcome()));
+
+    for workers in [1usize, 2, 8] {
+        let service = ExplainService::new(
+            Arc::clone(&artifacts),
+            handle.clone(),
+            ServeConfig::default().with_workers(workers),
+        );
+        let (version, results) = service.explain_batch(&goals);
+        assert_eq!(version, 1);
+        let texts: Vec<String> = results.into_iter().map(|r| r.unwrap().text).collect();
+        assert_eq!(
+            texts, reference,
+            "answers at {workers} workers must be byte-identical to the sequential baseline"
+        );
+    }
+}
+
+#[test]
+fn snapshot_swaps_under_load_never_tear_a_batch() {
+    let artifacts = control_artifacts();
+    // Two distinct graph versions; goals present (derived) in both.
+    let outcome_a = Arc::new(control_outcome(30, 11));
+    let outcome_b = Arc::new(control_outcome(30, 12));
+    let goals: Vec<Fact> = {
+        let a: std::collections::HashSet<Fact> = derived_goals(&outcome_a).into_iter().collect();
+        derived_goals(&outcome_b)
+            .into_iter()
+            .filter(|g| a.contains(g))
+            .collect()
+    };
+    assert!(
+        goals.len() >= 2,
+        "need shared goals across versions, got {}",
+        goals.len()
+    );
+
+    // Expected answers per version, computed sequentially up front.
+    let expected_by_parity = [
+        sequential_texts_for(&artifacts, &outcome_a, &goals),
+        sequential_texts_for(&artifacts, &outcome_b, &goals),
+    ];
+
+    let handle = SnapshotHandle::new(Arc::clone(&outcome_a));
+    let service = ExplainService::new(
+        Arc::clone(&artifacts),
+        handle.clone(),
+        ServeConfig::default().with_workers(4),
+    );
+
+    // A publisher thread flips between the two outcomes as fast as it can.
+    let stop = Arc::new(AtomicBool::new(false));
+    let publisher = {
+        let handle = handle.clone();
+        let stop = Arc::clone(&stop);
+        let (a, b) = (Arc::clone(&outcome_a), Arc::clone(&outcome_b));
+        std::thread::spawn(move || {
+            let mut next_is_b = true;
+            while !stop.load(Ordering::Relaxed) {
+                let outcome = if next_is_b { &b } else { &a };
+                handle.swap(Arc::clone(outcome));
+                next_is_b = !next_is_b;
+            }
+        })
+    };
+
+    // Versions alternate a, b, a, b ...: odd versions carry outcome_a.
+    let mut batches = 0u32;
+    while batches < 50 {
+        let (version, results) = service.explain_batch(&goals);
+        let expected = &expected_by_parity[1 - (version % 2) as usize];
+        let texts: Vec<String> = results.into_iter().map(|r| r.unwrap().text).collect();
+        assert_eq!(
+            &texts, expected,
+            "batch answered under version {version} mixed snapshots"
+        );
+        batches += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    publisher.join().unwrap();
+}
+
+fn sequential_texts_for(
+    artifacts: &Arc<ProgramArtifacts>,
+    outcome: &Arc<ChaseOutcome>,
+    goals: &[Fact],
+) -> Vec<String> {
+    let explainer = Explainer::for_snapshot(Arc::clone(artifacts), Arc::clone(outcome));
+    goals
+        .iter()
+        .map(|goal| explainer.explain(goal).unwrap().text)
+        .collect()
+}
+
+/// One shot HTTP request against `addr`, returning (status line, body).
+fn http(addr: std::net::SocketAddr, request: &str) -> (String, String) {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    let status = response.lines().next().unwrap_or_default().to_owned();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn http_endpoints_answer_over_a_live_socket() {
+    let program = finkg::apps::control::program();
+    let outcome = ChaseSession::new(&program)
+        .run(finkg::scenario::database())
+        .unwrap();
+    let service = Arc::new(ExplainService::new(
+        control_artifacts(),
+        SnapshotHandle::new(outcome),
+        ServeConfig::default().with_workers(2),
+    ));
+    let mut server = HttpServer::bind("127.0.0.1:0", service).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"snapshot_version\":1"), "{body}");
+
+    let (status, body) = http(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("vadalog_"), "{body}");
+
+    let (status, body) = http(addr, "GET /snapshot HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"version\":1"), "{body}");
+
+    // The Sec. 5 scenario: B controls D through E.
+    let goal = "control(\"B\", \"D\").";
+    let request = format!(
+        "POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        goal.len(),
+        goal
+    );
+    let (status, body) = http(addr, &request);
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"text\":"), "{body}");
+    assert!(body.contains("{o1,o3}"), "{body}");
+
+    // Garbage bodies are a 400, not a crash.
+    let bad = "this is not a fact";
+    let request = format!(
+        "POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        bad.len(),
+        bad
+    );
+    let (status, _) = http(addr, &request);
+    assert!(status.contains("400"), "{status}");
+
+    // Unknown paths 404.
+    let (status, _) = http(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("404"), "{status}");
+
+    server.stop();
+}

@@ -29,7 +29,7 @@ impl Case {
         target: Fact,
     ) -> Case {
         let pipeline = ExplanationPipeline::builder(program.clone(), goal)
-            .glossary(&glossary)
+            .with_glossary(&glossary)
             .build()
             .expect("study scenarios analyze cleanly");
         let outcome = ChaseSession::new(&program)

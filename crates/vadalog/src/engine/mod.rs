@@ -406,22 +406,41 @@ impl<'p> ChaseSession<'p> {
     }
 
     /// Replaces the whole configuration.
-    pub fn config(mut self, config: ChaseConfig) -> ChaseSession<'p> {
+    pub fn with_config(mut self, config: ChaseConfig) -> ChaseSession<'p> {
         self.config = config;
         self
     }
 
     /// Sets the worker-thread count (`0` = available parallelism).
-    pub fn threads(mut self, threads: usize) -> ChaseSession<'p> {
+    pub fn with_threads(mut self, threads: usize) -> ChaseSession<'p> {
         self.config.threads = threads;
         self
     }
 
     /// Sets the run's resource governance: deadline, cancellation token
     /// and round/fact/memory budgets.
-    pub fn guard(mut self, guard: RunGuard) -> ChaseSession<'p> {
+    pub fn with_guard(mut self, guard: RunGuard) -> ChaseSession<'p> {
         self.config.guard = guard;
         self
+    }
+
+    /// Replaces the whole configuration.
+    #[deprecated(since = "0.1.0", note = "renamed to `with_config`")]
+    pub fn config(self, config: ChaseConfig) -> ChaseSession<'p> {
+        self.with_config(config)
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_threads`")]
+    pub fn threads(self, threads: usize) -> ChaseSession<'p> {
+        self.with_threads(threads)
+    }
+
+    /// Sets the run's resource governance: deadline, cancellation token
+    /// and round/fact/memory budgets.
+    #[deprecated(since = "0.1.0", note = "renamed to `with_guard`")]
+    pub fn guard(self, guard: RunGuard) -> ChaseSession<'p> {
+        self.with_guard(guard)
     }
 
     /// The session's current configuration.
@@ -601,47 +620,6 @@ impl<'p> ChaseSession<'p> {
         // *newly* derived knowledge.
         engine.run_in_place()
     }
-}
-
-/// Runs the chase of `program` over `database` to fixpoint.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ChaseSession::new(program).config(config.clone()).run(database)` instead"
-)]
-pub fn run_chase(
-    program: &Program,
-    database: Database,
-    config: &ChaseConfig,
-) -> Result<ChaseOutcome, ChaseError> {
-    ChaseSession::new(program)
-        .config(config.clone())
-        .run(database)
-}
-
-/// Runs the chase with the default configuration.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ChaseSession::new(program).run(database)` instead"
-)]
-pub fn chase(program: &Program, database: Database) -> Result<ChaseOutcome, ChaseError> {
-    ChaseSession::new(program).run(database)
-}
-
-/// Incrementally extends a previous chase outcome with new extensional
-/// facts; see [`ChaseSession::resume`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ChaseSession::new(program).config(config.clone()).resume(outcome, new_facts)` instead"
-)]
-pub fn extend_chase(
-    program: &Program,
-    outcome: ChaseOutcome,
-    new_facts: impl IntoIterator<Item = Fact>,
-    config: &ChaseConfig,
-) -> Result<ChaseOutcome, ChaseError> {
-    ChaseSession::new(program)
-        .config(config.clone())
-        .resume(outcome, new_facts)
 }
 
 /// Matching work below this many outermost candidates is not worth
@@ -2382,7 +2360,7 @@ mod tests {
         let cfg = ChaseConfig::default()
             .with_max_rounds(50)
             .with_max_facts(100);
-        let result = ChaseSession::new(&p).config(cfg).run(db);
+        let result = ChaseSession::new(&p).with_config(cfg).run(db);
         match result {
             Err(ChaseError::ResourceExhausted {
                 budget: Budget::Rounds(_) | Budget::Facts(_),
@@ -2443,7 +2421,7 @@ mod tests {
         db.add("own", &["A".into(), "A".into()]);
         let cfg = ChaseConfig::default().with_fail_on_violation(true);
         assert!(matches!(
-            ChaseSession::new(&p).config(cfg).run(db),
+            ChaseSession::new(&p).with_config(cfg).run(db),
             Err(ChaseError::ConstraintViolated { .. })
         ));
     }
@@ -2482,26 +2460,42 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
+    fn session_builder_covers_run_and_resume() {
         let mut db = Database::new();
         db.add("own", &["A".into(), "B".into(), 0.8.into()]);
-        let out = super::chase(&control_program(), db).unwrap();
+        let out = ChaseSession::new(&control_program()).run(db).unwrap();
         assert_eq!(out.derived_facts, 1);
         let mut db = Database::new();
         db.add("own", &["A".into(), "B".into(), 0.8.into()]);
-        let out = super::run_chase(&control_program(), db, &ChaseConfig::default()).unwrap();
+        let out = ChaseSession::new(&control_program())
+            .with_config(ChaseConfig::default())
+            .run(db)
+            .unwrap();
         assert_eq!(out.derived_facts, 1);
-        // A monotone single-rule program for the extend wrapper.
+        // A monotone single-rule program for the incremental extension.
         let program = Program::new(vec![control_program().rules()[0].clone()]).unwrap();
         let base = ChaseSession::new(&program).run(Database::new()).unwrap();
-        let out = super::extend_chase(
-            &program,
-            base,
-            [Fact::new("own", vec!["B".into(), "C".into(), 0.9.into()])],
-            &ChaseConfig::default(),
-        )
-        .unwrap();
+        let out = ChaseSession::new(&program)
+            .with_config(ChaseConfig::default())
+            .resume(
+                base,
+                [Fact::new("own", vec!["B".into(), "C".into(), 0.9.into()])],
+            )
+            .unwrap();
+        assert_eq!(out.derived_facts, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn renamed_builder_shims_still_work() {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.8.into()]);
+        let out = ChaseSession::new(&control_program())
+            .config(ChaseConfig::default())
+            .threads(1)
+            .guard(RunGuard::default())
+            .run(db)
+            .unwrap();
         assert_eq!(out.derived_facts, 1);
     }
 }
@@ -2566,14 +2560,14 @@ mod determinism_tests {
         .unwrap()
         .program;
         let reference = ChaseSession::new(&program)
-            .threads(1)
+            .with_threads(1)
             .run(ladder_db(12))
             .unwrap();
         let reference_fp = fingerprint(&reference);
         assert!(reference.derived_facts > 0);
         for threads in [2, 4, 8] {
             let out = ChaseSession::new(&program)
-                .threads(threads)
+                .with_threads(threads)
                 .run(ladder_db(12))
                 .unwrap();
             assert_eq!(fingerprint(&out), reference_fp, "threads={threads}");
@@ -2608,11 +2602,14 @@ mod determinism_tests {
             }
             db
         };
-        let reference = ChaseSession::new(&program).threads(1).run(build()).unwrap();
+        let reference = ChaseSession::new(&program)
+            .with_threads(1)
+            .run(build())
+            .unwrap();
         let reference_fp = fingerprint(&reference);
         for threads in [2, 8] {
             let out = ChaseSession::new(&program)
-                .threads(threads)
+                .with_threads(threads)
                 .run(build())
                 .unwrap();
             assert_eq!(fingerprint(&out), reference_fp, "threads={threads}");
@@ -2640,7 +2637,7 @@ mod determinism_tests {
             })
             .collect();
         let run_at = |threads: usize| {
-            let session = ChaseSession::new(&program).threads(threads);
+            let session = ChaseSession::new(&program).with_threads(threads);
             let base = session.run(ladder_db(6)).unwrap();
             session.resume(base, extension.clone()).unwrap()
         };
@@ -2665,13 +2662,13 @@ mod determinism_tests {
         .program;
         let cfg = ChaseConfig::default().with_semi_naive(false);
         let reference = ChaseSession::new(&program)
-            .config(cfg.clone().with_threads(1))
+            .with_config(cfg.clone().with_threads(1))
             .run(ladder_db(8))
             .unwrap();
         let reference_fp = fingerprint(&reference);
         for threads in [2, 8] {
             let out = ChaseSession::new(&program)
-                .config(cfg.clone().with_threads(threads))
+                .with_config(cfg.clone().with_threads(threads))
                 .run(ladder_db(8))
                 .unwrap();
             assert_eq!(fingerprint(&out), reference_fp, "threads={threads}");
@@ -2688,11 +2685,11 @@ mod determinism_tests {
         .unwrap()
         .program;
         let indexed = ChaseSession::new(&program)
-            .threads(4)
+            .with_threads(4)
             .run(ladder_db(8))
             .unwrap();
         let scanned = ChaseSession::new(&program)
-            .config(ChaseConfig::default().with_positional_index(false))
+            .with_config(ChaseConfig::default().with_positional_index(false))
             .run(ladder_db(8))
             .unwrap();
         assert_eq!(indexed.database.len(), scanned.database.len());
@@ -3061,7 +3058,7 @@ mod governance_tests {
             .with_max_facts(usize::MAX >> 1)
             .with_guard(RunGuard::default().with_timeout(Duration::from_millis(50)));
         let err = ChaseSession::new(&program)
-            .config(cfg)
+            .with_config(cfg)
             .run(seed_person())
             .expect_err("the deadline must trip");
         match err {
@@ -3092,7 +3089,7 @@ mod governance_tests {
         token.cancel();
         let cfg = ChaseConfig::default().with_guard(RunGuard::default().with_cancel_token(token));
         let err = ChaseSession::new(&program)
-            .config(cfg)
+            .with_config(cfg)
             .run(ladder_db(6))
             .expect_err("a pre-cancelled token must trip at the first round");
         match err {
@@ -3114,7 +3111,7 @@ mod governance_tests {
         let program = control_program();
         let cfg = ChaseConfig::default().with_guard(RunGuard::default().with_max_bytes(1));
         let err = ChaseSession::new(&program)
-            .config(cfg)
+            .with_config(cfg)
             .run(ladder_db(6))
             .expect_err("a 1-byte memory budget must trip immediately");
         assert!(matches!(
@@ -3130,10 +3127,10 @@ mod governance_tests {
     fn guard_round_budget_matches_legacy_limit() {
         let program = unbounded_program();
         let via_guard = ChaseSession::new(&program)
-            .config(ChaseConfig::default().with_guard(RunGuard::default().with_max_rounds(3)))
+            .with_config(ChaseConfig::default().with_guard(RunGuard::default().with_max_rounds(3)))
             .run(seed_person());
         let via_legacy = ChaseSession::new(&program)
-            .config(ChaseConfig::default().with_max_rounds(3))
+            .with_config(ChaseConfig::default().with_max_rounds(3))
             .run(seed_person());
         let (
             Err(ChaseError::ResourceExhausted { partial: a, .. }),
@@ -3154,17 +3151,17 @@ mod governance_tests {
         let program = control_program();
         let reference = fingerprint(
             &ChaseSession::new(&program)
-                .threads(1)
+                .with_threads(1)
                 .run(ladder_db(10))
                 .unwrap(),
         );
         let mut tripped = 0;
         for threads in [1, 2, 8] {
             for budget in [12u64, 15, 20, 25, 40, 60] {
-                let session = ChaseSession::new(&program).threads(threads);
+                let session = ChaseSession::new(&program).with_threads(threads);
                 let governed = session
                     .clone()
-                    .guard(RunGuard::default().with_max_facts(budget))
+                    .with_guard(RunGuard::default().with_max_facts(budget))
                     .run(ladder_db(10));
                 let resumed = match governed {
                     Err(ChaseError::ResourceExhausted {
@@ -3221,7 +3218,7 @@ mod governance_tests {
             let session = ChaseSession::new(&program);
             let governed = session
                 .clone()
-                .guard(RunGuard::default().with_max_facts(budget))
+                .with_guard(RunGuard::default().with_max_facts(budget))
                 .run(build());
             let resumed = match governed {
                 Err(ChaseError::ResourceExhausted { partial, .. }) => {
@@ -3237,7 +3234,7 @@ mod governance_tests {
         // Extending a *stratified* partial outcome with new facts is still
         // rejected.
         let partial = match ChaseSession::new(&program)
-            .guard(RunGuard::default().with_max_facts(42))
+            .with_guard(RunGuard::default().with_max_facts(42))
             .run(build())
         {
             Err(ChaseError::ResourceExhausted { partial, .. }) => *partial,
@@ -3272,8 +3269,8 @@ mod governance_tests {
         // The hand-computed counts assume the indexed snapshot/top-up
         // path, so pin it against VADALOG_NO_INDEX.
         let out = ChaseSession::new(&program)
-            .config(ChaseConfig::default().with_positional_index(true))
-            .threads(1)
+            .with_config(ChaseConfig::default().with_positional_index(true))
+            .with_threads(1)
             .run(build())
             .unwrap();
         let report = &out.report;
@@ -3309,8 +3306,8 @@ mod governance_tests {
         // The count fingerprint is thread-invariant.
         for threads in [2, 8] {
             let other = ChaseSession::new(&program)
-                .config(ChaseConfig::default().with_positional_index(true))
-                .threads(threads)
+                .with_config(ChaseConfig::default().with_positional_index(true))
+                .with_threads(threads)
                 .run(build())
                 .unwrap();
             assert_eq!(
@@ -3343,7 +3340,7 @@ mod governance_tests {
         let program = control_program();
         let full = ChaseSession::new(&program).run(ladder_db(8)).unwrap();
         let reduced = ChaseSession::new(&program)
-            .config(ChaseConfig::default().with_full_telemetry(false))
+            .with_config(ChaseConfig::default().with_full_telemetry(false))
             .run(ladder_db(8))
             .unwrap();
         assert_eq!(reduced.report.rules, full.report.rules);

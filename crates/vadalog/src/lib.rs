@@ -85,8 +85,6 @@ pub mod prelude {
     pub use crate::checkpoint::{AutosavePolicy, CheckpointError};
     pub use crate::database::{Database, FactId};
     pub use crate::depgraph::{DepEdge, DependencyGraph};
-    #[allow(deprecated)]
-    pub use crate::engine::{chase, extend_chase, run_chase};
     pub use crate::engine::{ChaseConfig, ChaseOutcome, ChaseSession};
     pub use crate::error::{ChaseError, EvalError, ParseError, ProgramError};
     pub use crate::expr::{ArithOp, Assignment, Bindings, CmpOp, Condition, Expr};

@@ -187,7 +187,7 @@ fn session_load_errors_carry_no_partial_outcome() {
     let (path, mut bytes, program, config) = snapshot("session.ckpt");
     bytes[40] ^= 0xFF;
     std::fs::write(&path, &bytes).unwrap();
-    let session = ChaseSession::new(&program).config(config);
+    let session = ChaseSession::new(&program).with_config(config);
     match session.resume_from_path(&path) {
         Err(ChaseError::Checkpoint { source, partial }) => {
             assert!(matches!(source, CheckpointError::ChecksumMismatch { .. }));

@@ -76,7 +76,7 @@ fn fingerprint(out: &ChaseOutcome) -> String {
 fn reference() -> (ParsedProgram, String, u64) {
     let parsed = scenario();
     let out = ChaseSession::new(&parsed.program)
-        .threads(1)
+        .with_threads(1)
         .run(db(&parsed))
         .unwrap();
     let rounds = u64::from(out.report.rounds);
@@ -121,7 +121,7 @@ fn crash_at_every_round_boundary_resumes_identically() {
         for n in 1..=rounds {
             let path = tmp(&format!("round-{threads}-{n}.ckpt"));
             let _ = std::fs::remove_file(&path);
-            let session = ChaseSession::new(&parsed.program).config(
+            let session = ChaseSession::new(&parsed.program).with_config(
                 ChaseConfig::default()
                     .with_threads(threads)
                     .with_autosave(AutosavePolicy::new(&path).every_rounds(1)),
@@ -146,7 +146,7 @@ fn crash_at_intra_round_safe_points_resumes_identically() {
             for n in [1u64, 3, 7] {
                 let path = tmp(&format!("intra-{threads}-{n}.ckpt"));
                 let _ = std::fs::remove_file(&path);
-                let session = ChaseSession::new(&parsed.program).config(
+                let session = ChaseSession::new(&parsed.program).with_config(
                     ChaseConfig::default()
                         .with_threads(threads)
                         .with_autosave(AutosavePolicy::new(&path).every_rounds(1)),
@@ -169,7 +169,7 @@ fn crash_during_checkpoint_commit_preserves_the_previous_snapshot() {
     let (parsed, expected, _) = reference();
     let path = tmp("commit-crash.ckpt");
     let _ = std::fs::remove_file(&path);
-    let session = ChaseSession::new(&parsed.program).config(
+    let session = ChaseSession::new(&parsed.program).with_config(
         ChaseConfig::default()
             .with_threads(2)
             .with_autosave(AutosavePolicy::new(&path).every_rounds(1)),
@@ -188,7 +188,7 @@ fn autosave_io_failure_returns_a_resumable_partial() {
     let (parsed, expected, _) = reference();
     let path = tmp("io-failure.ckpt");
     let _ = std::fs::remove_file(&path);
-    let session = ChaseSession::new(&parsed.program).config(
+    let session = ChaseSession::new(&parsed.program).with_config(
         ChaseConfig::default()
             .with_threads(2)
             .with_autosave(AutosavePolicy::new(&path).every_rounds(1)),
@@ -215,7 +215,7 @@ fn worker_panic_is_isolated_and_resumable() {
         for n in [1u64, 4] {
             let path = tmp(&format!("panic-{threads}-{n}.ckpt"));
             let _ = std::fs::remove_file(&path);
-            let session = ChaseSession::new(&parsed.program).config(
+            let session = ChaseSession::new(&parsed.program).with_config(
                 ChaseConfig::default()
                     .with_threads(threads)
                     // Trip-save only: the snapshot on disk is the one

@@ -165,7 +165,7 @@ fn identical_runs_yield_identical_metric_fingerprints() {
         .expect("parse");
         let db: vadalog::Database = parsed.facts.into_iter().collect();
         vadalog::ChaseSession::new(&parsed.program)
-            .config(vadalog::ChaseConfig::default().with_metrics(registry.clone()))
+            .with_config(vadalog::ChaseConfig::default().with_metrics(registry.clone()))
             .run(db)
             .expect("chase");
         registry.count_fingerprint()

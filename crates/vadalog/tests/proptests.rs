@@ -256,7 +256,7 @@ proptest! {
             db
         };
         let naive_cfg = ChaseConfig::default().with_semi_naive(false);
-        let naive = ChaseSession::new(&program).config(naive_cfg).run(build()).unwrap();
+        let naive = ChaseSession::new(&program).with_config(naive_cfg).run(build()).unwrap();
         let semi = ChaseSession::new(&program).run(build()).unwrap();
         prop_assert_eq!(naive.database.len(), semi.database.len());
         for (_, fact) in naive.database.iter() {
@@ -350,10 +350,10 @@ proptest! {
             }
             db
         };
-        let reference = ChaseSession::new(&parsed.program).threads(1).run(build()).unwrap();
+        let reference = ChaseSession::new(&parsed.program).with_threads(1).run(build()).unwrap();
         let fp = outcome_fingerprint(&reference);
         for threads in [2usize, 8] {
-            let out = ChaseSession::new(&parsed.program).threads(threads).run(build()).unwrap();
+            let out = ChaseSession::new(&parsed.program).with_threads(threads).run(build()).unwrap();
             prop_assert_eq!(outcome_fingerprint(&out), fp.clone(), "threads={}", threads);
         }
     }
@@ -383,10 +383,10 @@ proptest! {
             }
             db
         };
-        let reference = ChaseSession::new(&program).threads(1).run(build()).unwrap();
+        let reference = ChaseSession::new(&program).with_threads(1).run(build()).unwrap();
         let fp = outcome_fingerprint(&reference);
         for threads in [2usize, 8] {
-            let out = ChaseSession::new(&program).threads(threads).run(build()).unwrap();
+            let out = ChaseSession::new(&program).with_threads(threads).run(build()).unwrap();
             prop_assert_eq!(outcome_fingerprint(&out), fp.clone(), "threads={}", threads);
         }
     }

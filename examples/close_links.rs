@@ -11,7 +11,7 @@ use ekg_explain::prelude::*;
 fn main() {
     let program = close_links::program();
     let pipeline = ExplanationPipeline::builder(program.clone(), close_links::GOAL)
-        .glossary(&close_links::glossary())
+        .with_glossary(&close_links::glossary())
         .build()
         .expect("pipeline builds");
 

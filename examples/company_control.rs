@@ -13,7 +13,7 @@ use ekg_explain::prelude::*;
 fn main() {
     let program = control::program();
     let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
-        .glossary(&control::glossary())
+        .with_glossary(&control::glossary())
         .build()
         .expect("pipeline builds");
 

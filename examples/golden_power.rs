@@ -16,7 +16,7 @@ use ekg_explain::prelude::*;
 fn main() {
     let program = golden_power::program();
     let pipeline = ExplanationPipeline::builder(program.clone(), golden_power::GOAL)
-        .glossary(&golden_power::glossary())
+        .with_glossary(&golden_power::glossary())
         .build()
         .expect("pipeline builds");
 

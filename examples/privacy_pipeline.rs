@@ -24,8 +24,8 @@ fn main() {
     // back when the LLM drops a token.
     let llm_for_templates = SimulatedLlm::new(Prompt::Paraphrase, 7);
     let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
-        .glossary(&glossary)
-        .enhancer(&llm_for_templates, 3)
+        .with_glossary(&glossary)
+        .with_enhancer(&llm_for_templates, 3)
         .build()
         .expect("pipeline builds");
     println!(

@@ -38,7 +38,7 @@ fn main() {
     //    data is touched (Sec. 4.2).
     let glossary = simple_stress::glossary();
     let pipeline = ExplanationPipeline::builder(parsed.program.clone(), "default")
-        .glossary(&glossary)
+        .with_glossary(&glossary)
         .build()
         .expect("pipeline builds");
     println!("\nGenerated templates: {}", pipeline.stats().paths);

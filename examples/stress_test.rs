@@ -12,7 +12,7 @@ use ekg_explain::prelude::*;
 fn main() {
     let program = stress::program();
     let pipeline = ExplanationPipeline::builder(program.clone(), stress::GOAL)
-        .glossary(&stress::glossary())
+        .with_glossary(&stress::glossary())
         .build()
         .expect("pipeline builds");
 

@@ -13,7 +13,7 @@ use ekg_explain::prelude::*;
 
 fn main() {
     let mut pipeline = ExplanationPipeline::builder(simple_stress::program(), simple_stress::GOAL)
-        .glossary(&simple_stress::glossary())
+        .with_glossary(&simple_stress::glossary())
         .build()
         .expect("pipeline builds");
 

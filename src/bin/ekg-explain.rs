@@ -215,7 +215,7 @@ fn cmd_templates(
     deterministic: bool,
 ) -> Result<(), String> {
     let pipeline = ExplanationPipeline::builder(parsed.program.clone(), goal)
-        .glossary(glossary)
+        .with_glossary(glossary)
         .build()
         .map_err(|e| e.to_string())?;
     let flavor = if deterministic {
@@ -242,7 +242,7 @@ fn cmd_explain(
 ) -> Result<(), String> {
     let fact = parse_fact(fact_text)?;
     let pipeline = ExplanationPipeline::builder(parsed.program.clone(), goal)
-        .glossary(glossary)
+        .with_glossary(glossary)
         .build()
         .map_err(|e| e.to_string())?;
     let db: Database = parsed.facts.clone().into_iter().collect();
@@ -275,7 +275,7 @@ fn cmd_report(
     deterministic: bool,
 ) -> Result<(), String> {
     let pipeline = ExplanationPipeline::builder(parsed.program.clone(), goal)
-        .glossary(glossary)
+        .with_glossary(glossary)
         .build()
         .map_err(|e| e.to_string())?;
     let db: Database = parsed.facts.clone().into_iter().collect();

@@ -44,7 +44,7 @@
 //! // 2. Build the explanation pipeline once per application.
 //! let glossary = ekg_explain::finkg::apps::simple_stress::glossary();
 //! let pipeline = ExplanationPipeline::builder(parsed.program.clone(), "default")
-//!     .glossary(&glossary)
+//!     .with_glossary(&glossary)
 //!     .build()
 //!     .unwrap();
 //!
@@ -62,6 +62,7 @@
 pub use explain;
 pub use finkg;
 pub use llm_sim;
+pub use serve;
 pub use stats;
 pub use studies;
 pub use vadalog;
@@ -69,10 +70,11 @@ pub use vadalog;
 /// One-line import of the most common items across all crates.
 pub mod prelude {
     pub use explain::{
-        analyze, DomainGlossary, ExplainError, Explanation, ExplanationPipeline, GlossaryEntry,
-        PipelineBuilder, PipelineReport, ReasoningPath, StructuralAnalysis, Template,
-        TemplateFlavor, TemplateStyle, ValueFormat,
+        analyze, ArtifactCache, DomainGlossary, ExplainError, Explainer, Explanation,
+        ExplanationPipeline, GlossaryEntry, PipelineBuilder, PipelineReport, ProgramArtifacts,
+        ReasoningPath, StructuralAnalysis, Template, TemplateFlavor, TemplateStyle, ValueFormat,
     };
     pub use llm_sim::{Prompt, SimulatedLlm};
+    pub use serve::{ExplainService, HttpServer, ServeConfig, ServeError, SnapshotHandle};
     pub use vadalog::prelude::*;
 }

@@ -14,7 +14,7 @@ fn explain_all(
     db: Database,
 ) -> Vec<Explanation> {
     let pipeline = ExplanationPipeline::builder(program.clone(), goal)
-        .glossary(glossary)
+        .with_glossary(glossary)
         .build()
         .expect("pipeline");
     let outcome = ChaseSession::new(&program).run(db).expect("chase");
@@ -110,7 +110,7 @@ fn explanations_contain_every_proof_constant() {
         let program = control::program();
         let glossary = control::glossary();
         let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
-            .glossary(&glossary)
+            .with_glossary(&glossary)
             .build()
             .expect("pipeline");
         let outcome = ChaseSession::new(&program).run(db).expect("chase");
@@ -139,7 +139,7 @@ fn deterministic_flavor_also_contains_every_constant() {
     let program = simple_stress::program();
     let glossary = simple_stress::glossary();
     let pipeline = ExplanationPipeline::builder(program.clone(), simple_stress::GOAL)
-        .glossary(&glossary)
+        .with_glossary(&glossary)
         .build()
         .expect("pipeline");
     let outcome = ChaseSession::new(&program)
@@ -163,8 +163,8 @@ fn pipeline_with_llm_enhancer_still_explains_completely() {
     let program = control::program();
     let glossary = control::glossary();
     let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
-        .glossary(&glossary)
-        .enhancer(&llm, 4)
+        .with_glossary(&glossary)
+        .with_enhancer(&llm, 4)
         .build()
         .expect("pipeline");
     let bundle = finkg::control_bundle(6, 2, 8);
@@ -186,7 +186,7 @@ fn pipeline_with_llm_enhancer_still_explains_completely() {
 fn explanation_queries_on_inputs_are_rejected() {
     let program = control::program();
     let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
-        .glossary(&control::glossary())
+        .with_glossary(&control::glossary())
         .build()
         .expect("pipeline");
     let outcome = ChaseSession::new(&program)

@@ -42,7 +42,7 @@ fn example_4_7_tau_and_covering() {
 fn example_4_8_explanation_mentions_every_amount() {
     let program = simple_stress::program();
     let pipeline = ExplanationPipeline::builder(program.clone(), simple_stress::GOAL)
-        .glossary(&simple_stress::glossary())
+        .with_glossary(&simple_stress::glossary())
         .build()
         .unwrap();
     let outcome = ChaseSession::new(&program)
@@ -182,7 +182,7 @@ fn figure_18_shape_latency_grows_with_steps() {
 fn section_5_narrative_default_f_explanation() {
     let program = stress::program();
     let pipeline = ExplanationPipeline::builder(program.clone(), stress::GOAL)
-        .glossary(&stress::glossary())
+        .with_glossary(&stress::glossary())
         .build()
         .unwrap();
     let outcome = ChaseSession::new(&program)

@@ -144,7 +144,7 @@ proptest! {
         let program = control::program();
         let glossary = control::glossary();
         let pipeline = ExplanationPipeline::builder(program.clone(), control::GOAL)
-        .glossary(&glossary)
+        .with_glossary(&glossary)
         .build().unwrap();
         let outcome = ChaseSession::new(&program).run(build_db(&edges)).unwrap();
         for &id in outcome.database.facts_of(Symbol::new("control")) {
