@@ -2,7 +2,7 @@
 //!
 //! The error surface mirrors the engine's governed design: resource trips
 //! (a pipeline deadline or cancellation, see
-//! [`PipelineBuilder::guard`](crate::pipeline::PipelineBuilder::guard))
+//! [`PipelineBuilder::with_guard`](crate::pipeline::PipelineBuilder::with_guard))
 //! surface as [`ExplainError::ResourceExhausted`] with the same
 //! [`Budget`] vocabulary as
 //! [`ChaseError::ResourceExhausted`](vadalog::ChaseError).

@@ -173,36 +173,6 @@ impl<'a> PipelineBuilder<'a> {
         self
     }
 
-    /// Attaches the domain glossary used for verbalization.
-    #[deprecated(since = "0.1.0", note = "renamed to `with_glossary`")]
-    pub fn glossary(self, glossary: &'a DomainGlossary) -> PipelineBuilder<'a> {
-        self.with_glossary(glossary)
-    }
-
-    /// Passes each fluent template through `enhancer`.
-    #[deprecated(since = "0.1.0", note = "renamed to `with_enhancer`")]
-    pub fn enhancer(self, enhancer: &'a dyn Enhancer, max_retries: u32) -> PipelineBuilder<'a> {
-        self.with_enhancer(enhancer, max_retries)
-    }
-
-    /// Overrides the derivation-selection policy.
-    #[deprecated(since = "0.1.0", note = "renamed to `with_policy`")]
-    pub fn policy(self, policy: DerivationPolicy) -> PipelineBuilder<'a> {
-        self.with_policy(policy)
-    }
-
-    /// Governs the construction with a deadline and/or cancellation token.
-    #[deprecated(since = "0.1.0", note = "renamed to `with_guard`")]
-    pub fn guard(self, guard: RunGuard) -> PipelineBuilder<'a> {
-        self.with_guard(guard)
-    }
-
-    /// Overrides the structural-analysis configuration.
-    #[deprecated(since = "0.1.0", note = "renamed to `with_analysis_config`")]
-    pub fn analysis_config(self, config: AnalysisConfig) -> PipelineBuilder<'a> {
-        self.with_analysis_config(config)
-    }
-
     /// Builds the pipeline: structural analysis, template generation,
     /// optional enhancement, per-rule fallbacks.
     ///

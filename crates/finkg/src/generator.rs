@@ -212,6 +212,18 @@ pub fn random_ownership(n: usize, max_out: usize, seed: u64) -> Database {
     db
 }
 
+/// A seeded random sanctions-screening workload: the
+/// [`random_ownership`] network plus a `sanctioned` designation on every
+/// `every`-th company, for the negation-heavy sanctions application.
+pub fn random_sanctions(n: usize, max_out: usize, every: usize, seed: u64) -> Database {
+    assert!(every >= 1, "a sanctions workload needs a designation rate");
+    let mut db = random_ownership(n, max_out, seed);
+    for i in (0..n).step_by(every) {
+        db.add("sanctioned", &[format!("C{i}").as_str().into()]);
+    }
+    db
+}
+
 /// A seeded random debt network with `shocks` initial shocks, for chase
 /// throughput and robustness tests.
 pub fn random_debt_network(n: usize, max_out: usize, shocks: usize, seed: u64) -> Database {

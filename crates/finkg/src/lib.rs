@@ -10,6 +10,11 @@
 //!   study;
 //! * [`apps::golden_power`] — golden-power screening of foreign stakes in
 //!   strategic assets, layered on the control substrate;
+//! * [`apps::joint_exposure`] — triangular cross-holding (reinforced
+//!   stake) screening; a closing-edge join, aggregate-free and so
+//!   incrementally maintainable;
+//! * [`apps::sanctions`] — sanctions screening over exposure chains with
+//!   stratified negation; aggregate-free, so incrementally maintainable;
 //! * [`scenario`] — the representative synthetic cluster of Fig. 12/13;
 //! * [`generator`] — seeded workload generators with exact-proof-length
 //!   bundles (real supervisory data is confidential; like the paper, all
@@ -26,6 +31,8 @@ pub mod apps {
     pub mod close_links;
     pub mod control;
     pub mod golden_power;
+    pub mod joint_exposure;
+    pub mod sanctions;
     pub mod simple_stress;
     pub mod stress;
 }
@@ -36,6 +43,6 @@ pub mod viz;
 
 pub use generator::{
     control_bundle, control_bundle_aggregated, proofs_with_steps, random_debt_network,
-    random_ownership, stress_bundle, Bundle,
+    random_ownership, random_sanctions, stress_bundle, Bundle,
 };
 pub use viz::{inject_error, ErrorArchetype, VizEdge, VizGraph, VizNode, ALL_ARCHETYPES};

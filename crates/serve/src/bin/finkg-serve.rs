@@ -6,7 +6,7 @@
 //! then serving explanation queries over HTTP until killed:
 //!
 //! ```text
-//! finkg-serve [--app control|stress|simple-stress|close-links|golden-power]
+//! finkg-serve [--app control|stress|simple-stress|close-links|sanctions|joint-exposure|golden-power]
 //!             [--addr 127.0.0.1:7878] [--scale N] [--seed S] [--workers W]
 //! ```
 //!
@@ -36,7 +36,9 @@ struct App {
 }
 
 fn apps() -> Vec<App> {
-    use finkg::apps::{close_links, control, golden_power, simple_stress, stress};
+    use finkg::apps::{
+        close_links, control, golden_power, joint_exposure, sanctions, simple_stress, stress,
+    };
     vec![
         App {
             name: "control",
@@ -76,6 +78,26 @@ fn apps() -> Vec<App> {
             database: Box::new(|scale, seed| match scale {
                 Some(n) => finkg::generator::random_ownership(n, 3, seed),
                 None => finkg::scenario::database(),
+            }),
+        },
+        App {
+            name: "sanctions",
+            program: sanctions::program(),
+            goal: sanctions::GOAL,
+            glossary: sanctions::glossary(),
+            database: Box::new(|scale, seed| {
+                let n = scale.unwrap_or(40);
+                finkg::generator::random_sanctions(n, 3, 7, seed)
+            }),
+        },
+        App {
+            name: "joint-exposure",
+            program: joint_exposure::program(),
+            goal: joint_exposure::GOAL,
+            glossary: joint_exposure::glossary(),
+            database: Box::new(|scale, seed| {
+                let n = scale.unwrap_or(40);
+                finkg::generator::random_ownership(n, 6, seed)
             }),
         },
         App {
@@ -132,7 +154,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "finkg-serve [--app control|stress|simple-stress|close-links|golden-power]\n            [--addr HOST:PORT] [--scale N] [--seed S] [--workers W]"
+                    "finkg-serve [--app control|stress|simple-stress|close-links|sanctions|joint-exposure|golden-power]\n            [--addr HOST:PORT] [--scale N] [--seed S] [--workers W]"
                 );
                 std::process::exit(0);
             }

@@ -12,7 +12,7 @@
 //! |-----------------|----------------------------------------------------|
 //! | `GET /health`   | liveness + current snapshot version                |
 //! | `GET /metrics`  | Prometheus text of the process metrics registry    |
-//! | `GET /snapshot` | current snapshot version and database size         |
+//! | `GET /snapshot` | current snapshot version, update kind (`full`/`delta`), delta fact counts, database size |
 //! | `POST /explain` | body = goal fact literals (`control("B","D").`), one per line; answers each in order |
 
 use crate::service::{ExplainService, ServeError};
@@ -170,6 +170,9 @@ fn handle_connection(mut conn: TcpStream, service: &ExplainService) -> std::io::
             let mut w = JsonWriter::new();
             w.open_object();
             w.field_u64("version", snapshot.version());
+            w.field_str("update_kind", snapshot.update_kind().as_str());
+            w.field_u64("facts_added", snapshot.facts_added());
+            w.field_u64("facts_retracted", snapshot.facts_retracted());
             w.field_u64("facts", snapshot.outcome().database.len() as u64);
             w.field_u64("derived_facts", snapshot.outcome().derived_facts as u64);
             w.field_u64("rounds", snapshot.outcome().rounds as u64);

@@ -7,8 +7,10 @@
 //! queries from compliance staff and auditors stream in continuously.
 //! This crate is that deployment shape:
 //!
-//! * [`SnapshotHandle`] — a versioned, atomically swappable slot holding
-//!   the current immutable chase outcome. Readers never block writers
+//! * [`SnapshotHandle`] — a versioned slot holding the current
+//!   immutable chase outcome, updated atomically by publishing a
+//!   [`SnapshotUpdate`] (a full re-chase or an incrementally maintained
+//!   delta, each carrying its metadata). Readers never block writers
 //!   and vice versa; in-flight queries finish on the snapshot they
 //!   captured.
 //! * [`ExplainService`] — a bounded worker pool answering batched
@@ -29,4 +31,4 @@ pub mod snapshot;
 
 pub use http::HttpServer;
 pub use service::{ExplainService, ServeConfig, ServeError};
-pub use snapshot::{Snapshot, SnapshotHandle};
+pub use snapshot::{Snapshot, SnapshotHandle, SnapshotUpdate, UpdateKind};

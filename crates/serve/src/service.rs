@@ -8,7 +8,7 @@
 //! back by index. Answers are therefore *byte-identical* at any worker
 //! count — the serving-side mirror of the engine's determinism contract —
 //! and a batch never observes two different snapshot versions even while
-//! a publisher swaps underneath it.
+//! a publisher replaces it underneath.
 
 use crate::snapshot::{Snapshot, SnapshotHandle};
 use explain::pipeline::{Explanation, TemplateFlavor};
@@ -139,9 +139,10 @@ struct Job {
 ///
 /// Construction spawns the worker pool; dropping the service closes the
 /// queue and joins every worker. The service holds a [`SnapshotHandle`]
-/// clone — publishers swap new outcomes in through their own clone, and
-/// batches submitted after a swap observe the new version while batches
-/// in flight finish on the version they captured.
+/// clone — publishers push new outcomes in through their own clone with
+/// [`SnapshotHandle::publish`], and batches submitted after a publish
+/// observe the new version while batches in flight finish on the
+/// version they captured.
 pub struct ExplainService {
     artifacts: Arc<ProgramArtifacts>,
     handle: SnapshotHandle,
@@ -198,7 +199,7 @@ impl ExplainService {
     /// Answers a batch of explanation goals concurrently, order-preserving.
     ///
     /// The whole batch is answered against the *one* snapshot current at
-    /// entry: a concurrent [`SnapshotHandle::swap`] never splits a batch
+    /// entry: a concurrent [`SnapshotHandle::publish`] never splits a batch
     /// across versions. Returns one result per goal, in goal order,
     /// together with the snapshot version used.
     pub fn explain_batch(&self, goals: &[Fact]) -> (u64, Vec<Result<Explanation, ServeError>>) {

@@ -1,8 +1,9 @@
 //! The serving-layer contracts: byte-identical answers at any worker
-//! count, snapshot swaps without torn reads, and a live HTTP smoke test.
+//! count, snapshot publishes without torn reads, and a live HTTP smoke
+//! test.
 
 use explain::{Explainer, ProgramArtifacts};
-use serve::{ExplainService, HttpServer, ServeConfig, SnapshotHandle};
+use serve::{ExplainService, HttpServer, ServeConfig, SnapshotHandle, SnapshotUpdate};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -70,7 +71,7 @@ fn concurrent_answers_are_byte_identical_to_sequential() {
 }
 
 #[test]
-fn snapshot_swaps_under_load_never_tear_a_batch() {
+fn snapshot_publishes_under_load_never_tear_a_batch() {
     let artifacts = control_artifacts();
     // Two distinct graph versions; goals present (derived) in both.
     let outcome_a = Arc::new(control_outcome(30, 11));
@@ -111,7 +112,7 @@ fn snapshot_swaps_under_load_never_tear_a_batch() {
             let mut next_is_b = true;
             while !stop.load(Ordering::Relaxed) {
                 let outcome = if next_is_b { &b } else { &a };
-                handle.swap(Arc::clone(outcome));
+                handle.publish(SnapshotUpdate::full(Arc::clone(outcome)));
                 next_is_b = !next_is_b;
             }
         })
@@ -185,6 +186,7 @@ fn http_endpoints_answer_over_a_live_socket() {
     let (status, body) = http(addr, "GET /snapshot HTTP/1.1\r\nHost: x\r\n\r\n");
     assert!(status.contains("200"), "{status}");
     assert!(body.contains("\"version\":1"), "{body}");
+    assert!(body.contains("\"update_kind\":\"full\""), "{body}");
 
     // The Sec. 5 scenario: B controls D through E.
     let goal = "control(\"B\", \"D\").";

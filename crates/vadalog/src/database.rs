@@ -122,6 +122,68 @@ impl Database {
         self.insert(Fact::new(predicate, values.to_vec())).0
     }
 
+    /// Rebuilds the store under a fact-id permutation: the fact at id
+    /// `i` moves to `map[i]`, ids mapped to the `FactId(u32::MAX)`
+    /// sentinel are dropped (dead slots), and `live` is the number of
+    /// mapped ids. The fact vector is scattered by moves and the dedup
+    /// map's ids are rewritten in place — no fact is cloned or re-hashed
+    /// — so this is how the incremental-maintenance engine turns its
+    /// interleaved working store into the canonical replayed one.
+    /// Composite indexes, activity marks and index accounting start
+    /// fresh (the permuted store is a new insertion sequence); the byte
+    /// estimate is recomputed with the per-insert formula.
+    ///
+    /// Every live (dedup-claimed) fact must be mapped, and `map` must be
+    /// injective over live ids with targets covering `0..live` — the
+    /// scatter panics on uncovered slots.
+    pub(crate) fn permuted(self, map: &[FactId], live: usize) -> Database {
+        let mut scattered: Vec<Option<Fact>> = (0..live).map(|_| None).collect();
+        for (wid, fact) in self.facts.into_iter().enumerate() {
+            let nid = map[wid];
+            if nid.0 != u32::MAX {
+                let slot = &mut scattered[nid.0 as usize];
+                debug_assert!(slot.is_none(), "fact-id permutation must be injective");
+                *slot = Some(fact);
+            }
+        }
+        let facts: Vec<Fact> = scattered
+            .into_iter()
+            .map(|f| f.expect("fact-id permutation covers every live slot"))
+            .collect();
+        let mut dedup = self.dedup;
+        for id in dedup.values_mut() {
+            *id = map[id.0 as usize];
+            debug_assert!(id.0 != u32::MAX, "every live fact is mapped");
+        }
+        let mut by_predicate = self.by_predicate;
+        for ids in by_predicate.values_mut() {
+            ids.retain(|id| map[id.0 as usize].0 != u32::MAX);
+            for id in ids.iter_mut() {
+                *id = map[id.0 as usize];
+            }
+            // Postings are in insertion (= ascending id) order.
+            ids.sort_unstable();
+        }
+        let approx_bytes = facts
+            .iter()
+            .map(|f| {
+                let value_bytes = f.values.len() * std::mem::size_of::<Value>();
+                2 * (std::mem::size_of::<Fact>() + value_bytes) + std::mem::size_of::<FactId>() * 2
+            })
+            .sum();
+        Database {
+            facts,
+            dedup,
+            by_predicate,
+            indexes: HashMap::new(),
+            inactive: std::collections::HashSet::new(),
+            inactive_by_pred: HashMap::new(),
+            approx_bytes,
+            index_byte_credit: 0,
+            postings_built: 0,
+        }
+    }
+
     /// The fact with the given id.
     pub fn fact(&self, id: FactId) -> &Fact {
         &self.facts[id.0 as usize]
@@ -289,6 +351,50 @@ impl Database {
             let pred = self.facts[id.0 as usize].predicate;
             *self.inactive_by_pred.entry(pred).or_default() += 1;
         }
+    }
+
+    /// Retracts a fact: removes it from matching *and* from identity.
+    ///
+    /// Unlike [`deactivate`](Database::deactivate) (which supersedes a
+    /// fact but keeps its value claimed in the store), retraction frees
+    /// the fact's value — a later [`insert`](Database::insert) of the
+    /// same value allocates a *fresh* id. The slot itself stays (ids of
+    /// other facts remain stable, provenance referring to the retracted
+    /// id stays resolvable), but the fact is dropped from the dedup map
+    /// and its posting-list entries are removed from every composite
+    /// index of its predicate — postings are maintained in place, never
+    /// rebuilt. Used by the incremental-maintenance engine
+    /// ([`ChaseSession::apply_delta`](crate::engine::ChaseSession::apply_delta)).
+    pub fn retract(&mut self, id: FactId) {
+        let fact = &self.facts[id.0 as usize];
+        let pred = fact.predicate;
+        // Only unclaim the value if this id still owns it: a stale slot
+        // whose value was re-inserted under a fresh id must not clobber
+        // the fresh claim.
+        if self.dedup.get(fact) == Some(&id) {
+            self.dedup.remove(fact);
+        }
+        let mut freed = 0usize;
+        if let Some(indexes) = self.indexes.get_mut(&pred) {
+            let fact = &self.facts[id.0 as usize];
+            for index in indexes.iter_mut() {
+                let Some(key) = index.key_of(fact) else {
+                    continue;
+                };
+                if let Some(list) = index.map.get_mut(&key) {
+                    let before = list.len();
+                    list.retain(|&fid| fid != id);
+                    freed += before - list.len();
+                    if list.is_empty() {
+                        index.map.remove(&key);
+                    }
+                }
+            }
+        }
+        self.approx_bytes = self
+            .approx_bytes
+            .saturating_sub(freed * std::mem::size_of::<FactId>());
+        self.deactivate(id);
     }
 
     /// True iff `id` participates in matching.
@@ -703,5 +809,45 @@ mod tests {
         .into_iter()
         .collect();
         assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn retract_maintains_postings_in_place() {
+        let mut db = Database::new();
+        let a = db.add("own", &["A".into(), "B".into()]);
+        let b = db.add("own", &["A".into(), "C".into()]);
+        db.ensure_composite_index(Symbol::new("own"), &[0]);
+        let built = db.postings_built();
+        db.retract(a);
+        // The posting list lost exactly the retracted id, without a
+        // rebuild (the monotone built-counter is unchanged).
+        let hits = db
+            .probe_composite(Symbol::new("own"), &[0], &["A".into()])
+            .unwrap();
+        assert_eq!(hits, &[b]);
+        assert_eq!(db.postings_built(), built);
+        assert!(!db.is_active(a));
+        assert!(db.is_active(b));
+        assert_eq!(db.active_count(Symbol::new("own")), 1);
+    }
+
+    #[test]
+    fn retract_frees_the_value_for_fresh_reinsertion() {
+        let mut db = Database::new();
+        let fact = Fact::new("p", vec![Value::Int(7)]);
+        let a = db.add("p", &[Value::Int(7)]);
+        db.retract(a);
+        assert_eq!(db.lookup(&fact), None);
+        assert!(db
+            .find_matching(Symbol::new("p"), &[Some(Value::Int(7))])
+            .is_none());
+        let (b, fresh) = db.insert(fact.clone());
+        assert!(fresh, "a retracted value re-inserts as a fresh fact");
+        assert_ne!(a, b);
+        assert_eq!(db.lookup(&fact), Some(b));
+        assert!(db.is_active(b));
+        // Retracting the stale slot again must not unclaim the fresh id.
+        db.retract(a);
+        assert_eq!(db.lookup(&fact), Some(b));
     }
 }

@@ -377,6 +377,16 @@ pub fn match_body_incremental_metered(
 /// [`match_body_incremental_metered`] against a precomputed [`JoinPlan`]
 /// (the engine's commit-phase top-up path, which reuses the per-rule
 /// plans computed once per program).
+///
+/// Each pivot's expansion evaluates the body with the *pivot atom first*:
+/// the watermark restriction then lands at join depth 0, so the work of a
+/// pass is proportional to the delta's extensions rather than to the full
+/// join prefix of the atoms before the pivot. The remaining atoms keep
+/// their body order, with probe signatures recomputed for the permuted
+/// order (and their composite indexes built on demand). Premise vectors
+/// are restored to body-atom order before dedup, so the returned match
+/// set — and everything downstream, which sorts on premises — is
+/// identical to the unpermuted expansion.
 pub fn match_body_incremental_planned(
     db: &mut Database,
     rule: &Rule,
@@ -387,13 +397,67 @@ pub fn match_body_incremental_planned(
     for (pred, sig) in plan.required_composite_indexes(rule) {
         db.ensure_composite_index(pred, &sig);
     }
-    let n_atoms = rule.positive_body().count();
+    let atoms: Vec<&Atom> = rule.positive_body().collect();
+    let n_atoms = atoms.len();
+    // Per pivot: the permuted evaluation order and its probe signatures
+    // (indexed by order position). Indexes are built before any join runs
+    // so the probe/scan split below is a property of the rule alone.
+    let mut passes: Vec<(Vec<usize>, Vec<Vec<usize>>)> = Vec::with_capacity(n_atoms);
+    for pivot in 0..n_atoms {
+        let order: Vec<usize> = std::iter::once(pivot)
+            .chain((0..n_atoms).filter(|&i| i != pivot))
+            .collect();
+        let mut bound: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
+        let mut probes: Vec<Vec<usize>> = Vec::with_capacity(n_atoms);
+        for &i in &order {
+            let sig = bound_positions(atoms[i], &bound);
+            if !sig.is_empty() {
+                db.ensure_composite_index(atoms[i].predicate, &sig);
+            }
+            probes.push(sig);
+            for v in atoms[i].variables() {
+                bound.insert(v);
+            }
+        }
+        passes.push((order, probes));
+    }
     let mut out = Vec::new();
     let mut seen_premises: std::collections::HashSet<Vec<FactId>> =
         std::collections::HashSet::new();
-    for pivot in 0..n_atoms {
-        let chunk = MatchChunk::delta(pivot, watermark);
-        for m in match_chunk_planned(db, rule, plan, &chunk, metrics)? {
+    for (order, probes) in &passes {
+        let plans: Vec<AtomPlan> = order
+            .iter()
+            .zip(probes)
+            .enumerate()
+            .map(|(k, (&i, sig))| AtomPlan {
+                atom: atoms[i],
+                probe: sig.as_slice(),
+                min_fact: if k == 0 { watermark } else { 0 },
+            })
+            .collect();
+        let mut bindings = Bindings::new();
+        let mut premises = Vec::with_capacity(n_atoms);
+        let mut found = Vec::new();
+        join(
+            db,
+            rule,
+            &plans,
+            0,
+            true,
+            None,
+            &mut bindings,
+            &mut premises,
+            &mut found,
+            metrics,
+        )?;
+        for mut m in found {
+            // `join` records premises in evaluation order; restore body
+            // order so dedup and provenance see the canonical vector.
+            let mut body_order = vec![FactId(0); n_atoms];
+            for (k, &i) in order.iter().enumerate() {
+                body_order[i] = m.premises[k];
+            }
+            m.premises = body_order;
             if seen_premises.insert(m.premises.clone()) {
                 out.push(m);
             }

@@ -35,8 +35,10 @@
 //! scheduling. `threads == 1` executes the same phases inline without
 //! spawning.
 
+mod delta;
 mod matcher;
 
+pub use delta::{Delta, DeltaOutcome, DeltaStrategy};
 pub use matcher::{
     match_body, match_body_incremental, match_body_incremental_metered,
     match_body_incremental_planned, match_body_planned, match_body_with, match_body_with_metered,
@@ -267,7 +269,7 @@ impl ChaseConfig {
 /// [`report`](ChaseOutcome::report) accumulated up to the trip point.
 /// [`ChaseSession::resume`] continues it to the very state an
 /// uninterrupted run would have produced, bit for bit.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ChaseOutcome {
     /// The database closed under the program (or its deterministic prefix,
     /// for a partial outcome).
@@ -394,6 +396,9 @@ enum CommitControl {
 pub struct ChaseSession<'p> {
     program: &'p Program,
     config: ChaseConfig,
+    /// The live outcome maintained by [`ChaseSession::apply_delta`]
+    /// (shared with snapshot consumers; see [`ChaseSession::load`]).
+    live: Option<std::sync::Arc<ChaseOutcome>>,
 }
 
 impl<'p> ChaseSession<'p> {
@@ -402,6 +407,7 @@ impl<'p> ChaseSession<'p> {
         ChaseSession {
             program,
             config: ChaseConfig::default(),
+            live: None,
         }
     }
 
@@ -422,25 +428,6 @@ impl<'p> ChaseSession<'p> {
     pub fn with_guard(mut self, guard: RunGuard) -> ChaseSession<'p> {
         self.config.guard = guard;
         self
-    }
-
-    /// Replaces the whole configuration.
-    #[deprecated(since = "0.1.0", note = "renamed to `with_config`")]
-    pub fn config(self, config: ChaseConfig) -> ChaseSession<'p> {
-        self.with_config(config)
-    }
-
-    /// Sets the worker-thread count (`0` = available parallelism).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_threads`")]
-    pub fn threads(self, threads: usize) -> ChaseSession<'p> {
-        self.with_threads(threads)
-    }
-
-    /// Sets the run's resource governance: deadline, cancellation token
-    /// and round/fact/memory budgets.
-    #[deprecated(since = "0.1.0", note = "renamed to `with_guard`")]
-    pub fn guard(self, guard: RunGuard) -> ChaseSession<'p> {
-        self.with_guard(guard)
     }
 
     /// The session's current configuration.
@@ -523,10 +510,18 @@ impl<'p> ChaseSession<'p> {
     /// Two use cases share this entry point:
     ///
     /// * **Incremental extension** of a *completed* outcome with new
-    ///   facts. Restricted to *monotone* programs (a single stratum):
-    ///   with negation, added facts could invalidate earlier conclusions,
-    ///   which an incremental extension cannot retract — such programs
-    ///   return [`ChaseError::NonMonotoneExtension`].
+    ///   facts. Restricted to *monotone* programs (a single stratum),
+    ///   because this append-only path never revisits conclusions that
+    ///   negation would invalidate — such programs return
+    ///   [`ChaseError::NonMonotoneExtension`]. For stratified programs —
+    ///   and for **retractions**, which this path does not accept at
+    ///   all — use [`ChaseSession::apply_delta`]: it re-checks recorded
+    ///   derivations against grown negated predicates and runs DRed
+    ///   over-delete/re-derive for retracted facts, stratum by stratum,
+    ///   with the same bitwise from-scratch-equivalence contract. The
+    ///   caveats that remain over there are aggregates and existential
+    ///   invention, which fall back to a full re-chase
+    ///   ([`DeltaStrategy::FullRechase`]).
     /// * **Continuation** of a *partial* outcome (one carried by
     ///   [`ChaseError::ResourceExhausted`]). Without new facts this
     ///   replays the very evaluation the trip paused, for any program,
@@ -2481,20 +2476,6 @@ mod tests {
                 base,
                 [Fact::new("own", vec!["B".into(), "C".into(), 0.9.into()])],
             )
-            .unwrap();
-        assert_eq!(out.derived_facts, 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn renamed_builder_shims_still_work() {
-        let mut db = Database::new();
-        db.add("own", &["A".into(), "B".into(), 0.8.into()]);
-        let out = ChaseSession::new(&control_program())
-            .config(ChaseConfig::default())
-            .threads(1)
-            .guard(RunGuard::default())
-            .run(db)
             .unwrap();
         assert_eq!(out.derived_facts, 1);
     }

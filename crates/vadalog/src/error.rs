@@ -204,7 +204,62 @@ pub enum ChaseError {
         /// the failure happened while loading.
         partial: Option<Box<ChaseOutcome>>,
     },
+    /// A delta could not be applied by
+    /// [`ChaseSession::apply_delta`](crate::engine::ChaseSession::apply_delta);
+    /// the live outcome is unchanged. See [`DeltaError`].
+    Delta(DeltaError),
 }
+
+/// Why [`ChaseSession::apply_delta`](crate::engine::ChaseSession::apply_delta)
+/// rejected a delta. The session's live outcome is never modified by a
+/// rejected delta.
+#[non_exhaustive]
+#[derive(Clone, PartialEq, Debug)]
+pub enum DeltaError {
+    /// No completed outcome is loaded into the session (see
+    /// [`ChaseSession::load`](crate::engine::ChaseSession::load)).
+    NoLiveOutcome,
+    /// The loaded outcome is the partial state of an interrupted run;
+    /// continue it with
+    /// [`ChaseSession::resume`](crate::engine::ChaseSession::resume)
+    /// before applying deltas.
+    PartialOutcome,
+    /// A retraction names a fact not present in the live store.
+    UnknownRetraction(String),
+    /// A retraction names a fact that was derived, not asserted: only
+    /// extensional (EDB) facts can be retracted.
+    NonExtensionalRetraction(String),
+    /// An added fact contains a labelled null; nulls are invented by the
+    /// engine and cannot be asserted as EDB.
+    NullInAddition(String),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::NoLiveOutcome => {
+                write!(f, "no live outcome loaded; call ChaseSession::load first")
+            }
+            DeltaError::PartialOutcome => write!(
+                f,
+                "the live outcome is partial; resume it to fixpoint before applying deltas"
+            ),
+            DeltaError::UnknownRetraction(fact) => {
+                write!(f, "cannot retract `{}`: not in the live store", fact)
+            }
+            DeltaError::NonExtensionalRetraction(fact) => {
+                write!(f, "cannot retract `{}`: it is derived, not asserted", fact)
+            }
+            DeltaError::NullInAddition(fact) => write!(
+                f,
+                "cannot assert `{}`: labelled nulls are engine-invented",
+                fact
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
 
 impl fmt::Display for ChaseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -250,6 +305,7 @@ impl fmt::Display for ChaseError {
                     write!(f, "checkpoint load failed: {}", source)
                 }
             }
+            ChaseError::Delta(source) => write!(f, "delta rejected: {}", source),
         }
     }
 }
@@ -259,6 +315,7 @@ impl std::error::Error for ChaseError {
         match self {
             ChaseError::Eval { source, .. } => Some(source),
             ChaseError::Checkpoint { source, .. } => Some(source),
+            ChaseError::Delta(source) => Some(source),
             _ => None,
         }
     }

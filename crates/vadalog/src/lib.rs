@@ -14,7 +14,11 @@
 //! * a text [`parser`] for a Vadalog-like surface syntax;
 //! * a [`Database`] fact store with lazy positional indexes;
 //! * the [`engine`]: a restricted chase to fixpoint recording every
-//!   derivation in a [`provenance::ChaseGraph`];
+//!   derivation in a [`provenance::ChaseGraph`], plus incremental
+//!   fixpoint maintenance over a live outcome
+//!   ([`ChaseSession::apply_delta`]: semi-naive propagation for added
+//!   facts, DRed over-delete/re-derive for retractions, bitwise
+//!   identical to a from-scratch chase on the updated EDB);
 //! * the [`depgraph::DependencyGraph`] D(Σ) used by structural analysis;
 //! * [`telemetry`]: resource governance ([`RunGuard`]: deadlines,
 //!   cooperative cancellation, fact/round/memory budgets) and the per-run
@@ -85,8 +89,10 @@ pub mod prelude {
     pub use crate::checkpoint::{AutosavePolicy, CheckpointError};
     pub use crate::database::{Database, FactId};
     pub use crate::depgraph::{DepEdge, DependencyGraph};
-    pub use crate::engine::{ChaseConfig, ChaseOutcome, ChaseSession};
-    pub use crate::error::{ChaseError, EvalError, ParseError, ProgramError};
+    pub use crate::engine::{
+        ChaseConfig, ChaseOutcome, ChaseSession, Delta, DeltaOutcome, DeltaStrategy,
+    };
+    pub use crate::error::{ChaseError, DeltaError, EvalError, ParseError, ProgramError};
     pub use crate::expr::{ArithOp, Assignment, Bindings, CmpOp, Condition, Expr};
     pub use crate::obs::metrics::MetricsRegistry;
     pub use crate::obs::span::{RingCollector, SpanRecord, SpanSink};

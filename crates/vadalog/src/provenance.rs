@@ -92,6 +92,35 @@ impl ChaseGraph {
         self.extensional.insert(fact);
     }
 
+    /// Withdraws a fact's extensional status; returns whether it was
+    /// marked. Used by delta retraction: a retracted EDB fact loses its
+    /// axiomatic support, and survives only if some derivation still
+    /// concludes it.
+    pub fn unmark_extensional(&mut self, fact: FactId) -> bool {
+        self.extensional.remove(&fact)
+    }
+
+    /// Builds the downstream-derivation index: for every fact id below
+    /// `num_facts`, the derivations that *use* it as a premise, in
+    /// recording order. This is the inverse of the premise links
+    /// explanations walk, and is what DRed-style retraction traverses to
+    /// find the over-deletion cone. Dense by construction — the graph's
+    /// premise ids are store ids — so a plain vector beats hashing.
+    pub fn by_premise(&self, num_facts: usize) -> Vec<Vec<DerivationId>> {
+        let mut index: Vec<Vec<DerivationId>> = vec![Vec::new(); num_facts];
+        for (i, der) in self.derivations.iter().enumerate() {
+            let id = DerivationId(i as u32);
+            for &premise in &der.premises {
+                let slot = &mut index[premise.0 as usize];
+                // Premise vectors may repeat a fact; index each use once.
+                if slot.last() != Some(&id) {
+                    slot.push(id);
+                }
+            }
+        }
+        index
+    }
+
     /// Records a derivation.
     pub fn record(&mut self, derivation: Derivation) -> DerivationId {
         let id = DerivationId(u32::try_from(self.derivations.len()).expect("derivation overflow"));
@@ -448,5 +477,27 @@ mod tests {
         assert!(proof.step.is_none());
         assert!(g.is_extensional(FactId(3)));
         assert!(!g.is_derived(FactId(3)));
+    }
+
+    #[test]
+    fn premise_index_inverts_the_premise_links() {
+        let mut g = ChaseGraph::new();
+        g.mark_extensional(FactId(0));
+        g.mark_extensional(FactId(1));
+        let d0 = g.record(der(0, &[0, 1], 2, 1, 2));
+        let d1 = g.record(der(1, &[0, 0], 3, 1, 1)); // repeated premise
+        let index = g.by_premise(4);
+        assert_eq!(index[0], vec![d0, d1]);
+        assert_eq!(index[1], vec![d0]);
+        assert!(index[2].is_empty());
+    }
+
+    #[test]
+    fn unmark_extensional_withdraws_the_mark() {
+        let mut g = ChaseGraph::new();
+        g.mark_extensional(FactId(0));
+        assert!(g.unmark_extensional(FactId(0)));
+        assert!(!g.is_extensional(FactId(0)));
+        assert!(!g.unmark_extensional(FactId(0)));
     }
 }
