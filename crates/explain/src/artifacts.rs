@@ -133,11 +133,32 @@ impl ProgramArtifacts {
         flavor: TemplateFlavor,
         policy: DerivationPolicy,
     ) -> Result<Explanation, ExplainError> {
+        self.explain_id_governed(outcome, id, flavor, policy, &RunGuard::default())
+    }
+
+    /// [`explain_id`](Self::explain_id) under a per-query [`RunGuard`]:
+    /// the guard's deadline and cancellation token are checked at every
+    /// recursion step, so a slow or stuck query returns
+    /// [`ExplainError::ResourceExhausted`] instead of running away. The
+    /// serving layer uses this to enforce per-request deadlines — a
+    /// goal whose remaining budget is already spent trips on entry.
+    pub fn explain_id_governed(
+        &self,
+        outcome: &ChaseOutcome,
+        id: FactId,
+        flavor: TemplateFlavor,
+        policy: DerivationPolicy,
+        guard: &RunGuard,
+    ) -> Result<Explanation, ExplainError> {
         if outcome.database.len() <= id.0 as usize {
             return Err(ExplainError::UnknownFact(id));
         }
         if !outcome.graph.is_derived(id) {
             return Err(ExplainError::ExtensionalFact(id));
+        }
+        let governor = (!guard.is_unlimited()).then(|| (guard, Instant::now()));
+        if let Some((guard, start)) = governor {
+            artifacts_trip(guard, start)?;
         }
 
         let mut visited = std::collections::HashSet::new();
@@ -148,6 +169,7 @@ impl ProgramArtifacts {
             id,
             flavor,
             policy,
+            governor,
             &mut visited,
             &mut texts,
             &mut paths,
@@ -179,10 +201,24 @@ impl ProgramArtifacts {
         flavor: TemplateFlavor,
         policy: DerivationPolicy,
     ) -> Result<Explanation, ExplainError> {
+        self.explain_fact_governed(outcome, fact, flavor, policy, &RunGuard::default())
+    }
+
+    /// [`explain_fact`](Self::explain_fact) under a per-query
+    /// [`RunGuard`] (see
+    /// [`explain_id_governed`](Self::explain_id_governed)).
+    pub fn explain_fact_governed(
+        &self,
+        outcome: &ChaseOutcome,
+        fact: &Fact,
+        flavor: TemplateFlavor,
+        policy: DerivationPolicy,
+        guard: &RunGuard,
+    ) -> Result<Explanation, ExplainError> {
         let id = outcome
             .lookup(fact)
             .ok_or(ExplainError::UnknownFact(FactId(u32::MAX)))?;
-        self.explain_id(outcome, id, flavor, policy)
+        self.explain_id_governed(outcome, id, flavor, policy, guard)
     }
 
     /// Produces the *business report* of a chase run: one explanation per
@@ -210,6 +246,7 @@ impl ProgramArtifacts {
         id: FactId,
         flavor: TemplateFlavor,
         policy: DerivationPolicy,
+        governor: Option<(&RunGuard, Instant)>,
         visited: &mut std::collections::HashSet<DerivationId>,
         texts: &mut Vec<String>,
         paths: &mut Vec<String>,
@@ -217,6 +254,9 @@ impl ProgramArtifacts {
     ) -> Result<usize, ExplainError> {
         if depth > 64 {
             return Ok(0);
+        }
+        if let Some((guard, start)) = governor {
+            artifacts_trip(guard, start)?;
         }
         let proof = outcome.graph.proof(id, policy);
         let tau = proof.linearize(&outcome.graph);
@@ -257,6 +297,7 @@ impl ProgramArtifacts {
                     conclusion,
                     flavor,
                     policy,
+                    governor,
                     visited,
                     texts,
                     paths,

@@ -8,7 +8,12 @@
 //! ```text
 //! finkg-serve [--app control|stress|simple-stress|close-links|sanctions|joint-exposure|golden-power]
 //!             [--addr 127.0.0.1:7878] [--scale N] [--seed S] [--workers W]
+//!             [--max-connections C] [--deadline-ms MS]
 //! ```
+//!
+//! `--max-connections` bounds the concurrent connection-handler pool
+//! (excess connections get an immediate `503` + `Retry-After`);
+//! `--deadline-ms` sets the per-request deadline (0 disables it).
 //!
 //! With `--scale N` the server generates a random graph of `N` entities
 //! (seeded, reproducible); without it, the representative Sec. 5
@@ -119,6 +124,8 @@ struct Args {
     scale: Option<usize>,
     seed: u64,
     workers: usize,
+    max_connections: Option<usize>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -128,6 +135,8 @@ fn parse_args() -> Result<Args, String> {
         scale: None,
         seed: 7,
         workers: 0,
+        max_connections: None,
+        deadline_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -152,9 +161,23 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?
             }
+            "--max-connections" => {
+                args.max_connections = Some(
+                    value("--max-connections")?
+                        .parse()
+                        .map_err(|e| format!("--max-connections: {e}"))?,
+                )
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 println!(
-                    "finkg-serve [--app control|stress|simple-stress|close-links|sanctions|joint-exposure|golden-power]\n            [--addr HOST:PORT] [--scale N] [--seed S] [--workers W]"
+                    "finkg-serve [--app control|stress|simple-stress|close-links|sanctions|joint-exposure|golden-power]\n            [--addr HOST:PORT] [--scale N] [--seed S] [--workers W]\n            [--max-connections C] [--deadline-ms MS]"
                 );
                 std::process::exit(0);
             }
@@ -216,11 +239,15 @@ fn main() {
     );
 
     let handle = SnapshotHandle::new(outcome);
-    let service = Arc::new(ExplainService::new(
-        artifacts,
-        handle,
-        ServeConfig::default().with_workers(args.workers),
-    ));
+    let mut config = ServeConfig::default().with_workers(args.workers);
+    if let Some(max_connections) = args.max_connections {
+        config = config.with_max_connections(max_connections);
+    }
+    if let Some(ms) = args.deadline_ms {
+        let deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+        config = config.with_request_deadline(deadline);
+    }
+    let service = Arc::new(ExplainService::new(artifacts, handle, config));
     let server = match HttpServer::bind(&args.addr, service) {
         Ok(server) => server,
         Err(e) => {
@@ -230,6 +257,7 @@ fn main() {
     };
     println!("finkg-serve: listening on http://{}", server.addr());
     println!("  GET  /health    liveness + snapshot version");
+    println!("  GET  /ready     readiness (503 while snapshot publishing is degraded)");
     println!("  GET  /metrics   Prometheus metrics");
     println!("  GET  /snapshot  current snapshot summary");
     println!(

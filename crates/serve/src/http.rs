@@ -1,44 +1,96 @@
-//! A dependency-free HTTP/1.1 front end for the explanation service.
+//! A dependency-free, overload-safe HTTP/1.1 front end for the
+//! explanation service.
 //!
 //! Hand-rolled over `std::net::TcpListener` because the build ships no
-//! external crates: one accept loop, one short-lived handler per
-//! connection, `Connection: close` semantics. Heavy lifting (the actual
-//! explanation queries) happens on the [`ExplainService`] worker pool,
-//! so the accept loop stays thin.
+//! external crates. The accept loop is thin and *never blocks on a
+//! client*: accepted connections are handed to a bounded pool of
+//! [`max_connections`](crate::ServeConfig::max_connections) handler
+//! threads behind an admission counter; when every handler is busy the
+//! excess connection is shed immediately with `503` + `Retry-After`
+//! instead of queueing unboundedly. Every connection carries socket
+//! read/write timeouts plus a whole-request read deadline and bounded
+//! head/body parsing, so slowloris and byte-dribble clients are dropped
+//! on schedule and can never freeze healthy traffic. Heavy lifting (the
+//! actual explanation queries) happens on the [`ExplainService`] worker
+//! pool. Admission is a slot counter reserved before a connection is
+//! queued, so at most `max_connections` connections are ever
+//! queued-or-handled. `Connection: close` semantics.
 //!
 //! Endpoints:
 //!
 //! | Method & path   | Behaviour                                          |
 //! |-----------------|----------------------------------------------------|
 //! | `GET /health`   | liveness + current snapshot version                |
+//! | `GET /ready`    | readiness: `200 ready` or `503 degraded` while snapshot publishes fail |
 //! | `GET /metrics`  | Prometheus text of the process metrics registry    |
 //! | `GET /snapshot` | current snapshot version, update kind (`full`/`delta`), delta fact counts, database size |
 //! | `POST /explain` | body = goal fact literals (`control("B","D").`), one per line; answers each in order |
+//!
+//! Hostile-input responses: `413` for a `Content-Length` above the body
+//! cap (instead of silently truncating), `431` for an oversized request
+//! head, `400` for unparseable requests or goal batches above the
+//! per-batch cap, `503` + `Retry-After` when the connection pool or the
+//! job queue is saturated.
 
-use crate::service::{ExplainService, ServeError};
-use std::io::{BufRead, BufReader, Read, Write};
+use crate::service::{ExplainService, ServeConfig, ServeError};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use vadalog::obs::json::JsonWriter;
 
 /// A running HTTP server; dropping it (or calling
-/// [`stop`](HttpServer::stop)) shuts the accept loop down.
+/// [`stop`](HttpServer::stop)) shuts the accept loop and the handler
+/// pool down.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
 }
 
 impl HttpServer {
     /// Binds `addr` (e.g. `"127.0.0.1:7878"`, port 0 for ephemeral) and
-    /// starts serving `service` in a background accept loop.
+    /// starts serving `service` from a background accept loop feeding a
+    /// pool of [`max_connections`](ServeConfig::max_connections)
+    /// connection handlers.
     pub fn bind(addr: &str, service: Arc<ExplainService>) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let config = service.config().clone();
+
+        // In-flight admission counter: a connection is admitted by
+        // reserving a slot *before* it is queued, so at most
+        // `max_connections` connections are ever queued-or-handled and
+        // the accept loop can shed the excess without racing handler
+        // wake-ups. (A rendezvous channel can't express this: between
+        // one handoff completing and the next handler parking in
+        // `recv`, a `try_send` would spuriously fail with idle
+        // handlers.)
+        let active = Arc::new(AtomicUsize::new(0));
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let handlers = (0..config.max_connections)
+            .map(|i| {
+                let rx = Arc::clone(&conn_rx);
+                let service = Arc::clone(&service);
+                let active = Arc::clone(&active);
+                std::thread::Builder::new()
+                    .name(format!("serve-http-handler-{i}"))
+                    .spawn(move || handler_loop(&rx, &active, &service))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
         let stop_flag = Arc::clone(&stop);
+        let accept_active = Arc::clone(&active);
+        let retry_after = config.retry_after;
+        let write_timeout = config.write_timeout;
+        let read_timeout = config.read_timeout;
+        let max_connections = config.max_connections;
         let accept_thread = std::thread::Builder::new()
             .name("serve-http-accept".to_owned())
             .spawn(move || {
@@ -46,22 +98,33 @@ impl HttpServer {
                     if stop_flag.load(Ordering::Acquire) {
                         break;
                     }
-                    let Ok(conn) = conn else { continue };
-                    if let Err(e) = handle_connection(conn, &service) {
-                        vadalog::obs::metrics::global()
-                            .counter(
-                                "vadalog_serve_http_io_errors_total",
-                                "HTTP connections dropped on I/O errors.",
-                            )
-                            .inc();
-                        let _ = e; // connection-level errors are not fatal
+                    let Ok(mut conn) = conn else { continue };
+                    // Socket timeouts bound every read/write syscall; the
+                    // handler adds a whole-request deadline on top.
+                    let _ = conn.set_read_timeout(Some(read_timeout.max(MIN_TIMEOUT)));
+                    let _ = conn.set_write_timeout(Some(write_timeout.max(MIN_TIMEOUT)));
+                    if !reserve_slot(&accept_active, max_connections) {
+                        reject_metric("connection_pool_full");
+                        let _ = respond(
+                            &mut conn,
+                            "503 Service Unavailable",
+                            "application/json",
+                            &error_body("connection pool saturated; retry later"),
+                            &[("Retry-After", retry_after_secs(retry_after))],
+                        );
+                        continue;
+                    }
+                    if conn_tx.send(conn).is_err() {
+                        break;
                     }
                 }
+                // Dropping conn_tx here ends every handler's recv loop.
             })?;
         Ok(HttpServer {
             addr,
             stop,
             accept_thread: Some(accept_thread),
+            handlers,
         })
     }
 
@@ -70,12 +133,15 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stops the accept loop and joins it.
+    /// Stops the accept loop and the handler pool and joins them.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Release);
         // Unblock the accept call with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.handlers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -87,6 +153,57 @@ impl Drop for HttpServer {
     }
 }
 
+/// Floor for socket timeouts (`set_read_timeout` rejects zero).
+const MIN_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Reserves an admission slot: true if the connection may proceed,
+/// false when `active` already holds `max` in-flight connections.
+fn reserve_slot(active: &AtomicUsize, max: usize) -> bool {
+    let mut current = active.load(Ordering::Acquire);
+    loop {
+        if current >= max {
+            return false;
+        }
+        match active.compare_exchange_weak(
+            current,
+            current + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return true,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// Pulls connections until the accept loop closes the channel,
+/// releasing the admission slot after each one. A poisoned receiver
+/// mutex is recovered — one panicking handler must not wedge the pool.
+fn handler_loop(rx: &Mutex<Receiver<TcpStream>>, active: &AtomicUsize, service: &ExplainService) {
+    loop {
+        let conn = {
+            let guard = match rx.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        let Ok(mut conn) = conn else { return };
+        let outcome = handle_connection(&mut conn, service);
+        drop(conn);
+        active.fetch_sub(1, Ordering::AcqRel);
+        if let Err(e) = outcome {
+            vadalog::obs::metrics::global()
+                .counter(
+                    "vadalog_serve_http_io_errors_total",
+                    "HTTP connections dropped on I/O errors (timeouts, disconnects).",
+                )
+                .inc();
+            let _ = e; // connection-level errors are not fatal
+        }
+    }
+}
+
 /// One parsed request line + body.
 struct Request {
     method: String,
@@ -94,34 +211,116 @@ struct Request {
     body: String,
 }
 
-/// Reads one HTTP/1.1 request (request line, headers, Content-Length
-/// body) from `conn`.
-fn read_request(conn: &mut TcpStream) -> std::io::Result<Request> {
-    let mut reader = BufReader::new(conn);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    let mut parts = line.split_whitespace();
+/// Why a request was refused before routing.
+enum RequestError {
+    /// Socket-level failure: timeout, disconnect, dribble past the read
+    /// deadline. No response is owed; the connection is dropped.
+    Io(std::io::Error),
+    /// The request head (request line + headers) exceeded the byte cap.
+    HeadTooLarge,
+    /// `Content-Length` exceeds the body cap (carries the declared length).
+    BodyTooLarge(usize),
+    /// `Content-Length` was present but not a number.
+    BadContentLength,
+    /// No parseable request line.
+    Malformed,
+}
+
+impl From<std::io::Error> for RequestError {
+    fn from(e: std::io::Error) -> RequestError {
+        RequestError::Io(e)
+    }
+}
+
+/// Finds the head/body boundary: `(terminator offset, terminator
+/// length)`. Accepts `\r\n\r\n` and bare `\n\n`.
+fn head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| (p, 4))
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| (p, 2)))
+}
+
+/// Reads one HTTP/1.1 request under the configured caps: the whole head
+/// within `max_head_bytes` and the body within `max_body_bytes`, all of
+/// it within one `read_timeout` budget checked between every socket
+/// read — a byte-dribbling client cannot stretch the read beyond
+/// roughly twice the budget.
+fn read_request(conn: &mut TcpStream, config: &ServeConfig) -> Result<Request, RequestError> {
+    let deadline = Instant::now() + config.read_timeout;
+    let mut chunk = [0u8; 4096];
+    let mut head = Vec::new();
+    let (split, terminator) = loop {
+        if let Some(found) = head_end(&head) {
+            break found;
+        }
+        if head.len() > config.max_head_bytes {
+            return Err(RequestError::HeadTooLarge);
+        }
+        if Instant::now() >= deadline {
+            return Err(RequestError::Io(std::io::Error::from(
+                std::io::ErrorKind::TimedOut,
+            )));
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => {
+                return Err(RequestError::Io(std::io::Error::from(
+                    std::io::ErrorKind::UnexpectedEof,
+                )))
+            }
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RequestError::Io(e)),
+        }
+    };
+
+    let head_text = String::from_utf8_lossy(&head[..split]).into_owned();
+    let mut lines = head_text.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_owned();
     let path = parts.next().unwrap_or_default().to_owned();
+    if method.is_empty() || path.is_empty() {
+        return Err(RequestError::Malformed);
+    }
     let mut content_length = 0usize;
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            break;
-        }
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| RequestError::BadContentLength)?;
             }
         }
     }
-    // Bound the body so a hostile Content-Length cannot exhaust memory.
-    let mut body = vec![0u8; content_length.min(1 << 20)];
-    reader.read_exact(&mut body)?;
+    if content_length > config.max_body_bytes {
+        return Err(RequestError::BodyTooLarge(content_length));
+    }
+
+    let mut body = head[split + terminator..].to_vec();
+    body.truncate(content_length);
+    while body.len() < content_length {
+        if Instant::now() >= deadline {
+            return Err(RequestError::Io(std::io::Error::from(
+                std::io::ErrorKind::TimedOut,
+            )));
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => {
+                // Mid-body disconnect: the declared length never arrived.
+                return Err(RequestError::Io(std::io::Error::from(
+                    std::io::ErrorKind::UnexpectedEof,
+                )));
+            }
+            Ok(n) => {
+                let take = n.min(content_length - body.len());
+                body.extend_from_slice(&chunk[..take]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RequestError::Io(e)),
+        }
+    }
     Ok(Request {
         method,
         path,
@@ -129,24 +328,108 @@ fn read_request(conn: &mut TcpStream) -> std::io::Result<Request> {
     })
 }
 
-/// Writes a full response and closes.
+/// Writes a full response (with optional extra headers) and closes.
 fn respond(
     conn: &mut TcpStream,
     status: &str,
     content_type: &str,
     body: &str,
+    extra_headers: &[(&str, String)],
 ) -> std::io::Result<()> {
+    let mut headers = String::new();
+    for (name, value) in extra_headers {
+        headers.push_str(name);
+        headers.push_str(": ");
+        headers.push_str(value);
+        headers.push_str("\r\n");
+    }
     write!(
         conn,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{headers}Connection: close\r\n\r\n{body}",
         body.len()
     )?;
     conn.flush()
 }
 
+/// A `{"error": detail}` JSON body.
+fn error_body(detail: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.open_object();
+    w.field_str("error", detail);
+    w.close_object();
+    w.finish()
+}
+
+/// Counts a refused request/connection by reason.
+fn reject_metric(reason: &'static str) {
+    vadalog::obs::metrics::global()
+        .counter_with(
+            "vadalog_serve_http_rejects_total",
+            &[("reason", reason)],
+            "HTTP requests refused before evaluation, by reason.",
+        )
+        .inc();
+}
+
+/// `Retry-After` header value in whole seconds (at least 1).
+fn retry_after_secs(retry_after: Duration) -> String {
+    retry_after.as_secs().max(1).to_string()
+}
+
 /// Routes one connection.
-fn handle_connection(mut conn: TcpStream, service: &ExplainService) -> std::io::Result<()> {
-    let request = read_request(&mut conn)?;
+fn handle_connection(conn: &mut TcpStream, service: &ExplainService) -> std::io::Result<()> {
+    vadalog::faultpoint::hit("serve.handler");
+    let config = service.config();
+    let request = match read_request(conn, config) {
+        Ok(request) => request,
+        Err(RequestError::Io(e)) => return Err(e),
+        Err(RequestError::HeadTooLarge) => {
+            reject_metric("head_too_large");
+            return respond(
+                conn,
+                "431 Request Header Fields Too Large",
+                "application/json",
+                &error_body(&format!(
+                    "request head exceeds {} bytes",
+                    config.max_head_bytes
+                )),
+                &[],
+            );
+        }
+        Err(RequestError::BodyTooLarge(declared)) => {
+            reject_metric("body_too_large");
+            return respond(
+                conn,
+                "413 Payload Too Large",
+                "application/json",
+                &error_body(&format!(
+                    "content-length {declared} exceeds the {}-byte body cap",
+                    config.max_body_bytes
+                )),
+                &[],
+            );
+        }
+        Err(RequestError::BadContentLength) => {
+            reject_metric("bad_content_length");
+            return respond(
+                conn,
+                "400 Bad Request",
+                "application/json",
+                &error_body("content-length is not a number"),
+                &[],
+            );
+        }
+        Err(RequestError::Malformed) => {
+            reject_metric("malformed");
+            return respond(
+                conn,
+                "400 Bad Request",
+                "application/json",
+                &error_body("unparseable request line"),
+                &[],
+            );
+        }
+    };
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => {
             let mut w = JsonWriter::new();
@@ -157,13 +440,32 @@ fn handle_connection(mut conn: TcpStream, service: &ExplainService) -> std::io::
                 service.snapshot_handle().current().version(),
             );
             w.close_object();
-            respond(&mut conn, "200 OK", "application/json", &w.finish())
+            respond(conn, "200 OK", "application/json", &w.finish(), &[])
+        }
+        ("GET", "/ready") => {
+            let degraded = service.snapshot_handle().is_degraded();
+            let mut w = JsonWriter::new();
+            w.open_object();
+            w.field_str("status", if degraded { "degraded" } else { "ready" });
+            w.field_u64(
+                "snapshot_version",
+                service.snapshot_handle().current().version(),
+            );
+            w.field_u64("workers_alive", service.alive_workers() as u64);
+            w.close_object();
+            let status = if degraded {
+                "503 Service Unavailable"
+            } else {
+                "200 OK"
+            };
+            respond(conn, status, "application/json", &w.finish(), &[])
         }
         ("GET", "/metrics") => respond(
-            &mut conn,
+            conn,
             "200 OK",
             "text/plain; version=0.0.4",
             &vadalog::obs::metrics::global().to_prometheus(),
+            &[],
         ),
         ("GET", "/snapshot") => {
             let snapshot = service.snapshot_handle().current();
@@ -177,23 +479,51 @@ fn handle_connection(mut conn: TcpStream, service: &ExplainService) -> std::io::
             w.field_u64("derived_facts", snapshot.outcome().derived_facts as u64);
             w.field_u64("rounds", snapshot.outcome().rounds as u64);
             w.close_object();
-            respond(&mut conn, "200 OK", "application/json", &w.finish())
+            respond(conn, "200 OK", "application/json", &w.finish(), &[])
         }
         ("POST", "/explain") => match parse_goals(&request.body) {
             Err(detail) => {
-                let mut w = JsonWriter::new();
-                w.open_object();
-                w.field_str("error", &detail);
-                w.close_object();
+                reject_metric("bad_request");
                 respond(
-                    &mut conn,
+                    conn,
                     "400 Bad Request",
                     "application/json",
-                    &w.finish(),
+                    &error_body(&detail),
+                    &[],
+                )
+            }
+            Ok(goals) if goals.len() > config.max_goals_per_batch => {
+                reject_metric("too_many_goals");
+                respond(
+                    conn,
+                    "400 Bad Request",
+                    "application/json",
+                    &error_body(&format!(
+                        "batch of {} goals exceeds the per-request cap of {}",
+                        goals.len(),
+                        config.max_goals_per_batch
+                    )),
+                    &[],
                 )
             }
             Ok(goals) => {
                 let (version, results) = service.explain_batch(&goals);
+                // A fully shed batch is a 503 the client should retry,
+                // not a 200 with per-goal errors.
+                if !results.is_empty()
+                    && results
+                        .iter()
+                        .all(|r| matches!(r, Err(ServeError::Overloaded { .. })))
+                {
+                    reject_metric("queue_full");
+                    return respond(
+                        conn,
+                        "503 Service Unavailable",
+                        "application/json",
+                        &error_body("job queue saturated; retry later"),
+                        &[("Retry-After", retry_after_secs(config.retry_after))],
+                    );
+                }
                 let mut w = JsonWriter::new();
                 w.open_object();
                 w.field_u64("snapshot_version", version);
@@ -221,14 +551,15 @@ fn handle_connection(mut conn: TcpStream, service: &ExplainService) -> std::io::
                 }
                 w.close_array();
                 w.close_object();
-                respond(&mut conn, "200 OK", "application/json", &w.finish())
+                respond(conn, "200 OK", "application/json", &w.finish(), &[])
             }
         },
         _ => respond(
-            &mut conn,
+            conn,
             "404 Not Found",
             "text/plain",
-            "unknown endpoint; try /health, /metrics, /snapshot or POST /explain\n",
+            "unknown endpoint; try /health, /ready, /metrics, /snapshot or POST /explain\n",
+            &[],
         ),
     }
 }
@@ -273,5 +604,15 @@ mod tests {
         assert!(parse_goals("").is_err());
         assert!(parse_goals("r: a(x) -> b(x).").is_err());
         assert!(parse_goals("not a program").is_err());
+    }
+
+    #[test]
+    fn head_end_finds_both_terminators() {
+        assert_eq!(
+            head_end(b"GET / HTTP/1.1\r\nHost: x\r\n\r\nbody"),
+            Some((23, 4))
+        );
+        assert_eq!(head_end(b"GET / HTTP/1.1\nHost: x\n\nbody"), Some((22, 2)));
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\nHost: x\r\n"), None);
     }
 }

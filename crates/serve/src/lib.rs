@@ -16,11 +16,38 @@
 //! * [`ExplainService`] — a bounded worker pool answering batched
 //!   explanation goals concurrently against one snapshot, from shared
 //!   [`ProgramArtifacts`](explain::ProgramArtifacts). Answers are
-//!   byte-identical at any worker count.
+//!   byte-identical at any worker count — including under injected
+//!   worker panics, because panicked workers are isolated with
+//!   `catch_unwind`, respawned, and lost jobs retried once within the
+//!   request deadline.
 //! * [`HttpServer`] — a dependency-free HTTP/1.1 front end exposing
-//!   `/explain`, `/health`, `/snapshot` and the Prometheus `/metrics`
-//!   endpoint; the `finkg-serve` binary wires it to the finkg
-//!   applications.
+//!   `/explain`, `/health`, `/ready`, `/snapshot` and the Prometheus
+//!   `/metrics` endpoint; the `finkg-serve` binary wires it to the
+//!   finkg applications.
+//!
+//! # Overload and failure behaviour
+//!
+//! The server is built to *degrade predictably* instead of stalling:
+//!
+//! * Connections beyond [`ServeConfig::max_connections`] are shed
+//!   immediately with `503` + `Retry-After`; slowloris and
+//!   byte-dribble clients are dropped once the read deadline lapses.
+//! * Each `/explain` batch runs under
+//!   [`ServeConfig::with_request_deadline`]: queue submission sheds
+//!   with [`ServeError::Overloaded`] when the job queue stays full,
+//!   and the remaining budget is threaded into the explanation
+//!   pipeline's run guard so a slow goal returns a deterministic
+//!   resource-exhausted error instead of hanging the connection.
+//! * Snapshot publishing can be made fault-tolerant with
+//!   [`SnapshotHandle::publish_with_retry`] and [`PublishRetry`]
+//!   (capped exponential backoff); while publishes fail the service
+//!   keeps answering from the last good snapshot and reports
+//!   `degraded` on `GET /ready` and the `vadalog_serve_degraded`
+//!   gauge.
+//!
+//! Compile with `--features faultpoints` to enable the deterministic
+//! fault-injection points (`serve.worker`, `serve.publish`,
+//! `serve.handler`) used by the chaos test-suite.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,4 +58,4 @@ pub mod snapshot;
 
 pub use http::HttpServer;
 pub use service::{ExplainService, ServeConfig, ServeError};
-pub use snapshot::{Snapshot, SnapshotHandle, SnapshotUpdate, UpdateKind};
+pub use snapshot::{PublishRetry, Snapshot, SnapshotHandle, SnapshotUpdate, UpdateKind};

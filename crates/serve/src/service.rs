@@ -9,16 +9,53 @@
 //! count — the serving-side mirror of the engine's determinism contract —
 //! and a batch never observes two different snapshot versions even while
 //! a publisher replaces it underneath.
+//!
+//! ## Overload and fault behaviour
+//!
+//! The pool is *overload-safe* and *self-healing*:
+//!
+//! * **Deadlines.** [`ServeConfig::with_request_deadline`] arms a
+//!   per-batch deadline. Submission uses a deadline-aware `try_send`
+//!   loop — when the job queue stays full past the deadline the
+//!   remaining goals are shed with [`ServeError::Overloaded`] instead of
+//!   blocking — and each job carries the deadline into the worker, which
+//!   hands the *remaining* budget to the explanation pipeline's
+//!   [`RunGuard`], so a slow goal returns a deterministic
+//!   `ResourceExhausted` answer instead of stalling its batch.
+//! * **Panic isolation.** Worker bodies run under `catch_unwind`
+//!   (mirroring the engine's match-phase isolation): an ordinary panic
+//!   is reported as [`ServeError::WorkerPanic`] for that job and retires
+//!   the worker; an injected [`FaultCrash`](vadalog::faultpoint::FaultCrash)
+//!   kills the worker without reporting, like a real crash would. The
+//!   pool respawns retired workers to full width, recovers a poisoned
+//!   queue mutex, and [`explain_batch`](ExplainService::explain_batch)
+//!   retries panicked/lost jobs once after healing — so answers under an
+//!   injected fault stay byte-identical to a fault-free run.
+//! * **No hangs.** The batch collection loop ticks against the
+//!   completion deadline and re-checks pool health on every tick, so a
+//!   batch can never wait forever on a dead pool; past the deadline the
+//!   outstanding goals resolve to [`ServeError::DeadlineExceeded`].
 
 use crate::snapshot::{Snapshot, SnapshotHandle};
 use explain::pipeline::{Explanation, TemplateFlavor};
 use explain::{ExplainError, ProgramArtifacts};
-use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vadalog::telemetry::RunGuard;
 use vadalog::{DerivationPolicy, Fact};
 
-/// Configuration of an [`ExplainService`].
+/// Pause between `try_send` attempts while the job queue is full.
+const SUBMIT_TICK: Duration = Duration::from_millis(1);
+/// Collection-loop tick: how often a waiting batch re-checks the
+/// completion deadline and pool health.
+const COLLECT_TICK: Duration = Duration::from_millis(10);
+
+/// Configuration of an [`ExplainService`] (and of the
+/// [`HttpServer`](crate::HttpServer) serving it).
 ///
 /// `#[non_exhaustive]`: construct via [`ServeConfig::default`] and the
 /// `with_*` setters so new knobs stay additive.
@@ -27,12 +64,39 @@ use vadalog::{DerivationPolicy, Fact};
 pub struct ServeConfig {
     /// Worker threads answering queries (`0` = available parallelism).
     pub workers: usize,
-    /// Bound of the job queue; submissions beyond it apply backpressure.
+    /// Bound of the job queue; submissions beyond it apply backpressure
+    /// and are shed once the request deadline passes.
     pub queue_depth: usize,
     /// Template flavour answers use.
     pub flavor: TemplateFlavor,
     /// Derivation-selection policy.
     pub policy: DerivationPolicy,
+    /// Per-batch wall-clock budget: submission sheds
+    /// ([`ServeError::Overloaded`]) when the queue stays full past it,
+    /// workers hand the remaining budget to the explanation pipeline's
+    /// guard, and collection stops waiting past it
+    /// ([`ServeError::DeadlineExceeded`]). `None` = unbounded.
+    pub request_deadline: Option<Duration>,
+    /// Concurrent HTTP connection handlers; excess connections are shed
+    /// immediately with `503` + `Retry-After` instead of queueing.
+    pub max_connections: usize,
+    /// Total wall-clock budget for reading one request (head + body) and
+    /// the per-syscall socket read timeout, so slowloris and byte-dribble
+    /// clients are dropped on schedule.
+    pub read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Maximum bytes of request head (request line + headers); past it
+    /// the connection gets `431 Request Header Fields Too Large`.
+    pub max_head_bytes: usize,
+    /// Maximum request body bytes; a larger `Content-Length` gets
+    /// `413 Payload Too Large` instead of silent truncation.
+    pub max_body_bytes: usize,
+    /// Maximum goals per `/explain` batch; past it the request gets a
+    /// structured `400`.
+    pub max_goals_per_batch: usize,
+    /// The `Retry-After` hint attached to `503` shed responses.
+    pub retry_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +106,14 @@ impl Default for ServeConfig {
             queue_depth: 256,
             flavor: TemplateFlavor::Enhanced,
             policy: DerivationPolicy::Richest,
+            request_deadline: Some(Duration::from_secs(10)),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1 << 20,
+            max_goals_per_batch: 256,
+            retry_after: Duration::from_secs(1),
         }
     }
 }
@@ -68,6 +140,54 @@ impl ServeConfig {
     /// Sets the derivation-selection policy.
     pub fn with_policy(mut self, policy: DerivationPolicy) -> ServeConfig {
         self.policy = policy;
+        self
+    }
+
+    /// Sets (or with `None`, removes) the per-request deadline.
+    pub fn with_request_deadline(mut self, deadline: Option<Duration>) -> ServeConfig {
+        self.request_deadline = deadline;
+        self
+    }
+
+    /// Sets the concurrent HTTP connection-handler bound.
+    pub fn with_max_connections(mut self, max_connections: usize) -> ServeConfig {
+        self.max_connections = max_connections.max(1);
+        self
+    }
+
+    /// Sets the socket/request read budget.
+    pub fn with_read_timeout(mut self, read_timeout: Duration) -> ServeConfig {
+        self.read_timeout = read_timeout;
+        self
+    }
+
+    /// Sets the socket write timeout.
+    pub fn with_write_timeout(mut self, write_timeout: Duration) -> ServeConfig {
+        self.write_timeout = write_timeout;
+        self
+    }
+
+    /// Sets the request-head byte cap (`431` past it).
+    pub fn with_max_head_bytes(mut self, max_head_bytes: usize) -> ServeConfig {
+        self.max_head_bytes = max_head_bytes.max(64);
+        self
+    }
+
+    /// Sets the request-body byte cap (`413` past it).
+    pub fn with_max_body_bytes(mut self, max_body_bytes: usize) -> ServeConfig {
+        self.max_body_bytes = max_body_bytes;
+        self
+    }
+
+    /// Sets the per-batch goal-count cap (`400` past it).
+    pub fn with_max_goals_per_batch(mut self, max_goals: usize) -> ServeConfig {
+        self.max_goals_per_batch = max_goals.max(1);
+        self
+    }
+
+    /// Sets the `Retry-After` hint on shed responses.
+    pub fn with_retry_after(mut self, retry_after: Duration) -> ServeConfig {
+        self.retry_after = retry_after;
         self
     }
 
@@ -103,6 +223,34 @@ pub enum ServeError {
         /// What was wrong with the request.
         detail: String,
     },
+    /// The service shed this goal: the job queue stayed full past the
+    /// request deadline. Maps to HTTP `503` with `Retry-After`.
+    Overloaded {
+        /// Suggested client back-off before resubmitting.
+        retry_after: Duration,
+    },
+    /// The batch's completion deadline passed before this goal was
+    /// answered.
+    DeadlineExceeded {
+        /// The configured per-request budget.
+        deadline: Duration,
+    },
+    /// A worker panicked (or was killed) while answering this goal and
+    /// the retry after respawning did not produce an answer either.
+    WorkerPanic {
+        /// The queried goal fact, rendered.
+        goal: String,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A snapshot publish failed and exhausted its retry budget; the
+    /// service keeps answering from the last good snapshot (degraded).
+    Publish {
+        /// Publish attempts made (initial + retries).
+        attempts: u32,
+        /// The last injected/underlying I/O failure.
+        source: std::io::Error,
+    },
     /// The service is shutting down and dropped the job.
     Shutdown,
 }
@@ -112,6 +260,20 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Explain { goal, .. } => write!(f, "explanation of {goal} failed"),
             ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServeError::Overloaded { retry_after } => write!(
+                f,
+                "service overloaded; retry after {}ms",
+                retry_after.as_millis()
+            ),
+            ServeError::DeadlineExceeded { deadline } => {
+                write!(f, "request deadline of {}ms exceeded", deadline.as_millis())
+            }
+            ServeError::WorkerPanic { goal, message } => {
+                write!(f, "worker panicked answering {goal}: {message}")
+            }
+            ServeError::Publish { attempts, .. } => {
+                write!(f, "snapshot publish failed after {attempts} attempts")
+            }
             ServeError::Shutdown => write!(f, "service is shutting down"),
         }
     }
@@ -121,6 +283,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Explain { source, .. } => Some(source),
+            ServeError::Publish { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -132,6 +295,7 @@ struct Job {
     fact: Fact,
     snapshot: Arc<Snapshot>,
     index: usize,
+    deadline: Option<Instant>,
     done: Sender<(usize, Result<Explanation, ServeError>)>,
 }
 
@@ -148,7 +312,10 @@ pub struct ExplainService {
     handle: SnapshotHandle,
     config: ServeConfig,
     jobs: Option<SyncSender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    job_rx: Arc<Mutex<Receiver<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    alive: Arc<AtomicUsize>,
+    next_worker: AtomicUsize,
 }
 
 impl ExplainService {
@@ -159,26 +326,23 @@ impl ExplainService {
         config: ServeConfig,
     ) -> ExplainService {
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..config.effective_workers())
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let artifacts = Arc::clone(&artifacts);
-                let flavor = config.flavor;
-                let policy = config.policy;
-                std::thread::Builder::new()
-                    .name(format!("explain-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &artifacts, flavor, policy))
-                    .expect("spawning explanation worker")
-            })
-            .collect();
-        ExplainService {
+        let service = ExplainService {
             artifacts,
             handle,
             config,
             jobs: Some(tx),
-            workers,
+            job_rx: Arc::new(Mutex::new(rx)),
+            workers: Mutex::new(Vec::new()),
+            alive: Arc::new(AtomicUsize::new(0)),
+            next_worker: AtomicUsize::new(0),
+        };
+        let want = service.config.effective_workers();
+        let mut workers = service.workers.lock().expect("fresh worker list");
+        for _ in 0..want {
+            workers.push(service.spawn_worker());
         }
+        drop(workers);
+        service
     }
 
     /// The shared artifacts answers are generated from.
@@ -196,12 +360,65 @@ impl ExplainService {
         &self.config
     }
 
+    /// Workers currently alive (equals the configured width unless a
+    /// panic just retired one and [`heal`](Self::heal) has not run yet).
+    pub fn alive_workers(&self) -> usize {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Respawns retired workers up to the configured width. Called
+    /// automatically on batch entry, on every collection tick and before
+    /// the panic-retry round; exposed for ops/tests.
+    pub fn heal(&self) {
+        if self.jobs.is_none() {
+            return;
+        }
+        let want = self.config.effective_workers();
+        let mut workers = match self.workers.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        workers.retain(|handle| !handle.is_finished());
+        if workers.len() >= want {
+            return;
+        }
+        let respawns = vadalog::obs::metrics::global().counter(
+            "vadalog_serve_worker_respawns_total",
+            "Explain workers respawned after a panic retired one.",
+        );
+        while workers.len() < want {
+            workers.push(self.spawn_worker());
+            respawns.inc();
+        }
+    }
+
+    fn spawn_worker(&self) -> JoinHandle<()> {
+        let id = self.next_worker.fetch_add(1, Ordering::Relaxed);
+        let rx = Arc::clone(&self.job_rx);
+        let artifacts = Arc::clone(&self.artifacts);
+        let alive = Arc::clone(&self.alive);
+        let flavor = self.config.flavor;
+        let policy = self.config.policy;
+        std::thread::Builder::new()
+            .name(format!("explain-worker-{id}"))
+            .spawn(move || worker_loop(&rx, &artifacts, flavor, policy, &alive))
+            .expect("spawning explanation worker")
+    }
+
     /// Answers a batch of explanation goals concurrently, order-preserving.
     ///
     /// The whole batch is answered against the *one* snapshot current at
     /// entry: a concurrent [`SnapshotHandle::publish`] never splits a batch
     /// across versions. Returns one result per goal, in goal order,
     /// together with the snapshot version used.
+    ///
+    /// Under the configured [`request_deadline`](ServeConfig::request_deadline)
+    /// the call is bounded: goals the full queue cannot accept in time
+    /// come back [`ServeError::Overloaded`], goals whose evaluation
+    /// overruns the remaining budget come back as deterministic
+    /// `ResourceExhausted` explain errors, and goals lost to a worker
+    /// crash are retried once after the pool respawns — past the
+    /// deadline they resolve to [`ServeError::DeadlineExceeded`].
     pub fn explain_batch(&self, goals: &[Fact]) -> (u64, Vec<Result<Explanation, ServeError>>) {
         let snapshot = self.handle.current();
         let version = snapshot.version();
@@ -212,42 +429,169 @@ impl ExplainService {
                 "Explanation goals submitted to the serving layer.",
             )
             .add(goals.len() as u64);
-        let (done_tx, done_rx) = mpsc::channel();
-        let Some(jobs) = &self.jobs else {
+        let deadline = self.config.request_deadline.map(|d| Instant::now() + d);
+        let mut results: Vec<Option<Result<Explanation, ServeError>>> =
+            (0..goals.len()).map(|_| None).collect();
+        self.heal();
+        if self.jobs.is_none() {
             return (
                 version,
                 goals.iter().map(|_| Err(ServeError::Shutdown)).collect(),
             );
-        };
-        let mut submitted = 0usize;
-        for (index, fact) in goals.iter().enumerate() {
-            let job = Job {
-                fact: fact.clone(),
-                snapshot: Arc::clone(&snapshot),
-                index,
-                done: done_tx.clone(),
-            };
-            if jobs.send(job).is_err() {
-                break;
+        }
+
+        let all: Vec<usize> = (0..goals.len()).collect();
+        let submitted = self.submit(goals, &all, &snapshot, deadline, &mut results);
+        self.collect(&submitted, &mut results, deadline);
+
+        // One retry round for goals lost to a worker panic/crash: the
+        // pool has been healed, the jobs are pure, so a re-run yields
+        // the byte-identical answer the fault suppressed.
+        let lost: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| matches!(slot, None | Some(Err(ServeError::WorkerPanic { .. }))))
+            .map(|(index, _)| index)
+            .collect();
+        if !lost.is_empty() && deadline.is_none_or(|d| Instant::now() < d) {
+            self.heal();
+            for &index in &lost {
+                results[index] = None;
             }
-            submitted += 1;
+            let resubmitted = self.submit(goals, &lost, &snapshot, deadline, &mut results);
+            self.collect(&resubmitted, &mut results, deadline);
         }
-        drop(done_tx);
-        let mut results: Vec<Option<Result<Explanation, ServeError>>> =
-            (0..goals.len()).map(|_| None).collect();
-        for (index, result) in done_rx.iter().take(submitted) {
-            results[index] = Some(result);
-        }
-        let errors = registry.counter(
-            "vadalog_serve_errors_total",
-            "Explanation goals the serving layer failed to answer.",
-        );
+
+        // Whatever is still unanswered resolves deterministically.
+        let deadline_passed = deadline.is_some_and(|d| Instant::now() >= d);
         let results: Vec<Result<Explanation, ServeError>> = results
             .into_iter()
-            .map(|r| r.unwrap_or(Err(ServeError::Shutdown)))
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.unwrap_or_else(|| {
+                    if deadline_passed {
+                        Err(ServeError::DeadlineExceeded {
+                            deadline: self.config.request_deadline.unwrap_or_default(),
+                        })
+                    } else {
+                        Err(ServeError::WorkerPanic {
+                            goal: goals[index].to_string(),
+                            message: "worker died before answering".to_owned(),
+                        })
+                    }
+                })
+            })
             .collect();
-        errors.add(results.iter().filter(|r| r.is_err()).count() as u64);
+        registry
+            .counter(
+                "vadalog_serve_errors_total",
+                "Explanation goals the serving layer failed to answer.",
+            )
+            .add(results.iter().filter(|r| r.is_err()).count() as u64);
         (version, results)
+    }
+
+    /// Submits `goals[indices]` through the deadline-aware `try_send`
+    /// loop. Goals the queue cannot accept in time are shed in place
+    /// ([`ServeError::Overloaded`]); returns the indices actually queued
+    /// (paired with the `done` channel their results arrive on).
+    fn submit(
+        &self,
+        goals: &[Fact],
+        indices: &[usize],
+        snapshot: &Arc<Snapshot>,
+        deadline: Option<Instant>,
+        results: &mut [Option<Result<Explanation, ServeError>>],
+    ) -> BatchReceiver {
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut queued = 0usize;
+        let mut shed = 0u64;
+        let Some(jobs) = &self.jobs else {
+            for &index in indices {
+                results[index] = Some(Err(ServeError::Shutdown));
+            }
+            return BatchReceiver {
+                rx: done_rx,
+                queued,
+            };
+        };
+        'submit: for (position, &index) in indices.iter().enumerate() {
+            let mut job = Job {
+                fact: goals[index].clone(),
+                snapshot: Arc::clone(snapshot),
+                index,
+                deadline,
+                done: done_tx.clone(),
+            };
+            loop {
+                match jobs.try_send(job) {
+                    Ok(()) => {
+                        queued += 1;
+                        break;
+                    }
+                    Err(TrySendError::Full(back)) => {
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            for &rest in &indices[position..] {
+                                results[rest] = Some(Err(ServeError::Overloaded {
+                                    retry_after: self.config.retry_after,
+                                }));
+                                shed += 1;
+                            }
+                            break 'submit;
+                        }
+                        job = back;
+                        // A retired pool would never drain the queue.
+                        self.heal();
+                        std::thread::sleep(SUBMIT_TICK);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        results[index] = Some(Err(ServeError::Shutdown));
+                        break;
+                    }
+                }
+            }
+        }
+        if shed > 0 {
+            vadalog::obs::metrics::global()
+                .counter(
+                    "vadalog_serve_shed_goals_total",
+                    "Explanation goals shed because the job queue stayed full past the deadline.",
+                )
+                .add(shed);
+        }
+        BatchReceiver {
+            rx: done_rx,
+            queued,
+        }
+    }
+
+    /// Drains `batch.queued` results, ticking against the completion
+    /// deadline and healing the pool on every tick so a dead pool can
+    /// never hang the batch.
+    fn collect(
+        &self,
+        batch: &BatchReceiver,
+        results: &mut [Option<Result<Explanation, ServeError>>],
+        deadline: Option<Instant>,
+    ) {
+        let mut outstanding = batch.queued;
+        while outstanding > 0 {
+            match batch.rx.recv_timeout(COLLECT_TICK) {
+                Ok((index, result)) => {
+                    results[index] = Some(result);
+                    outstanding -= 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.heal();
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return;
+                    }
+                }
+                // Every outstanding job was dropped mid-unwind: nothing
+                // more will arrive on this channel.
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
     }
 
     /// Answers one explanation goal (a single-element batch).
@@ -257,38 +601,154 @@ impl ExplainService {
     }
 }
 
+/// The per-submission result channel plus how many jobs were queued on it.
+struct BatchReceiver {
+    rx: Receiver<(usize, Result<Explanation, ServeError>)>,
+    queued: usize,
+}
+
 impl Drop for ExplainService {
     fn drop(&mut self) {
         // Closing the channel ends every worker's recv loop.
         self.jobs = None;
-        for handle in self.workers.drain(..) {
+        let mut workers = match self.workers.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for handle in workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
+/// Runs one job: the `serve.worker` fault point, then the explanation
+/// under the remaining per-request budget.
+fn run_job(
+    job: &Job,
+    artifacts: &ProgramArtifacts,
+    flavor: TemplateFlavor,
+    policy: DerivationPolicy,
+) -> Result<Explanation, ServeError> {
+    vadalog::faultpoint::hit("serve.worker");
+    let result = match job.deadline {
+        Some(deadline) => {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let guard = RunGuard::new().with_timeout(remaining);
+            artifacts.explain_fact_governed(
+                job.snapshot.outcome(),
+                &job.fact,
+                flavor,
+                policy,
+                &guard,
+            )
+        }
+        None => artifacts.explain_fact(job.snapshot.outcome(), &job.fact, flavor, policy),
+    };
+    result.map_err(|source| {
+        if matches!(source, ExplainError::ResourceExhausted { .. }) {
+            vadalog::obs::metrics::global()
+                .counter(
+                    "vadalog_serve_deadline_trips_total",
+                    "Explanation goals that tripped the per-request deadline mid-evaluation.",
+                )
+                .inc();
+        }
+        ServeError::Explain {
+            goal: job.fact.to_string(),
+            source,
+        }
+    })
+}
+
 /// Pulls jobs until the queue closes. Workers steal from one shared
-/// receiver; fairness does not matter because results carry their index.
+/// receiver (poisoning is recovered: a panicking peer must not wedge the
+/// pool); fairness does not matter because results carry their index.
+/// Job bodies run under `catch_unwind`: an ordinary panic reports
+/// [`ServeError::WorkerPanic`] for the job and retires this worker (the
+/// pool respawns it); an injected crash kills the worker unreported,
+/// like real process death would.
 fn worker_loop(
     rx: &Mutex<Receiver<Job>>,
     artifacts: &ProgramArtifacts,
     flavor: TemplateFlavor,
     policy: DerivationPolicy,
+    alive: &AtomicUsize,
 ) {
+    let _presence = AlivePresence::enter(alive);
     loop {
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
+        let job = {
+            let guard = match rx.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
         };
         let Ok(job) = job else { return };
-        let result = artifacts
-            .explain_fact(job.snapshot.outcome(), &job.fact, flavor, policy)
-            .map_err(|source| ServeError::Explain {
-                goal: job.fact.to_string(),
-                source,
-            });
-        // A dropped batch receiver just discards the answer.
-        let _ = job.done.send((job.index, result));
+        match panic::catch_unwind(AssertUnwindSafe(|| {
+            run_job(&job, artifacts, flavor, policy)
+        })) {
+            Ok(result) => {
+                // A dropped batch receiver just discards the answer.
+                let _ = job.done.send((job.index, result));
+            }
+            Err(payload) => {
+                vadalog::obs::metrics::global()
+                    .counter(
+                        "vadalog_serve_worker_panics_total",
+                        "Explain-worker panics caught by the serving layer's isolation.",
+                    )
+                    .inc();
+                if payload
+                    .downcast_ref::<vadalog::faultpoint::FaultCrash>()
+                    .is_some()
+                {
+                    // Simulated process death: the job's answer is lost,
+                    // exactly like a kill -9 — the batch's completion
+                    // tick heals the pool and retries.
+                    drop(job);
+                    return;
+                }
+                let message = panic_message(payload.as_ref());
+                let _ = job.done.send((
+                    job.index,
+                    Err(ServeError::WorkerPanic {
+                        goal: job.fact.to_string(),
+                        message,
+                    }),
+                ));
+                // The worker retires after a panic — its state is
+                // suspect; the pool respawns a fresh one.
+                return;
+            }
+        }
+    }
+}
+
+/// Tracks a worker's liveness, decrementing on any exit (including
+/// unwind).
+struct AlivePresence<'a>(&'a AtomicUsize);
+
+impl<'a> AlivePresence<'a> {
+    fn enter(alive: &'a AtomicUsize) -> AlivePresence<'a> {
+        alive.fetch_add(1, Ordering::AcqRel);
+        AlivePresence(alive)
+    }
+}
+
+impl Drop for AlivePresence<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Stringifies a panic payload (the common `&str`/`String` cases).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -358,10 +818,56 @@ mod tests {
             .with_workers(3)
             .with_queue_depth(7)
             .with_flavor(TemplateFlavor::Deterministic)
-            .with_policy(DerivationPolicy::Earliest);
+            .with_policy(DerivationPolicy::Earliest)
+            .with_request_deadline(Some(Duration::from_millis(250)))
+            .with_max_connections(5)
+            .with_read_timeout(Duration::from_millis(100))
+            .with_write_timeout(Duration::from_millis(100))
+            .with_max_head_bytes(1024)
+            .with_max_body_bytes(2048)
+            .with_max_goals_per_batch(9)
+            .with_retry_after(Duration::from_secs(2));
         assert_eq!(config.workers, 3);
         assert_eq!(config.effective_workers(), 3);
         assert_eq!(config.queue_depth, 7);
         assert_eq!(config.flavor, TemplateFlavor::Deterministic);
+        assert_eq!(config.request_deadline, Some(Duration::from_millis(250)));
+        assert_eq!(config.max_connections, 5);
+        assert_eq!(config.max_head_bytes, 1024);
+        assert_eq!(config.max_body_bytes, 2048);
+        assert_eq!(config.max_goals_per_batch, 9);
+        assert_eq!(config.retry_after, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn zero_deadline_sheds_or_exhausts_instead_of_hanging() {
+        let (service, goals) = service(1);
+        let service = ExplainService::new(
+            Arc::clone(service.artifacts()),
+            service.snapshot_handle().clone(),
+            ServeConfig::default()
+                .with_workers(1)
+                .with_request_deadline(Some(Duration::ZERO)),
+        );
+        let start = Instant::now();
+        let (_, results) = service.explain_batch(&goals);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        for result in results {
+            match result.unwrap_err() {
+                ServeError::Overloaded { .. } | ServeError::DeadlineExceeded { .. } => {}
+                ServeError::Explain { source, .. } => {
+                    assert!(matches!(source, ExplainError::ResourceExhausted { .. }))
+                }
+                other => panic!("unexpected error under a zero deadline: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reports_full_width() {
+        let (service, goals) = service(3);
+        let _ = service.explain_batch(&goals);
+        service.heal();
+        assert_eq!(service.alive_workers(), 3);
     }
 }

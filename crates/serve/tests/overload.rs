@@ -1,0 +1,264 @@
+//! Hostile-HTTP and overload tests over live sockets: lying or
+//! oversized `Content-Length`, endless headers, slowloris dribble,
+//! partial-request-then-hang, mid-body disconnect, concurrent stalled
+//! clients, and connection-pool saturation shedding with `503` +
+//! `Retry-After`. None of these need fault injection — they are plain
+//! adversarial clients.
+
+use explain::ProgramArtifacts;
+use serve::{ExplainService, HttpServer, ServeConfig, SnapshotHandle};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vadalog::ChaseSession;
+
+/// Boots a server over the Sec. 5 control scenario with `config`.
+fn boot(config: ServeConfig) -> HttpServer {
+    let program = finkg::apps::control::program();
+    let outcome = ChaseSession::new(&program)
+        .run(finkg::scenario::database())
+        .unwrap();
+    let artifacts = ProgramArtifacts::builder(program, finkg::apps::control::GOAL)
+        .with_glossary(&finkg::apps::control::glossary())
+        .build_cached()
+        .unwrap();
+    let service = Arc::new(ExplainService::new(
+        artifacts,
+        SnapshotHandle::new(outcome),
+        config,
+    ));
+    HttpServer::bind("127.0.0.1:0", service).unwrap()
+}
+
+/// One-shot request; returns (status line, headers, body). Treats a
+/// reset after partial data as end-of-response.
+fn http(addr: std::net::SocketAddr, request: &[u8]) -> (String, String, String) {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(request).unwrap();
+    read_response(&mut conn)
+}
+
+fn read_response(conn: &mut TcpStream) -> (String, String, String) {
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // The server may RST a connection it refused to read fully.
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status = text.lines().next().unwrap_or_default().to_owned();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_owned(), b.to_owned()))
+        .unwrap_or((text.clone(), String::new()));
+    (status, head, body)
+}
+
+#[test]
+fn oversized_content_length_is_413_not_silent_truncation() {
+    let mut server = boot(ServeConfig::default().with_workers(1));
+    let request = b"POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: 10000000\r\n\r\n".to_vec();
+    let (status, _, body) = http(server.addr(), &request);
+    assert!(status.contains("413"), "{status}");
+    assert!(body.contains("exceeds"), "{body}");
+    server.stop();
+}
+
+#[test]
+fn unparseable_content_length_is_400() {
+    let mut server = boot(ServeConfig::default().with_workers(1));
+    let (status, _, _) = http(
+        server.addr(),
+        b"POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n",
+    );
+    assert!(status.contains("400"), "{status}");
+    server.stop();
+}
+
+#[test]
+fn endless_headers_hit_431() {
+    let mut server = boot(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_head_bytes(1024),
+    );
+    // 2 KiB of headers, no terminator: past the 1 KiB cap the server
+    // must answer 431 instead of buffering forever.
+    let mut request = b"GET /health HTTP/1.1\r\n".to_vec();
+    for i in 0..64 {
+        request.extend_from_slice(format!("X-Filler-{i}: {}\r\n", "y".repeat(24)).as_bytes());
+    }
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    conn.write_all(&request).unwrap();
+    let (status, _, _) = read_response(&mut conn);
+    assert!(status.contains("431"), "{status}");
+    server.stop();
+}
+
+#[test]
+fn goal_batches_above_the_cap_are_400() {
+    let mut server = boot(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_goals_per_batch(2),
+    );
+    let body = "control(\"B\", \"D\").\n".repeat(3);
+    let request = format!(
+        "POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let (status, _, body) = http(server.addr(), request.as_bytes());
+    assert!(status.contains("400"), "{status}");
+    assert!(body.contains("per-request cap"), "{body}");
+    server.stop();
+}
+
+#[test]
+fn partial_request_then_hang_is_dropped_on_the_read_deadline() {
+    let mut server = boot(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_read_timeout(Duration::from_millis(300)),
+    );
+    let started = Instant::now();
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    // Half a request line, then silence.
+    conn.write_all(b"GET /hea").unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut sink = Vec::new();
+    let _ = conn.read_to_end(&mut sink); // EOF or reset when the server drops us
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "hung connection survived past the read deadline: {:?}",
+        started.elapsed()
+    );
+    server.stop();
+}
+
+#[test]
+fn byte_dribble_slowloris_is_dropped_on_the_read_deadline() {
+    let mut server = boot(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_read_timeout(Duration::from_millis(300)),
+    );
+    let started = Instant::now();
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    // One byte every 50 ms defeats a per-read socket timeout; the
+    // whole-request deadline must still cut it off.
+    let request = b"GET /health HTTP/1.1\r\nHost: x";
+    let mut dropped = false;
+    for byte in request.iter().cycle().take(200) {
+        if conn.write_all(std::slice::from_ref(byte)).is_err() {
+            dropped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        if started.elapsed() > Duration::from_secs(8) {
+            break;
+        }
+    }
+    if !dropped {
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut sink = Vec::new();
+        dropped = matches!(conn.read_to_end(&mut sink), Ok(0) | Ok(_) | Err(_));
+    }
+    assert!(dropped, "slowloris connection was never dropped");
+    assert!(
+        started.elapsed() < Duration::from_secs(9),
+        "slowloris survived {:?}",
+        started.elapsed()
+    );
+    server.stop();
+}
+
+#[test]
+fn mid_body_disconnect_leaves_the_server_healthy() {
+    let mut server = boot(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_read_timeout(Duration::from_millis(500)),
+    );
+    {
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.write_all(b"POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\nabc")
+            .unwrap();
+        // Drop the connection with 97 declared bytes missing.
+    }
+    // The server must shrug it off and keep answering.
+    let (status, _, _) = http(server.addr(), b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    server.stop();
+}
+
+#[test]
+fn stalled_clients_do_not_block_healthy_ones() {
+    // 3 stalled connections occupy 3 of 4 handlers; the healthy client
+    // must still be answered promptly through the remaining one.
+    let mut server = boot(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_connections(4)
+            .with_read_timeout(Duration::from_secs(5)),
+    );
+    let stalled: Vec<TcpStream> = (0..3)
+        .map(|_| {
+            let mut conn = TcpStream::connect(server.addr()).unwrap();
+            conn.write_all(b"GET /hea").unwrap(); // partial, then stall
+            conn
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100)); // let handlers pick them up
+    let started = Instant::now();
+    let (status, _, _) = http(server.addr(), b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "healthy client waited {:?} behind stalled ones",
+        started.elapsed()
+    );
+    drop(stalled);
+    server.stop();
+}
+
+#[test]
+fn saturated_connection_pool_sheds_with_503_and_retry_after() {
+    let mut server = boot(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_connections(2)
+            .with_read_timeout(Duration::from_secs(5))
+            .with_retry_after(Duration::from_secs(2)),
+    );
+    // Occupy both handlers with stalled connections.
+    let stalled: Vec<TcpStream> = (0..2)
+        .map(|_| {
+            let mut conn = TcpStream::connect(server.addr()).unwrap();
+            conn.write_all(b"GET /hea").unwrap();
+            conn
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    let started = Instant::now();
+    let (status, head, body) = http(server.addr(), b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("503"), "{status}");
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after: 2"),
+        "{head}"
+    );
+    assert!(body.contains("saturated"), "{body}");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "shedding was not immediate: {:?}",
+        started.elapsed()
+    );
+    drop(stalled);
+    server.stop();
+}

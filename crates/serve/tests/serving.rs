@@ -179,6 +179,10 @@ fn http_endpoints_answer_over_a_live_socket() {
     assert!(body.contains("\"status\":\"ok\""), "{body}");
     assert!(body.contains("\"snapshot_version\":1"), "{body}");
 
+    let (status, body) = http(addr, "GET /ready HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"status\":\"ready\""), "{body}");
+
     let (status, body) = http(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
     assert!(status.contains("200"), "{status}");
     assert!(body.contains("vadalog_"), "{body}");

@@ -9,7 +9,7 @@
 //! a plan is a pure function of (point name, hit count), never of timing
 //! or scheduling.
 //!
-//! Three fault kinds exist:
+//! Four fault kinds exist:
 //!
 //! * [`FaultKind::Crash`] — simulated process death: panics with the
 //!   dedicated [`FaultCrash`] payload, which the engine's worker-panic
@@ -22,6 +22,9 @@
 //! * [`FaultKind::IoError`] — makes the guarded I/O step return
 //!   `std::io::Error`, surfacing as
 //!   [`CheckpointError::Io`](crate::checkpoint::CheckpointError).
+//! * [`FaultKind::Sleep`] — stalls the hit for a fixed number of
+//!   milliseconds before continuing: slow-handler / slow-worker
+//!   injection for the serving layer's overload and deadline tests.
 //!
 //! Without the feature, the hooks compile to empty inlined functions:
 //! zero cost, no global state.
@@ -38,6 +41,12 @@
 //! | `checkpoint.commit` | after fsync, before the atomic rename |
 //! | `checkpoint.rename` | the atomic rename itself |
 //! | `checkpoint.read` | before reading a snapshot file |
+//! | `serve.worker` | before an explain worker evaluates a job (`crates/serve`) |
+//! | `serve.publish` | before a snapshot publish commits (`crates/serve`) |
+//! | `serve.handler` | top of every HTTP connection handler (`crates/serve`) |
+//!
+//! The `serve.*` points live outside this crate; they reach the armed
+//! plan through the public [`hit`] / [`io_hit`] hooks.
 
 /// Panic payload of a [`FaultKind::Crash`]: simulated process death.
 ///
@@ -59,6 +68,9 @@ pub enum FaultKind {
     Panic,
     /// An injected `std::io::Error` at an I/O fault point.
     IoError,
+    /// A stall: the hit sleeps for the given milliseconds, then
+    /// continues normally (slow-handler / slow-worker injection).
+    Sleep(u64),
 }
 
 #[cfg(feature = "faultpoints")]
@@ -121,6 +133,32 @@ mod active {
                 kind: FaultKind::IoError,
                 nth,
             });
+            self
+        }
+
+        /// Stalls the `nth` (1-based) hit of `point` for `millis`
+        /// milliseconds before letting it continue.
+        pub fn sleep_at(mut self, point: &str, nth: u64, millis: u64) -> FaultPlan {
+            self.entries.push(Entry {
+                point: point.to_string(),
+                kind: FaultKind::Sleep(millis),
+                nth,
+            });
+            self
+        }
+
+        /// Stalls *every* hit of `point` from the `from`-th (1-based)
+        /// onwards for `millis` milliseconds: sustained slow-handler
+        /// injection for overload tests. Internally unrolled to `count`
+        /// per-hit entries starting at `from`.
+        pub fn sleep_from(mut self, point: &str, from: u64, count: u64, millis: u64) -> FaultPlan {
+            for nth in from..from + count {
+                self.entries.push(Entry {
+                    point: point.to_string(),
+                    kind: FaultKind::Sleep(millis),
+                    nth,
+                });
+            }
             self
         }
     }
@@ -203,8 +241,8 @@ mod active {
             .map(|e| e.kind)
     }
 
-    /// A non-I/O fault point: panics (crash or plain) when the armed plan
-    /// schedules a fault for this hit.
+    /// A non-I/O fault point: panics (crash or plain) or stalls when the
+    /// armed plan schedules a fault for this hit.
     pub(crate) fn trigger(point: &'static str) {
         match check(point) {
             Some(FaultKind::Crash) => {
@@ -213,13 +251,16 @@ mod active {
             Some(FaultKind::Panic) => {
                 panic!("injected panic at fault point `{point}`");
             }
+            Some(FaultKind::Sleep(millis)) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
             Some(FaultKind::IoError) | None => {}
         }
     }
 
-    /// An I/O fault point: returns an injected error (or panics, for
-    /// crash/panic kinds) when the armed plan schedules a fault for this
-    /// hit.
+    /// An I/O fault point: returns an injected error (or panics/stalls,
+    /// for the other kinds) when the armed plan schedules a fault for
+    /// this hit.
     pub(crate) fn io(point: &'static str) -> std::io::Result<()> {
         match check(point) {
             Some(FaultKind::IoError) => Err(std::io::Error::other(format!(
@@ -230,6 +271,10 @@ mod active {
             }
             Some(FaultKind::Panic) => {
                 panic!("injected panic at fault point `{point}`");
+            }
+            Some(FaultKind::Sleep(millis)) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                Ok(())
             }
             None => Ok(()),
         }
@@ -251,6 +296,24 @@ pub(crate) fn io(_point: &'static str) -> std::io::Result<()> {
 
 #[cfg(feature = "faultpoints")]
 pub(crate) use active::{io, trigger};
+
+/// Public non-I/O fault hook for instrumented points living outside
+/// this crate (the serving layer's `serve.*` points): records a hit of
+/// `point` and fires the armed fault, if any. A no-op without the
+/// `faultpoints` feature.
+#[inline]
+pub fn hit(point: &'static str) {
+    trigger(point)
+}
+
+/// Public I/O fault hook for instrumented points living outside this
+/// crate: returns the injected `std::io::Error` (or panics/stalls, for
+/// the other kinds) when the armed plan schedules a fault for this hit.
+/// Always `Ok` without the `faultpoints` feature.
+#[inline]
+pub fn io_hit(point: &'static str) -> std::io::Result<()> {
+    io(point)
+}
 
 #[cfg(all(test, feature = "faultpoints"))]
 mod tests {
@@ -278,5 +341,31 @@ mod tests {
     fn unarmed_points_are_inert() {
         trigger("t.unarmed");
         assert!(io("t.unarmed").is_ok());
+    }
+
+    #[test]
+    fn sleep_faults_stall_then_continue() {
+        let _armed = arm(FaultPlan::new().sleep_at("t.sleep", 1, 30));
+        let start = std::time::Instant::now();
+        hit("t.sleep");
+        assert!(start.elapsed() >= std::time::Duration::from_millis(30));
+        // Second hit is unscheduled: no stall.
+        let start = std::time::Instant::now();
+        hit("t.sleep");
+        assert!(start.elapsed() < std::time::Duration::from_millis(30));
+    }
+
+    #[test]
+    fn sleep_from_unrolls_a_hit_range() {
+        let _armed = arm(FaultPlan::new().sleep_from("t.range", 2, 2, 20));
+        let timed = |point| {
+            let start = std::time::Instant::now();
+            assert!(io_hit(point).is_ok());
+            start.elapsed()
+        };
+        assert!(timed("t.range") < std::time::Duration::from_millis(20)); // hit 1
+        assert!(timed("t.range") >= std::time::Duration::from_millis(20)); // hit 2
+        assert!(timed("t.range") >= std::time::Duration::from_millis(20)); // hit 3
+        assert!(timed("t.range") < std::time::Duration::from_millis(20)); // hit 4
     }
 }
