@@ -6,9 +6,19 @@
 //! repetition — once with span observation fully off (the default: one
 //! relaxed atomic load per span site) and once with the ring collector
 //! installed — interleaved so container load drift hits both modes
-//! equally, and compares the best repetitions. The always-on metrics
-//! registry is active in both modes, so the ratio isolates the cost of
-//! *collecting spans*, the knob a deployment actually toggles.
+//! equally, and takes the *median of the per-repetition paired ratios*:
+//! each pair runs back-to-back under the same ambient load, so a load
+//! burst inflates both members instead of skewing the comparison, and
+//! the median discards the burst-hit pairs entirely. (Comparing
+//! best-of-N times across all reps is measurably flakier on shared
+//! containers: one quiet baseline rep against nine noisy collector reps
+//! reads as phantom overhead.) The always-on metrics
+//! registry is active in both modes, and the whole workload runs under
+//! a minted [`TraceContext`] so the collector-on mode also pays for
+//! stamping `trace_id`/`request_id` onto every span, matching what the
+//! serving layer does per request. The ratio therefore isolates the
+//! cost of *collecting (trace-stamped) spans*, the knob a deployment
+//! actually toggles.
 //!
 //! The run asserts the collector-on mode stays within 5% of baseline —
 //! the acceptance bar stated in ARCHITECTURE.md.
@@ -18,6 +28,7 @@
 use explain::{ExplanationPipeline, TemplateFlavor};
 use finkg::apps::control;
 use std::sync::Arc;
+use vadalog::obs::context::{self, TraceContext};
 use vadalog::obs::span::{self, RingCollector};
 use vadalog::telemetry::JsonWriter;
 use vadalog::ChaseSession;
@@ -28,12 +39,14 @@ const BUNDLE_PROOFS: usize = 8;
 const SEED: u64 = 42;
 const OVERHEAD_BAR: f64 = 1.05;
 
-/// One full Fig. 18-style pass: chase, pipeline, explain every target.
-/// Returns wall-clock seconds.
+/// One full Fig. 18-style pass: chase, pipeline, explain every target,
+/// all under a minted trace context (as the serving layer would run
+/// it). Returns wall-clock seconds.
 fn workload() -> f64 {
     let program = control::program();
     let glossary = control::glossary();
     let bundle = finkg::control_bundle(BUNDLE_LEN, BUNDLE_PROOFS, SEED);
+    let _ctx = context::set(TraceContext::mint());
     let t0 = std::time::Instant::now();
     let outcome = ChaseSession::new(&program)
         .run(bundle.database.clone())
@@ -60,24 +73,27 @@ fn main() {
     let ring = Arc::new(RingCollector::new(1 << 20));
     let mut collector_off = f64::INFINITY;
     let mut collector_on = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(REPS);
     let mut spans_per_pass = 0u64;
     // Warm-up pass so index/bundle construction cold-start hits neither
     // measured mode.
     let _ = workload();
     for _ in 0..REPS {
         span::uninstall();
-        collector_off = collector_off.min(workload());
+        let off = workload();
+        collector_off = collector_off.min(off);
 
         span::install(ring.clone());
-        collector_on = collector_on.min(workload());
+        let on = workload();
+        collector_on = collector_on.min(on);
         span::uninstall();
         spans_per_pass = ring.drain().len() as u64 + ring.dropped();
+        if off > 0.0 {
+            ratios.push(on / off);
+        }
     }
-    let ratio = if collector_off > 0.0 {
-        collector_on / collector_off
-    } else {
-        1.0
-    };
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios.get(ratios.len() / 2).copied().unwrap_or(1.0);
 
     let mut w = JsonWriter::new();
     w.open_object();
@@ -86,11 +102,15 @@ fn main() {
     w.field_str(
         "description",
         "Observability overhead on the Fig. 18 workload (seeded control \
-         bundle: chase + explanation pipeline + per-target explanations). \
-         Interleaved best-of-N wall-clock with the span ring collector \
-         installed vs. span observation off; the always-on metrics \
-         registry is active in both modes. The acceptance bar is a ratio \
-         below 1.05. Regenerate with `cargo run --release -p bench --bin \
+         bundle: chase + explanation pipeline + per-target explanations, \
+         run under a minted trace context as the serving layer would). \
+         The overhead ratio is the median of per-repetition paired \
+         wall-clock ratios (collector installed vs. span observation \
+         off, run back-to-back so ambient load cancels); best-of-N \
+         times per mode are reported alongside. The always-on metrics \
+         registry is active in both modes and collected spans carry \
+         trace_id/request_id. The acceptance bar is a ratio below 1.05. \
+         Regenerate with `cargo run --release -p bench --bin \
          obs_overhead -- $(date +%F)`.",
     );
     w.key("workload");
@@ -104,14 +124,14 @@ fn main() {
     w.field_u64("repetitions", REPS as u64);
     w.field_f64("best_collector_off_ms", collector_off * 1e3);
     w.field_f64("best_collector_on_ms", collector_on * 1e3);
-    w.field_f64("overhead_ratio", ratio);
+    w.field_f64("median_paired_overhead_ratio", ratio);
     w.field_f64("acceptance_bar", OVERHEAD_BAR);
     w.close_object();
 
     std::fs::create_dir_all("results").expect("results dir");
     std::fs::write("results/BENCH_obs.json", pretty(&w.finish())).expect("write results");
     println!(
-        "collector off {:.2}ms, on {:.2}ms -> overhead x{ratio:.4} ({spans_per_pass} spans/pass)",
+        "collector off {:.2}ms, on {:.2}ms -> median paired overhead x{ratio:.4} ({spans_per_pass} spans/pass)",
         collector_off * 1e3,
         collector_on * 1e3,
     );

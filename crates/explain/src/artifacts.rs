@@ -153,6 +153,10 @@ impl ProgramArtifacts {
         if outcome.database.len() <= id.0 as usize {
             return Err(ExplainError::UnknownFact(id));
         }
+        let _span = vadalog::span!(
+            "explain.query",
+            fact = outcome.database.fact(id).to_string()
+        );
         if !outcome.graph.is_derived(id) {
             return Err(ExplainError::ExtensionalFact(id));
         }

@@ -9,11 +9,18 @@
 //! finkg-serve [--app control|stress|simple-stress|close-links|sanctions|joint-exposure|golden-power]
 //!             [--addr 127.0.0.1:7878] [--scale N] [--seed S] [--workers W]
 //!             [--max-connections C] [--deadline-ms MS]
+//!             [--flight-capacity N] [--slow-query-ms MS]
 //! ```
 //!
 //! `--max-connections` bounds the concurrent connection-handler pool
 //! (excess connections get an immediate `503` + `Retry-After`);
-//! `--deadline-ms` sets the per-request deadline (0 disables it).
+//! `--deadline-ms` sets the per-request deadline (0 disables it);
+//! `--flight-capacity` sizes the flight recorder's span ring; and
+//! `--slow-query-ms` sets the slow-query capture threshold (default
+//! 1000; 0 captures every goal — handy for smoke tests). The flight
+//! recorder is installed as the process span sink,
+//! so `/debug/flight` always holds the most recent spans and every
+//! failure event freezes a snapshot.
 //!
 //! With `--scale N` the server generates a random graph of `N` entities
 //! (seeded, reproducible); without it, the representative Sec. 5
@@ -126,6 +133,8 @@ struct Args {
     workers: usize,
     max_connections: Option<usize>,
     deadline_ms: Option<u64>,
+    flight_capacity: Option<usize>,
+    slow_query_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -137,6 +146,8 @@ fn parse_args() -> Result<Args, String> {
         workers: 0,
         max_connections: None,
         deadline_ms: None,
+        flight_capacity: None,
+        slow_query_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -175,9 +186,23 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--deadline-ms: {e}"))?,
                 )
             }
+            "--flight-capacity" => {
+                args.flight_capacity = Some(
+                    value("--flight-capacity")?
+                        .parse()
+                        .map_err(|e| format!("--flight-capacity: {e}"))?,
+                )
+            }
+            "--slow-query-ms" => {
+                args.slow_query_ms = Some(
+                    value("--slow-query-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slow-query-ms: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 println!(
-                    "finkg-serve [--app control|stress|simple-stress|close-links|sanctions|joint-exposure|golden-power]\n            [--addr HOST:PORT] [--scale N] [--seed S] [--workers W]\n            [--max-connections C] [--deadline-ms MS]"
+                    "finkg-serve [--app control|stress|simple-stress|close-links|sanctions|joint-exposure|golden-power]\n            [--addr HOST:PORT] [--scale N] [--seed S] [--workers W]\n            [--max-connections C] [--deadline-ms MS]\n            [--flight-capacity N] [--slow-query-ms MS]"
                 );
                 std::process::exit(0);
             }
@@ -238,14 +263,29 @@ fn main() {
         artifacts.templates(explain::TemplateFlavor::Enhanced).len()
     );
 
+    // The flight recorder doubles as the process span sink: spans from
+    // every request land in its bounded ring, and each failure event
+    // freezes a snapshot served on /debug/flight.
+    let flight = vadalog::obs::flight::global();
+    if let Some(capacity) = args.flight_capacity {
+        flight.set_span_capacity(capacity);
+    }
+    vadalog::obs::span::install(flight.clone());
+
     let handle = SnapshotHandle::new(outcome);
-    let mut config = ServeConfig::default().with_workers(args.workers);
+    let mut config = ServeConfig::default()
+        .with_workers(args.workers)
+        .with_app_label(app.name);
     if let Some(max_connections) = args.max_connections {
         config = config.with_max_connections(max_connections);
     }
     if let Some(ms) = args.deadline_ms {
         let deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
         config = config.with_request_deadline(deadline);
+    }
+    if let Some(ms) = args.slow_query_ms {
+        // Zero is a threshold, not a disable: every goal gets captured.
+        config = config.with_slow_query_threshold(Some(std::time::Duration::from_millis(ms)));
     }
     let service = Arc::new(ExplainService::new(artifacts, handle, config));
     let server = match HttpServer::bind(&args.addr, service) {
@@ -260,6 +300,8 @@ fn main() {
     println!("  GET  /ready     readiness (503 while snapshot publishing is degraded)");
     println!("  GET  /metrics   Prometheus metrics");
     println!("  GET  /snapshot  current snapshot summary");
+    println!("  GET  /debug/flight  flight recorder (last failure snapshot + live tail)");
+    println!("  GET  /debug/slow    slow-query log (span tree per slow goal)");
     println!(
         "  POST /explain   goal fact literals, e.g. {}(...).",
         app.goal

@@ -20,19 +20,36 @@
 //!
 //! | Method & path   | Behaviour                                          |
 //! |-----------------|----------------------------------------------------|
-//! | `GET /health`   | liveness + current snapshot version                |
+//! | `GET /health`   | liveness + build info (crate version, enabled features) + current snapshot version |
 //! | `GET /ready`    | readiness: `200 ready` or `503 degraded` while snapshot publishes fail |
 //! | `GET /metrics`  | Prometheus text of the process metrics registry    |
 //! | `GET /snapshot` | current snapshot version, update kind (`full`/`delta`), delta fact counts, database size |
 //! | `POST /explain` | body = goal fact literals (`control("B","D").`), one per line; answers each in order |
+//! | `GET /debug/flight` | flight recorder: last failure snapshot + live span/event tail |
+//! | `GET /debug/slow`   | slow-query log: goal text + span tree per slow explanation |
 //!
 //! Hostile-input responses: `413` for a `Content-Length` above the body
 //! cap (instead of silently truncating), `431` for an oversized request
 //! head, `400` for unparseable requests or goal batches above the
 //! per-batch cap, `503` + `Retry-After` when the connection pool or the
 //! job queue is saturated.
+//!
+//! ## Request tracing
+//!
+//! Every routed request runs under a [`TraceContext`]: the handler
+//! honours an inbound `x-vadalog-trace-id` header (minting an id when
+//! absent), echoes it on the response, and keeps the context current
+//! for the whole dispatch — so the `serve.request` span, the worker
+//! pool's `serve.goal` spans and the pipeline's spans all carry the
+//! same trace id, and every request lands one
+//! `vadalog_serve_request_seconds{endpoint,status,app}` observation
+//! plus a `request` event in the flight recorder. The `status` label
+//! distinguishes per-goal deadline exhaustion (`exhausted`) from
+//! whole-batch sheds (`shed`) — both previously looked like "request
+//! done" in the access log.
 
 use crate::service::{ExplainService, ServeConfig, ServeError};
+use explain::ExplainError;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -40,6 +57,8 @@ use std::sync::mpsc::Receiver;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use vadalog::obs::context::{self, TraceContext};
+use vadalog::obs::flight;
 use vadalog::obs::json::JsonWriter;
 
 /// A running HTTP server; dropping it (or calling
@@ -105,6 +124,10 @@ impl HttpServer {
                     let _ = conn.set_write_timeout(Some(write_timeout.max(MIN_TIMEOUT)));
                     if !reserve_slot(&accept_active, max_connections) {
                         reject_metric("connection_pool_full");
+                        flight::global().failure(
+                            "shed",
+                            format!("connection shed: all {max_connections} handler slots busy"),
+                        );
                         let _ = respond(
                             &mut conn,
                             "503 Service Unavailable",
@@ -209,6 +232,8 @@ struct Request {
     method: String,
     path: String,
     body: String,
+    /// The inbound `x-vadalog-trace-id` header value, if present.
+    trace_id: Option<String>,
 }
 
 /// Why a request was refused before routing.
@@ -284,6 +309,7 @@ fn read_request(conn: &mut TcpStream, config: &ServeConfig) -> Result<Request, R
         return Err(RequestError::Malformed);
     }
     let mut content_length = 0usize;
+    let mut trace_id = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -291,6 +317,8 @@ fn read_request(conn: &mut TcpStream, config: &ServeConfig) -> Result<Request, R
                     .trim()
                     .parse()
                     .map_err(|_| RequestError::BadContentLength)?;
+            } else if name.eq_ignore_ascii_case("x-vadalog-trace-id") {
+                trace_id = Some(value.trim().to_owned());
             }
         }
     }
@@ -325,6 +353,7 @@ fn read_request(conn: &mut TcpStream, config: &ServeConfig) -> Result<Request, R
         method,
         path,
         body: String::from_utf8_lossy(&body).into_owned(),
+        trace_id,
     })
 }
 
@@ -376,71 +405,176 @@ fn retry_after_secs(retry_after: Duration) -> String {
     retry_after.as_secs().max(1).to_string()
 }
 
-/// Routes one connection.
+/// Latency-histogram bounds in seconds (sub-millisecond cache hits up
+/// to the 10 s default request deadline).
+const REQUEST_SECONDS_BOUNDS: &[f64] = &[
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Records one request in
+/// `vadalog_serve_request_seconds{endpoint,status,app}`.
+fn observe_request(app: &str, endpoint: &'static str, status: &'static str, elapsed: Duration) {
+    vadalog::obs::metrics::global()
+        .float_histogram_with(
+            "vadalog_serve_request_seconds",
+            &[("endpoint", endpoint), ("status", status), ("app", app)],
+            REQUEST_SECONDS_BOUNDS,
+            "HTTP request latency in seconds, by endpoint and access-log disposition.",
+        )
+        .observe(elapsed.as_secs_f64());
+}
+
+/// The bounded endpoint label (known routes only, so hostile paths
+/// cannot inflate the metric's cardinality).
+fn endpoint_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("GET", "/health") => "health",
+        ("GET", "/ready") => "ready",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/snapshot") => "snapshot",
+        ("GET", "/debug/flight") => "debug_flight",
+        ("GET", "/debug/slow") => "debug_slow",
+        ("POST", "/explain") => "explain",
+        _ => "other",
+    }
+}
+
+/// One routed response, written exactly once by [`handle_connection`]
+/// with the request's trace id echoed.
+struct Response {
+    status: &'static str,
+    content_type: &'static str,
+    body: String,
+    /// `Retry-After` hint for shed responses.
+    retry_after: Option<Duration>,
+    /// Access-log disposition: the `status` label on the latency
+    /// histogram and the flight recorder's `request` events. `ok`,
+    /// `exhausted` (≥1 goal tripped the per-request deadline — a `200`
+    /// with per-goal errors), `error` (≥1 goal failed otherwise),
+    /// `shed` (whole batch refused with `503`), `bad_request`,
+    /// `degraded`, `not_found`.
+    disposition: &'static str,
+}
+
+impl Response {
+    /// A JSON response with no retry hint.
+    fn json(status: &'static str, body: String, disposition: &'static str) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+            retry_after: None,
+            disposition,
+        }
+    }
+}
+
+/// Routes one connection: parses the request, installs its
+/// [`TraceContext`] (inbound `x-vadalog-trace-id` or minted) for the
+/// whole dispatch, observes the latency histogram and access-log flight
+/// event, and echoes the trace id on the response.
 fn handle_connection(conn: &mut TcpStream, service: &ExplainService) -> std::io::Result<()> {
     vadalog::faultpoint::hit("serve.handler");
     let config = service.config();
+    let started = Instant::now();
     let request = match read_request(conn, config) {
         Ok(request) => request,
         Err(RequestError::Io(e)) => return Err(e),
-        Err(RequestError::HeadTooLarge) => {
-            reject_metric("head_too_large");
-            return respond(
-                conn,
-                "431 Request Header Fields Too Large",
-                "application/json",
-                &error_body(&format!(
-                    "request head exceeds {} bytes",
-                    config.max_head_bytes
-                )),
-                &[],
-            );
-        }
-        Err(RequestError::BodyTooLarge(declared)) => {
-            reject_metric("body_too_large");
-            return respond(
-                conn,
-                "413 Payload Too Large",
-                "application/json",
-                &error_body(&format!(
-                    "content-length {declared} exceeds the {}-byte body cap",
-                    config.max_body_bytes
-                )),
-                &[],
-            );
-        }
-        Err(RequestError::BadContentLength) => {
-            reject_metric("bad_content_length");
-            return respond(
-                conn,
-                "400 Bad Request",
-                "application/json",
-                &error_body("content-length is not a number"),
-                &[],
-            );
-        }
-        Err(RequestError::Malformed) => {
-            reject_metric("malformed");
-            return respond(
-                conn,
-                "400 Bad Request",
-                "application/json",
-                &error_body("unparseable request line"),
-                &[],
-            );
+        Err(refused) => {
+            let (status, reason, detail) = match refused {
+                RequestError::HeadTooLarge => (
+                    "431 Request Header Fields Too Large",
+                    "head_too_large",
+                    format!("request head exceeds {} bytes", config.max_head_bytes),
+                ),
+                RequestError::BodyTooLarge(declared) => (
+                    "413 Payload Too Large",
+                    "body_too_large",
+                    format!(
+                        "content-length {declared} exceeds the {}-byte body cap",
+                        config.max_body_bytes
+                    ),
+                ),
+                RequestError::BadContentLength => (
+                    "400 Bad Request",
+                    "bad_content_length",
+                    "content-length is not a number".to_owned(),
+                ),
+                RequestError::Malformed => (
+                    "400 Bad Request",
+                    "malformed",
+                    "unparseable request line".to_owned(),
+                ),
+                RequestError::Io(_) => unreachable!("handled above"),
+            };
+            reject_metric(reason);
+            observe_request(&config.app, "unparsed", "bad_request", started.elapsed());
+            return respond(conn, status, "application/json", &error_body(&detail), &[]);
         }
     };
+
+    let ctx = match &request.trace_id {
+        Some(inbound) => TraceContext::with_trace_id(inbound),
+        None => TraceContext::mint(),
+    };
+    let _ctx = context::set(ctx.clone());
+    let endpoint = endpoint_label(&request.method, &request.path);
+    let response = {
+        let _span = vadalog::span!(
+            "serve.request",
+            endpoint = endpoint,
+            path = request.path.as_str()
+        );
+        route(&request, service, config)
+    };
+    observe_request(
+        &config.app,
+        endpoint,
+        response.disposition,
+        started.elapsed(),
+    );
+    flight::global().event(
+        "request",
+        format!(
+            "{} {} -> {} [{}]",
+            request.method, request.path, response.status, response.disposition
+        ),
+    );
+
+    let mut headers: Vec<(&str, String)> = vec![("x-vadalog-trace-id", ctx.trace_id.to_string())];
+    if let Some(retry_after) = response.retry_after {
+        headers.push(("Retry-After", retry_after_secs(retry_after)));
+    }
+    respond(
+        conn,
+        response.status,
+        response.content_type,
+        &response.body,
+        &headers,
+    )
+}
+
+/// Dispatches a parsed request to its endpoint.
+fn route(request: &Request, service: &ExplainService, config: &ServeConfig) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => {
             let mut w = JsonWriter::new();
             w.open_object();
             w.field_str("status", "ok");
+            w.field_str("version", env!("CARGO_PKG_VERSION"));
+            w.key("features");
+            w.open_array();
+            if cfg!(feature = "faultpoints") {
+                w.value_str("faultpoints");
+            }
+            w.close_array();
+            w.field_str("app", &config.app);
             w.field_u64(
                 "snapshot_version",
                 service.snapshot_handle().current().version(),
             );
             w.close_object();
-            respond(conn, "200 OK", "application/json", &w.finish(), &[])
+            Response::json("200 OK", w.finish(), "ok")
         }
         ("GET", "/ready") => {
             let degraded = service.snapshot_handle().is_degraded();
@@ -453,20 +587,19 @@ fn handle_connection(conn: &mut TcpStream, service: &ExplainService) -> std::io:
             );
             w.field_u64("workers_alive", service.alive_workers() as u64);
             w.close_object();
-            let status = if degraded {
-                "503 Service Unavailable"
+            if degraded {
+                Response::json("503 Service Unavailable", w.finish(), "degraded")
             } else {
-                "200 OK"
-            };
-            respond(conn, status, "application/json", &w.finish(), &[])
+                Response::json("200 OK", w.finish(), "ok")
+            }
         }
-        ("GET", "/metrics") => respond(
-            conn,
-            "200 OK",
-            "text/plain; version=0.0.4",
-            &vadalog::obs::metrics::global().to_prometheus(),
-            &[],
-        ),
+        ("GET", "/metrics") => Response {
+            status: "200 OK",
+            content_type: "text/plain; version=0.0.4",
+            body: vadalog::obs::metrics::global().to_prometheus(),
+            retry_after: None,
+            disposition: "ok",
+        },
         ("GET", "/snapshot") => {
             let snapshot = service.snapshot_handle().current();
             let mut w = JsonWriter::new();
@@ -479,89 +612,113 @@ fn handle_connection(conn: &mut TcpStream, service: &ExplainService) -> std::io:
             w.field_u64("derived_facts", snapshot.outcome().derived_facts as u64);
             w.field_u64("rounds", snapshot.outcome().rounds as u64);
             w.close_object();
-            respond(conn, "200 OK", "application/json", &w.finish(), &[])
+            Response::json("200 OK", w.finish(), "ok")
         }
-        ("POST", "/explain") => match parse_goals(&request.body) {
-            Err(detail) => {
-                reject_metric("bad_request");
-                respond(
-                    conn,
-                    "400 Bad Request",
-                    "application/json",
-                    &error_body(&detail),
-                    &[],
-                )
-            }
-            Ok(goals) if goals.len() > config.max_goals_per_batch => {
-                reject_metric("too_many_goals");
-                respond(
-                    conn,
-                    "400 Bad Request",
-                    "application/json",
-                    &error_body(&format!(
-                        "batch of {} goals exceeds the per-request cap of {}",
-                        goals.len(),
-                        config.max_goals_per_batch
-                    )),
-                    &[],
-                )
-            }
-            Ok(goals) => {
-                let (version, results) = service.explain_batch(&goals);
-                // A fully shed batch is a 503 the client should retry,
-                // not a 200 with per-goal errors.
-                if !results.is_empty()
-                    && results
-                        .iter()
-                        .all(|r| matches!(r, Err(ServeError::Overloaded { .. })))
-                {
-                    reject_metric("queue_full");
-                    return respond(
-                        conn,
-                        "503 Service Unavailable",
-                        "application/json",
-                        &error_body("job queue saturated; retry later"),
-                        &[("Retry-After", retry_after_secs(config.retry_after))],
-                    );
+        ("GET", "/debug/flight") => Response::json("200 OK", flight::global().to_json(), "ok"),
+        ("GET", "/debug/slow") => Response::json("200 OK", flight::global().slow_to_json(), "ok"),
+        ("POST", "/explain") => explain_route(&request.body, service, config),
+        _ => Response {
+            status: "404 Not Found",
+            content_type: "text/plain",
+            body: "unknown endpoint; try /health, /ready, /metrics, /snapshot, \
+                   /debug/flight, /debug/slow or POST /explain\n"
+                .to_owned(),
+            retry_after: None,
+            disposition: "not_found",
+        },
+    }
+}
+
+/// `POST /explain`: parses the goal batch, answers it, and classifies
+/// the outcome so sheds, deadline exhaustion and per-goal failures stay
+/// distinguishable in the access log and metrics.
+fn explain_route(body: &str, service: &ExplainService, config: &ServeConfig) -> Response {
+    let goals = match parse_goals(body) {
+        Err(detail) => {
+            reject_metric("bad_request");
+            return Response::json("400 Bad Request", error_body(&detail), "bad_request");
+        }
+        Ok(goals) if goals.len() > config.max_goals_per_batch => {
+            reject_metric("too_many_goals");
+            return Response::json(
+                "400 Bad Request",
+                error_body(&format!(
+                    "batch of {} goals exceeds the per-request cap of {}",
+                    goals.len(),
+                    config.max_goals_per_batch
+                )),
+                "bad_request",
+            );
+        }
+        Ok(goals) => goals,
+    };
+    let (version, results) = service.explain_batch(&goals);
+    // A fully shed batch is a 503 the client should retry, not a 200
+    // with per-goal errors.
+    if !results.is_empty()
+        && results
+            .iter()
+            .all(|r| matches!(r, Err(ServeError::Overloaded { .. })))
+    {
+        reject_metric("queue_full");
+        return Response {
+            status: "503 Service Unavailable",
+            content_type: "application/json",
+            body: error_body("job queue saturated; retry later"),
+            retry_after: Some(config.retry_after),
+            disposition: "shed",
+        };
+    }
+    let mut any_error = false;
+    let mut any_exhausted = false;
+    for result in &results {
+        match result {
+            Ok(_) => {}
+            Err(
+                ServeError::Explain {
+                    source: ExplainError::ResourceExhausted { .. },
+                    ..
                 }
-                let mut w = JsonWriter::new();
-                w.open_object();
-                w.field_u64("snapshot_version", version);
-                w.key("answers");
+                | ServeError::DeadlineExceeded { .. },
+            ) => any_exhausted = true,
+            Err(_) => any_error = true,
+        }
+    }
+    let disposition = if any_error {
+        "error"
+    } else if any_exhausted {
+        "exhausted"
+    } else {
+        "ok"
+    };
+    let mut w = JsonWriter::new();
+    w.open_object();
+    w.field_u64("snapshot_version", version);
+    w.key("answers");
+    w.open_array();
+    for (goal, result) in goals.iter().zip(&results) {
+        w.open_object();
+        w.field_str("goal", &goal.to_string());
+        match result {
+            Ok(e) => {
+                w.field_str("text", &e.text);
+                w.field_u64("chase_steps", e.chase_steps as u64);
+                w.key("paths");
                 w.open_array();
-                for (goal, result) in goals.iter().zip(&results) {
-                    w.open_object();
-                    w.field_str("goal", &goal.to_string());
-                    match result {
-                        Ok(e) => {
-                            w.field_str("text", &e.text);
-                            w.field_u64("chase_steps", e.chase_steps as u64);
-                            w.key("paths");
-                            w.open_array();
-                            for p in &e.paths {
-                                w.value_str(p);
-                            }
-                            w.close_array();
-                        }
-                        Err(err) => {
-                            w.field_str("error", &render_error(err));
-                        }
-                    }
-                    w.close_object();
+                for p in &e.paths {
+                    w.value_str(p);
                 }
                 w.close_array();
-                w.close_object();
-                respond(conn, "200 OK", "application/json", &w.finish(), &[])
             }
-        },
-        _ => respond(
-            conn,
-            "404 Not Found",
-            "text/plain",
-            "unknown endpoint; try /health, /ready, /metrics, /snapshot or POST /explain\n",
-            &[],
-        ),
+            Err(err) => {
+                w.field_str("error", &render_error(err));
+            }
+        }
+        w.close_object();
     }
+    w.close_array();
+    w.close_object();
+    Response::json("200 OK", w.finish(), disposition)
 }
 
 /// Renders an error with its full `source()` chain.

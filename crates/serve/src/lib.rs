@@ -21,9 +21,27 @@
 //!   `catch_unwind`, respawned, and lost jobs retried once within the
 //!   request deadline.
 //! * [`HttpServer`] — a dependency-free HTTP/1.1 front end exposing
-//!   `/explain`, `/health`, `/ready`, `/snapshot` and the Prometheus
-//!   `/metrics` endpoint; the `finkg-serve` binary wires it to the
+//!   `/explain`, `/health`, `/ready`, `/snapshot`, the Prometheus
+//!   `/metrics` endpoint and the `/debug/flight` + `/debug/slow`
+//!   introspection endpoints; the `finkg-serve` binary wires it to the
 //!   finkg applications.
+//!
+//! # Request tracing and the flight recorder
+//!
+//! Every routed request runs under a
+//! [`TraceContext`](vadalog::obs::TraceContext): the front end honours
+//! an inbound `x-vadalog-trace-id` header (minting one when absent),
+//! echoes it on the response, and keeps the context installed across
+//! the handler thread and the worker pool — so handler, worker and
+//! pipeline spans all carry the request's trace id and can be cut out
+//! of a mixed span stream with
+//! [`to_chrome_trace_for`](vadalog::obs::to_chrome_trace_for). Failure
+//! events (sheds, deadline trips, worker panics, publish failures,
+//! degraded flips) land in the always-on
+//! [`FlightRecorder`](vadalog::obs::FlightRecorder), which freezes a
+//! snapshot of its recent-span/event rings at each failure; goals
+//! slower than [`ServeConfig::with_slow_query_threshold`] are captured
+//! with their full span tree on `GET /debug/slow`.
 //!
 //! # Overload and failure behaviour
 //!

@@ -45,6 +45,8 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendErr
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use vadalog::obs::context::{self, TraceContext};
+use vadalog::obs::{flight, span};
 use vadalog::telemetry::RunGuard;
 use vadalog::{DerivationPolicy, Fact};
 
@@ -97,6 +99,13 @@ pub struct ServeConfig {
     pub max_goals_per_batch: usize,
     /// The `Retry-After` hint attached to `503` shed responses.
     pub retry_after: Duration,
+    /// Goals slower than this are captured into the flight recorder's
+    /// slow-query log with their full span tree (`GET /debug/slow`);
+    /// `None` disables the capture (and its per-goal span recording).
+    pub slow_query_threshold: Option<Duration>,
+    /// The `app` label stamped on `vadalog_serve_request_seconds`, so
+    /// one metrics endpoint can distinguish co-hosted applications.
+    pub app: String,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +123,8 @@ impl Default for ServeConfig {
             max_body_bytes: 1 << 20,
             max_goals_per_batch: 256,
             retry_after: Duration::from_secs(1),
+            slow_query_threshold: Some(Duration::from_secs(1)),
+            app: "default".to_owned(),
         }
     }
 }
@@ -188,6 +199,18 @@ impl ServeConfig {
     /// Sets the `Retry-After` hint on shed responses.
     pub fn with_retry_after(mut self, retry_after: Duration) -> ServeConfig {
         self.retry_after = retry_after;
+        self
+    }
+
+    /// Sets (or with `None`, disables) the slow-query capture threshold.
+    pub fn with_slow_query_threshold(mut self, threshold: Option<Duration>) -> ServeConfig {
+        self.slow_query_threshold = threshold;
+        self
+    }
+
+    /// Sets the `app` label on request metrics.
+    pub fn with_app_label(mut self, app: impl Into<String>) -> ServeConfig {
+        self.app = app.into();
         self
     }
 
@@ -296,6 +319,10 @@ struct Job {
     snapshot: Arc<Snapshot>,
     index: usize,
     deadline: Option<Instant>,
+    /// The trace context of the request that submitted this job; the
+    /// worker installs it so the goal's spans and flight events carry
+    /// the submitting request's trace id across the thread hop.
+    trace: Option<TraceContext>,
     done: Sender<(usize, Result<Explanation, ServeError>)>,
 }
 
@@ -399,9 +426,10 @@ impl ExplainService {
         let alive = Arc::clone(&self.alive);
         let flavor = self.config.flavor;
         let policy = self.config.policy;
+        let slow_threshold = self.config.slow_query_threshold;
         std::thread::Builder::new()
             .name(format!("explain-worker-{id}"))
-            .spawn(move || worker_loop(&rx, &artifacts, flavor, policy, &alive))
+            .spawn(move || worker_loop(&rx, &artifacts, flavor, policy, slow_threshold, id, &alive))
             .expect("spawning explanation worker")
     }
 
@@ -515,12 +543,14 @@ impl ExplainService {
                 queued,
             };
         };
+        let trace = context::current();
         'submit: for (position, &index) in indices.iter().enumerate() {
             let mut job = Job {
                 fact: goals[index].clone(),
                 snapshot: Arc::clone(snapshot),
                 index,
                 deadline,
+                trace: trace.clone(),
                 done: done_tx.clone(),
             };
             loop {
@@ -558,6 +588,10 @@ impl ExplainService {
                     "Explanation goals shed because the job queue stayed full past the deadline.",
                 )
                 .add(shed);
+            flight::global().failure(
+                "shed",
+                format!("{shed} goals shed: job queue stayed full past the request deadline"),
+            );
         }
         BatchReceiver {
             rx: done_rx,
@@ -621,29 +655,59 @@ impl Drop for ExplainService {
     }
 }
 
-/// Runs one job: the `serve.worker` fault point, then the explanation
-/// under the remaining per-request budget.
+/// Runs one job: installs the submitting request's trace context, opens
+/// the `serve.goal` span, hits the `serve.worker` fault point, then runs
+/// the explanation under the remaining per-request budget. Goals slower
+/// than `slow_threshold` are captured (goal text + full span tree) into
+/// the flight recorder's slow-query log.
 fn run_job(
     job: &Job,
     artifacts: &ProgramArtifacts,
     flavor: TemplateFlavor,
     policy: DerivationPolicy,
+    slow_threshold: Option<Duration>,
+    worker: usize,
 ) -> Result<Explanation, ServeError> {
-    vadalog::faultpoint::hit("serve.worker");
-    let result = match job.deadline {
-        Some(deadline) => {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let guard = RunGuard::new().with_timeout(remaining);
-            artifacts.explain_fact_governed(
-                job.snapshot.outcome(),
-                &job.fact,
-                flavor,
-                policy,
-                &guard,
-            )
+    let _ctx = job.trace.clone().map(context::set);
+    // The capture is per-thread and cheap relative to an explanation;
+    // a goal's slowness is only known once it finishes, so every goal
+    // records while the threshold is armed and fast ones discard.
+    let capture = slow_threshold.map(|_| span::capture_begin());
+    let started = Instant::now();
+    let result = {
+        let _span = vadalog::span!(
+            "serve.goal",
+            goal = job.fact.to_string(),
+            worker = worker as u64
+        );
+        vadalog::faultpoint::hit("serve.worker");
+        match job.deadline {
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                let guard = RunGuard::new().with_timeout(remaining);
+                artifacts.explain_fact_governed(
+                    job.snapshot.outcome(),
+                    &job.fact,
+                    flavor,
+                    policy,
+                    &guard,
+                )
+            }
+            None => artifacts.explain_fact(job.snapshot.outcome(), &job.fact, flavor, policy),
         }
-        None => artifacts.explain_fact(job.snapshot.outcome(), &job.fact, flavor, policy),
     };
+    let elapsed = started.elapsed();
+    if let Some(capture) = capture {
+        let spans = capture.finish();
+        if slow_threshold.is_some_and(|t| elapsed >= t) {
+            flight::global().record_slow(
+                job.fact.to_string(),
+                elapsed.as_nanos() as u64,
+                job.trace.as_ref(),
+                spans,
+            );
+        }
+    }
     result.map_err(|source| {
         if matches!(source, ExplainError::ResourceExhausted { .. }) {
             vadalog::obs::metrics::global()
@@ -652,6 +716,10 @@ fn run_job(
                     "Explanation goals that tripped the per-request deadline mid-evaluation.",
                 )
                 .inc();
+            flight::global().failure(
+                "deadline_trip",
+                format!("goal {} tripped the per-request deadline", job.fact),
+            );
         }
         ServeError::Explain {
             goal: job.fact.to_string(),
@@ -672,6 +740,8 @@ fn worker_loop(
     artifacts: &ProgramArtifacts,
     flavor: TemplateFlavor,
     policy: DerivationPolicy,
+    slow_threshold: Option<Duration>,
+    worker: usize,
     alive: &AtomicUsize,
 ) {
     let _presence = AlivePresence::enter(alive);
@@ -685,7 +755,7 @@ fn worker_loop(
         };
         let Ok(job) = job else { return };
         match panic::catch_unwind(AssertUnwindSafe(|| {
-            run_job(&job, artifacts, flavor, policy)
+            run_job(&job, artifacts, flavor, policy, slow_threshold, worker)
         })) {
             Ok(result) => {
                 // A dropped batch receiver just discards the answer.
@@ -709,6 +779,16 @@ fn worker_loop(
                     return;
                 }
                 let message = panic_message(payload.as_ref());
+                {
+                    // Re-install the job's context (the unwind dropped
+                    // run_job's guard) so the flight event carries the
+                    // panicking request's trace id.
+                    let _ctx = job.trace.clone().map(context::set);
+                    flight::global().failure(
+                        "worker_panic",
+                        format!("worker {worker} panicked answering {}: {message}", job.fact),
+                    );
+                }
                 let _ = job.done.send((
                     job.index,
                     Err(ServeError::WorkerPanic {
@@ -826,7 +906,9 @@ mod tests {
             .with_max_head_bytes(1024)
             .with_max_body_bytes(2048)
             .with_max_goals_per_batch(9)
-            .with_retry_after(Duration::from_secs(2));
+            .with_retry_after(Duration::from_secs(2))
+            .with_slow_query_threshold(Some(Duration::from_millis(50)))
+            .with_app_label("audit");
         assert_eq!(config.workers, 3);
         assert_eq!(config.effective_workers(), 3);
         assert_eq!(config.queue_depth, 7);
@@ -837,6 +919,40 @@ mod tests {
         assert_eq!(config.max_body_bytes, 2048);
         assert_eq!(config.max_goals_per_batch, 9);
         assert_eq!(config.retry_after, Duration::from_secs(2));
+        assert_eq!(config.slow_query_threshold, Some(Duration::from_millis(50)));
+        assert_eq!(config.app, "audit");
+    }
+
+    #[test]
+    fn slow_goals_land_in_the_flight_recorder_with_their_trace() {
+        let (reference, goals) = service(1);
+        let service = ExplainService::new(
+            Arc::clone(reference.artifacts()),
+            reference.snapshot_handle().clone(),
+            ServeConfig::default()
+                .with_workers(1)
+                // Zero threshold: every goal is "slow".
+                .with_slow_query_threshold(Some(Duration::ZERO)),
+        );
+        let ctx = TraceContext::with_trace_id("slow-capture-test");
+        let _ctx = context::set(ctx.clone());
+        let (_, results) = service.explain_batch(&goals[..1]);
+        assert!(results[0].is_ok());
+        let slow = flight::global().slow_queries();
+        let entry = slow
+            .iter()
+            .find(|q| q.trace_id.as_deref() == Some("slow-capture-test"))
+            .expect("the slow goal must be captured with its trace id");
+        assert_eq!(entry.goal, goals[0].to_string());
+        assert!(
+            entry.spans.iter().any(|s| s.name == "serve.goal"),
+            "captured tree must include the serve.goal span: {:?}",
+            entry.spans.iter().map(|s| s.name).collect::<Vec<_>>()
+        );
+        assert!(entry
+            .spans
+            .iter()
+            .all(|s| s.trace_id.as_deref() == Some("slow-capture-test")));
     }
 
     #[test]

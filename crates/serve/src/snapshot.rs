@@ -220,13 +220,28 @@ impl SnapshotHandle {
     }
 
     fn set_degraded(&self, degraded: bool) {
-        self.degraded.store(degraded, Ordering::Release);
+        let was = self.degraded.swap(degraded, Ordering::AcqRel);
         vadalog::obs::metrics::global()
             .gauge(
                 "vadalog_serve_degraded",
                 "1 while the last snapshot publish failed (serving the last good snapshot), 0 when healthy.",
             )
             .set(u64::from(degraded));
+        // Record only actual transitions, not every healthy publish.
+        if was != degraded {
+            let recorder = vadalog::obs::flight::global();
+            if degraded {
+                recorder.failure(
+                    "degraded",
+                    "snapshot publish failed; serving the last good snapshot",
+                );
+            } else {
+                recorder.event(
+                    "recovered",
+                    "snapshot publish succeeded; degradation cleared",
+                );
+            }
+        }
     }
 
     /// Atomically publishes `update` as the next version and returns
@@ -284,6 +299,7 @@ impl SnapshotHandle {
                     "Snapshot publish attempts that failed.",
                 )
                 .inc();
+            vadalog::obs::flight::global().failure("publish_failure", e.to_string());
             self.set_degraded(true);
             return Err(e);
         }

@@ -279,3 +279,55 @@ fn slow_handler_injection_delays_but_does_not_break_requests() {
     );
     server.stop();
 }
+
+#[test]
+fn injected_worker_panic_lands_in_the_flight_recorder_with_the_request_trace() {
+    let (mut server, _handle) = boot_scenario(ServeConfig::default().with_workers(2));
+    let addr = server.addr();
+    let _faults = arm(FaultPlan::new().panic_at("serve.worker", 1));
+
+    let goal = "control(\"B\", \"D\").";
+    let request = format!(
+        "POST /explain HTTP/1.1\r\nHost: x\r\nx-vadalog-trace-id: chaos-flight-7\r\nContent-Length: {}\r\n\r\n{}",
+        goal.len(),
+        goal
+    );
+    let (status, head, body) = http(addr, &request);
+    // The panic is isolated and retried: the client still gets its
+    // answer, with its trace id echoed.
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        head.contains("x-vadalog-trace-id: chaos-flight-7"),
+        "{head}"
+    );
+    assert!(body.contains("\"text\":"), "{body}");
+
+    // The panic froze a flight snapshot; the worker_panic event carries
+    // the panicking request's trace id. Search the snapshot and the
+    // live tail (a later failure from a parallel test may have taken a
+    // newer snapshot).
+    let (status, _, flight) = http(addr, "GET /debug/flight HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    let doc = vadalog::obs::json::parse(&flight).expect("/debug/flight is valid JSON");
+    let mut events = Vec::new();
+    if let Some(snapshot) = doc.get("snapshot") {
+        if let Some(list) = snapshot.get("events").and_then(|e| e.as_arr()) {
+            events.extend(list.iter());
+        }
+    }
+    if let Some(list) = doc
+        .get("tail")
+        .and_then(|t| t.get("events"))
+        .and_then(|e| e.as_arr())
+    {
+        events.extend(list.iter());
+    }
+    assert!(
+        events.iter().any(|e| {
+            e.get("kind").and_then(|v| v.as_str()) == Some("worker_panic")
+                && e.get("trace_id").and_then(|v| v.as_str()) == Some("chaos-flight-7")
+        }),
+        "no worker_panic event with the request's trace id in {flight}"
+    );
+    server.stop();
+}

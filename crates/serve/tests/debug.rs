@@ -1,0 +1,199 @@
+//! End-to-end tests of the request-tracing and debug introspection
+//! surface: trace-id echo, `/debug/flight` and `/debug/slow`
+//! parse-backs over a live socket, and trace propagation across
+//! handler, worker and pipeline spans.
+
+use explain::ProgramArtifacts;
+use serve::{ExplainService, HttpServer, ServeConfig, SnapshotHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use vadalog::obs::json::{self, JsonValue};
+use vadalog::obs::span::{self, RingCollector};
+use vadalog::obs::to_chrome_trace_for;
+use vadalog::ChaseSession;
+
+/// The span collector is process-global; tests that install a ring
+/// serialize on this lock.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn boot(config: ServeConfig) -> HttpServer {
+    let program = finkg::apps::control::program();
+    let outcome = ChaseSession::new(&program)
+        .run(finkg::scenario::database())
+        .unwrap();
+    let artifacts = ProgramArtifacts::builder(program, finkg::apps::control::GOAL)
+        .with_glossary(&finkg::apps::control::glossary())
+        .build_cached()
+        .unwrap();
+    let service = Arc::new(ExplainService::new(
+        artifacts,
+        SnapshotHandle::new(outcome),
+        config,
+    ));
+    HttpServer::bind("127.0.0.1:0", service).unwrap()
+}
+
+/// One-shot request; returns (status line, head, body).
+fn http(addr: std::net::SocketAddr, request: &str) -> (String, String, String) {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(request.as_bytes()).unwrap();
+    let mut text = String::new();
+    conn.read_to_string(&mut text).unwrap();
+    let status = text.lines().next().unwrap_or_default().to_owned();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_owned(), b.to_owned()))
+        .unwrap_or((text.clone(), String::new()));
+    (status, head, body)
+}
+
+fn explain_request(goal: &str, trace_id: Option<&str>) -> String {
+    let trace = trace_id
+        .map(|t| format!("x-vadalog-trace-id: {t}\r\n"))
+        .unwrap_or_default();
+    format!(
+        "POST /explain HTTP/1.1\r\nHost: x\r\n{trace}Content-Length: {}\r\n\r\n{goal}",
+        goal.len()
+    )
+}
+
+#[test]
+fn inbound_trace_id_is_echoed_and_minted_when_absent() {
+    let mut server = boot(ServeConfig::default().with_workers(1));
+    let addr = server.addr();
+
+    let (status, head, _) = http(
+        addr,
+        "GET /health HTTP/1.1\r\nHost: x\r\nx-vadalog-trace-id: audit-7\r\n\r\n",
+    );
+    assert!(status.contains("200"), "{status}");
+    assert!(head.contains("x-vadalog-trace-id: audit-7"), "{head}");
+
+    // Without an inbound header the server mints one.
+    let (_, head, _) = http(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(head.contains("x-vadalog-trace-id: vt-"), "{head}");
+    server.stop();
+}
+
+#[test]
+fn health_reports_build_info() {
+    let mut server = boot(ServeConfig::default().with_workers(1));
+    let (status, _, body) = http(server.addr(), "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    let doc = json::parse(&body).expect("health is valid JSON");
+    assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("ok"));
+    assert_eq!(
+        doc.get("version").and_then(JsonValue::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(doc.get("features").and_then(JsonValue::as_arr).is_some());
+    server.stop();
+}
+
+#[test]
+fn debug_flight_and_slow_parse_back_over_http() {
+    // A zero threshold marks every goal slow, so one answered request
+    // is guaranteed to populate /debug/slow.
+    let mut server = boot(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_slow_query_threshold(Some(Duration::ZERO)),
+    );
+    let addr = server.addr();
+    let goal = "control(\"B\", \"D\").";
+    let (status, _, _) = http(addr, &explain_request(goal, Some("debug-parse-test")));
+    assert!(status.contains("200"), "{status}");
+
+    let (status, _, body) = http(addr, "GET /debug/flight HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    let doc = json::parse(&body).expect("/debug/flight is valid JSON");
+    assert!(doc.get("snapshots_taken").is_some(), "{body}");
+    let tail = doc.get("tail").expect("tail object");
+    let events = tail
+        .get("events")
+        .and_then(JsonValue::as_arr)
+        .expect("events array");
+    // The /explain request above landed an access-log event.
+    assert!(
+        events.iter().any(|e| {
+            e.get("kind").and_then(JsonValue::as_str) == Some("request")
+                && e.get("trace_id").and_then(JsonValue::as_str) == Some("debug-parse-test")
+        }),
+        "{body}"
+    );
+
+    let (status, _, body) = http(addr, "GET /debug/slow HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    let doc = json::parse(&body).expect("/debug/slow is valid JSON");
+    let slow = doc
+        .get("slow")
+        .and_then(JsonValue::as_arr)
+        .expect("slow array");
+    let entry = slow
+        .iter()
+        .find(|e| e.get("trace_id").and_then(JsonValue::as_str) == Some("debug-parse-test"))
+        .unwrap_or_else(|| panic!("no slow entry for the test trace in {body}"));
+    assert!(
+        entry
+            .get("goal")
+            .and_then(JsonValue::as_str)
+            .is_some_and(|g| g.contains("control")),
+        "{body}"
+    );
+    // The captured span tree includes the worker-side goal span.
+    let spans = entry
+        .get("spans")
+        .and_then(JsonValue::as_arr)
+        .expect("spans array");
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.get("name").and_then(JsonValue::as_str) == Some("serve.goal")),
+        "{body}"
+    );
+    server.stop();
+}
+
+#[test]
+fn one_trace_spans_handler_worker_and_pipeline() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let ring = Arc::new(RingCollector::new(1 << 16));
+    span::install(ring.clone());
+    let mut server = boot(ServeConfig::default().with_workers(2));
+    let (status, _, _) = http(
+        server.addr(),
+        &explain_request("control(\"B\", \"D\").", Some("prop-test-1")),
+    );
+    server.stop();
+    span::uninstall();
+    assert!(status.contains("200"), "{status}");
+
+    let spans = ring.drain();
+    let trace = to_chrome_trace_for(&spans, "prop-test-1");
+    let doc = json::parse(&trace).expect("filtered export is valid JSON");
+    let events = doc.as_arr().expect("event array");
+    assert!(!events.is_empty(), "no spans carried the request's trace");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+        .collect();
+    // Handler, worker pool and explanation pipeline all stamped the
+    // same trace id.
+    for expected in ["serve.request", "serve.goal", "explain.query"] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+    // Everything else in the ring (other tests' requests, untraced
+    // spans) is excluded by the filter.
+    for e in events {
+        assert_eq!(
+            e.get("args")
+                .and_then(|a| a.get("trace_id"))
+                .and_then(JsonValue::as_str),
+            Some("prop-test-1")
+        );
+    }
+}

@@ -49,6 +49,12 @@ pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
         if let Some(parent) = span.parent {
             w.field_u64("parent_id", parent);
         }
+        if let Some(trace_id) = &span.trace_id {
+            w.field_str("trace_id", trace_id);
+        }
+        if let Some(request_id) = span.request_id {
+            w.field_u64("request_id", request_id);
+        }
         for (key, value) in &span.fields {
             match value {
                 FieldValue::U64(v) => w.field_u64(key, *v),
@@ -66,6 +72,19 @@ pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
     }
     w.close_array();
     w.finish()
+}
+
+/// Renders only the spans belonging to one request — those whose
+/// `trace_id` equals `trace_id` — as a Chrome trace. This is how a
+/// mixed collector (many concurrent requests, engine background spans)
+/// is cut down to a single request's span tree for export.
+pub fn to_chrome_trace_for(spans: &[SpanRecord], trace_id: &str) -> String {
+    let filtered: Vec<SpanRecord> = spans
+        .iter()
+        .filter(|s| s.trace_id.as_deref() == Some(trace_id))
+        .cloned()
+        .collect();
+    to_chrome_trace(&filtered)
 }
 
 /// The span's taxonomy root (`chase` in `chase.round`), used as the
@@ -88,6 +107,8 @@ mod tests {
             thread: 1,
             start_ns: 1_500,
             duration_ns: 2_500,
+            trace_id: None,
+            request_id: None,
         }
     }
 
@@ -125,5 +146,36 @@ mod tests {
     fn empty_span_list_is_an_empty_array() {
         let parsed = json::parse(&to_chrome_trace(&[])).expect("valid JSON");
         assert_eq!(parsed.as_arr().map(<[_]>::len), Some(0));
+    }
+
+    #[test]
+    fn trace_context_lands_in_args_and_filters_the_export() {
+        let mut tagged = record(3, None, "serve.goal");
+        tagged.trace_id = Some("req-42".into());
+        tagged.request_id = Some(42);
+        let spans = vec![record(1, None, "chase.run"), tagged];
+
+        let full = json::parse(&to_chrome_trace(&spans)).expect("valid JSON");
+        let args = full.as_arr().unwrap()[1].get("args").expect("args");
+        assert_eq!(
+            args.get("trace_id").and_then(JsonValue::as_str),
+            Some("req-42")
+        );
+        assert_eq!(args.get("request_id").and_then(JsonValue::as_u64), Some(42));
+
+        let one = json::parse(&to_chrome_trace_for(&spans, "req-42")).expect("valid JSON");
+        let events = one.as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].get("name").and_then(JsonValue::as_str),
+            Some("serve.goal")
+        );
+        assert_eq!(
+            json::parse(&to_chrome_trace_for(&spans, "other"))
+                .unwrap()
+                .as_arr()
+                .map(<[_]>::len),
+            Some(0)
+        );
     }
 }

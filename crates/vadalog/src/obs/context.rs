@@ -1,0 +1,164 @@
+//! Request-scoped trace context: the identity that links every span a
+//! request produces — across the HTTP handler, the serving worker pool
+//! and the explanation pipeline — into one exportable tree.
+//!
+//! A [`TraceContext`] is minted once per request at the system edge
+//! (the HTTP front end honours an inbound `x-vadalog-trace-id` header
+//! and echoes the id on the response) and then *carried*, not
+//! re-derived: the serving layer attaches it to each job it queues, and
+//! every thread that works on the request installs it with [`set`]
+//! before opening spans. While a context is current on a thread, every
+//! [`span!`](crate::span!) records the `trace_id`/`request_id` pair as
+//! first-class fields of its [`SpanRecord`](super::span::SpanRecord),
+//! so one trace id filters one request's span tree out of a mixed
+//! collector ([`crate::obs::chrome::to_chrome_trace_for`]).
+//!
+//! ```
+//! use vadalog::obs::context::{self, TraceContext};
+//!
+//! let ctx = TraceContext::mint();
+//! assert!(context::current().is_none());
+//! {
+//!     let _guard = context::set(ctx.clone());
+//!     assert_eq!(context::current(), Some(ctx));
+//! }
+//! assert!(context::current().is_none());
+//! ```
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Longest accepted inbound trace id; longer ones are truncated (a
+/// hostile header must not become an allocation or log-flood vector).
+pub const MAX_TRACE_ID_LEN: usize = 128;
+
+/// The identity of one request: a client-meaningful `trace_id`
+/// (propagated end to end and echoed on responses) plus a dense
+/// process-local `request_id` (monotonic, never reused, cheap to
+/// compare). Cloning is one `Arc` bump.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The end-to-end trace id (inbound header value, or minted).
+    pub trace_id: Arc<str>,
+    /// Process-local request sequence number (starts at 1).
+    pub request_id: u64,
+}
+
+/// Monotonic request-id source.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The context current on this thread (`None` outside any request).
+    static CURRENT: RefCell<Option<TraceContext>> = const { RefCell::new(None) };
+}
+
+impl TraceContext {
+    /// Mints a fresh context with a process-unique trace id
+    /// (`vt-<request_id hex>-<sub-second nanos hex>`).
+    pub fn mint() -> TraceContext {
+        let request_id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        TraceContext {
+            trace_id: format!("vt-{request_id:08x}-{nanos:08x}").into(),
+            request_id,
+        }
+    }
+
+    /// Adopts an inbound trace id (e.g. the `x-vadalog-trace-id` header
+    /// value), sanitized for response echoing: visible ASCII only,
+    /// truncated to [`MAX_TRACE_ID_LEN`]. An id that sanitizes to
+    /// nothing falls back to [`mint`](TraceContext::mint)'s scheme. The
+    /// `request_id` is always freshly assigned — two requests reusing
+    /// one trace id stay distinguishable.
+    pub fn with_trace_id(inbound: &str) -> TraceContext {
+        let sanitized: String = inbound
+            .chars()
+            .filter(|c| c.is_ascii_graphic())
+            .take(MAX_TRACE_ID_LEN)
+            .collect();
+        if sanitized.is_empty() {
+            return TraceContext::mint();
+        }
+        TraceContext {
+            trace_id: sanitized.into(),
+            request_id: NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
+/// Installs `ctx` as this thread's current context, returning a guard
+/// that restores the previous one (supporting nesting) on drop.
+#[must_use = "the context is uninstalled when the guard drops; bind it with `let _ctx = ...`"]
+pub fn set(ctx: TraceContext) -> ContextGuard {
+    let previous = CURRENT.with(|cell| cell.replace(Some(ctx)));
+    ContextGuard { previous }
+}
+
+/// This thread's current trace context, if a request is in progress.
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(|cell| cell.borrow().clone())
+}
+
+/// Restores the previously current context on drop (see [`set`]).
+#[derive(Debug)]
+pub struct ContextGuard {
+    previous: Option<TraceContext>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        CURRENT.with(|cell| *cell.borrow_mut() = previous);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_contexts_are_unique() {
+        let a = TraceContext::mint();
+        let b = TraceContext::mint();
+        assert_ne!(a.request_id, b.request_id);
+        assert_ne!(a.trace_id, b.trace_id);
+        assert!(a.trace_id.starts_with("vt-"));
+    }
+
+    #[test]
+    fn inbound_ids_are_sanitized_and_bounded() {
+        let ctx = TraceContext::with_trace_id("abc-123");
+        assert_eq!(&*ctx.trace_id, "abc-123");
+        // Control characters and non-ASCII are stripped (header-echo
+        // safety), length is capped.
+        let hostile = format!("a\r\nInjected: yes\u{203d}{}", "x".repeat(500));
+        let ctx = TraceContext::with_trace_id(&hostile);
+        assert!(!ctx.trace_id.contains('\r'));
+        assert!(!ctx.trace_id.contains('\n'));
+        assert!(ctx.trace_id.len() <= MAX_TRACE_ID_LEN);
+        // All-garbage ids fall back to a minted one.
+        let ctx = TraceContext::with_trace_id("\r\n\t");
+        assert!(ctx.trace_id.starts_with("vt-"));
+    }
+
+    #[test]
+    fn guards_nest_and_restore() {
+        let outer = TraceContext::mint();
+        let inner = TraceContext::mint();
+        assert!(current().is_none());
+        {
+            let _a = set(outer.clone());
+            assert_eq!(current(), Some(outer.clone()));
+            {
+                let _b = set(inner.clone());
+                assert_eq!(current(), Some(inner));
+            }
+            assert_eq!(current(), Some(outer));
+        }
+        assert!(current().is_none());
+    }
+}

@@ -119,6 +119,16 @@ impl JsonWriter {
         self.value_f64(value);
     }
 
+    /// Splices pre-rendered JSON as one value (comma handling applies;
+    /// the caller guarantees `json` is a complete, valid JSON value).
+    /// Lets composite payloads embed documents another exporter already
+    /// produced — e.g. a Chrome trace array inside a flight snapshot —
+    /// without re-parsing.
+    pub fn raw(&mut self, json: &str) {
+        self.elem();
+        self.out.push_str(json);
+    }
+
     fn push_str_escaped(&mut self, s: &str) {
         self.out.push('"');
         escape_into(&mut self.out, s);

@@ -141,12 +141,100 @@ impl Histogram {
     }
 }
 
+/// A fixed-bucket histogram of `f64` observations (e.g. request
+/// latencies in seconds, the unit Prometheus conventions expect).
+///
+/// Bucket semantics match [`Histogram`]; the sum is kept as an `f64`
+/// bit pattern updated with a compare-and-swap loop, so the type stays
+/// lock-free like its integer sibling. Non-finite observations are
+/// counted in `+Inf` but excluded from the sum.
+#[derive(Debug)]
+pub struct FloatHistogram {
+    /// Sorted, deduplicated finite inclusive upper bounds.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; one extra slot for `+Inf`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64::to_bits` of the running sum.
+    sum_bits: AtomicU64,
+}
+
+impl FloatHistogram {
+    fn new(bounds: &[f64]) -> FloatHistogram {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        FloatHistogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = if v.is_finite() {
+            self.bounds.partition_point(|&b| b < v)
+        } else {
+            self.bounds.len()
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            let mut current = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + v).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => current = seen,
+                }
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The configured upper bounds (excluding `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative count of observations `<=` each bound, ending with the
+    /// `+Inf` total.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.buckets
+            .iter()
+            .map(|b| {
+                total += b.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+}
+
 /// One registered metric.
 #[derive(Clone, Debug)]
 enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    FloatHistogram(Arc<FloatHistogram>),
 }
 
 impl Metric {
@@ -154,7 +242,7 @@ impl Metric {
         match self {
             Metric::Counter(_) => "counter",
             Metric::Gauge(_) => "gauge",
-            Metric::Histogram(_) => "histogram",
+            Metric::Histogram(_) | Metric::FloatHistogram(_) => "histogram",
         }
     }
 }
@@ -290,6 +378,32 @@ impl MetricsRegistry {
         }
     }
 
+    /// Gets or creates a labelled float histogram (inclusive upper
+    /// bounds in the observation's own unit, typically seconds). The
+    /// bounds of the first registration win.
+    ///
+    /// # Panics
+    /// If `name` (with these labels) is already registered as a
+    /// different metric type.
+    pub fn float_histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        help: &'static str,
+    ) -> Arc<FloatHistogram> {
+        let mut inner = self.lock();
+        inner.help.entry(name.to_owned()).or_insert(help);
+        let metric = inner
+            .metrics
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Metric::FloatHistogram(Arc::new(FloatHistogram::new(bounds))));
+        match metric {
+            Metric::FloatHistogram(h) => h.clone(),
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
     /// Every registered metric, sorted by name then labels, with its
     /// kind tag.
     fn sorted(&self) -> Vec<(Key, Metric, Option<&'static str>)> {
@@ -359,6 +473,40 @@ impl MetricsRegistry {
                         h.count()
                     );
                 }
+                Metric::FloatHistogram(h) => {
+                    let cumulative = h.cumulative();
+                    for (bound, cum) in h.bounds().iter().zip(&cumulative) {
+                        let le = format_f64(*bound);
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            name,
+                            render_labels(&labels, Some(&le)),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        name,
+                        render_labels(&labels, Some("+Inf")),
+                        cumulative.last().copied().unwrap_or(0)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        name,
+                        render_labels(&labels, None),
+                        format_f64(h.sum())
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        name,
+                        render_labels(&labels, None),
+                        h.count()
+                    );
+                }
             }
         }
         out
@@ -383,9 +531,22 @@ impl MetricsRegistry {
                 Metric::Histogram(h) => {
                     let _ = writeln!(out, "histogram {}{} count={}", name, rendered, h.count());
                 }
+                Metric::FloatHistogram(h) => {
+                    let _ = writeln!(out, "histogram {}{} count={}", name, rendered, h.count());
+                }
             }
         }
         out
+    }
+}
+
+/// Renders an `f64` the way Prometheus expects: plain decimal, no
+/// trailing zero noise (`Display` already gives `0.005`, `1`, `2.5`).
+fn format_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else {
+        format!("{v}")
     }
 }
 
@@ -545,6 +706,49 @@ mod tests {
         assert_eq!(a.count_fingerprint(), b.count_fingerprint());
         b.counter("c_total", "c").inc();
         assert_ne!(a.count_fingerprint(), b.count_fingerprint());
+    }
+
+    #[test]
+    fn float_histogram_buckets_and_sum() {
+        let h = FloatHistogram::new(&[0.01, 0.1, 1.0]);
+        h.observe(0.01); // edge: lands in its own bucket
+        h.observe(0.05);
+        h.observe(2.0); // +Inf
+        h.observe(f64::NAN); // counted, excluded from sum
+        assert_eq!(h.cumulative(), vec![1, 2, 2, 4]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 2.06).abs() < 1e-9, "{}", h.sum());
+    }
+
+    #[test]
+    fn float_histogram_renders_prometheus_text() {
+        let r = MetricsRegistry::new();
+        let h = r.float_histogram_with(
+            "req_seconds",
+            &[("endpoint", "explain")],
+            &[0.005, 0.05, 0.5],
+            "request latency",
+        );
+        h.observe(0.003);
+        h.observe(0.3);
+        let text = r.to_prometheus();
+        for line in [
+            "# TYPE req_seconds histogram",
+            "req_seconds_bucket{endpoint=\"explain\",le=\"0.005\"} 1",
+            "req_seconds_bucket{endpoint=\"explain\",le=\"0.5\"} 2",
+            "req_seconds_bucket{endpoint=\"explain\",le=\"+Inf\"} 2",
+            "req_seconds_count{endpoint=\"explain\"} 2",
+        ] {
+            assert!(text.contains(line), "missing '{line}' in:\n{text}");
+        }
+        // Fingerprint covers counts only (latency placement is wall
+        // clock), mirroring the integer histogram contract.
+        assert!(
+            r.count_fingerprint()
+                .contains("histogram req_seconds{endpoint=\"explain\"} count=2"),
+            "{}",
+            r.count_fingerprint()
+        );
     }
 
     #[test]

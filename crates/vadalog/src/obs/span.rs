@@ -37,12 +37,14 @@
 //! assert_eq!(spans[0].parent, Some(spans[1].id));
 //! ```
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
+
+use super::context;
 
 /// A typed span field value.
 #[derive(Clone, Debug, PartialEq)]
@@ -127,6 +129,13 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Wall-clock extent in nanoseconds.
     pub duration_ns: u64,
+    /// The trace id of the request this span served, if a
+    /// [`TraceContext`](super::context::TraceContext) was current on the
+    /// recording thread at entry. Links spans across threads (HTTP
+    /// handler → serving worker → pipeline) into one request tree.
+    pub trace_id: Option<Arc<str>>,
+    /// The process-local request id paired with `trace_id`.
+    pub request_id: Option<u64>,
 }
 
 /// A span consumer. Implementations must be cheap and non-blocking: the
@@ -207,9 +216,23 @@ impl SpanSink for RingCollector {
         if buf.len() >= self.capacity {
             buf.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            dropped_total().inc();
         }
         buf.push_back(span);
     }
+}
+
+/// The global eviction counter every [`RingCollector`] reports into, so
+/// silent span loss is visible on `/metrics`
+/// (`vadalog_obs_spans_dropped_total`). Resolved once.
+fn dropped_total() -> &'static Arc<super::metrics::Counter> {
+    static DROPPED: OnceLock<Arc<super::metrics::Counter>> = OnceLock::new();
+    DROPPED.get_or_init(|| {
+        super::metrics::global().counter(
+            "vadalog_obs_spans_dropped_total",
+            "Span records evicted from bounded ring collectors before export.",
+        )
+    })
 }
 
 /// A sink that prints one line per span to stderr (the `tracing`
@@ -254,6 +277,53 @@ thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
     /// This thread's dense trace id (0 until first assigned).
     static THREAD_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// Fast flag mirroring `CAPTURE.is_some()` (checked per span entry).
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    /// Spans closed on this thread while a [`Capture`] is active.
+    static CAPTURE: RefCell<Option<Vec<SpanRecord>>> = const { RefCell::new(None) };
+}
+
+/// Starts capturing every span that closes on *this thread* until
+/// [`Capture::finish`] (or drop). Capturing forces spans on for the
+/// thread even when no global collector is installed — this is how the
+/// serving layer's slow-query log records a full span tree per goal
+/// without requiring process-wide tracing. Records still flow to the
+/// installed sink as usual; the capture sees a copy.
+///
+/// Captures do not nest: beginning a new one discards any spans the
+/// previous capture had accumulated on this thread.
+#[must_use = "spans are captured until the guard is finished or dropped"]
+pub fn capture_begin() -> Capture {
+    CAPTURE.with(|cell| *cell.borrow_mut() = Some(Vec::new()));
+    CAPTURING.with(|cell| cell.set(true));
+    Capture {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// An active per-thread span capture (see [`capture_begin`]).
+#[derive(Debug)]
+pub struct Capture {
+    /// Captures are thread-local; keep the guard on the capturing thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Capture {
+    /// Ends the capture and returns the spans it collected, in close
+    /// order (innermost first, like any sink sees them).
+    pub fn finish(self) -> Vec<SpanRecord> {
+        CAPTURING.with(|cell| cell.set(false));
+        let spans = CAPTURE.with(|cell| cell.borrow_mut().take());
+        std::mem::forget(self);
+        spans.unwrap_or_default()
+    }
+}
+
+impl Drop for Capture {
+    fn drop(&mut self) {
+        CAPTURING.with(|cell| cell.set(false));
+        CAPTURE.with(|cell| cell.borrow_mut().take());
+    }
 }
 
 /// True iff the feature-gated stderr fallback should report spans.
@@ -280,12 +350,16 @@ pub fn uninstall() {
     ENABLED.store(stderr_armed(), Ordering::Release);
 }
 
-/// True iff spans are being observed (a collector is installed, or the
-/// stderr fallback is armed). One relaxed atomic load; the `span!` macro
-/// checks this before constructing anything.
+/// True iff spans are being observed (a collector is installed, a
+/// thread-local [`capture_begin`] is active, or the stderr fallback is
+/// armed). One relaxed atomic load plus one thread-local flag read; the
+/// `span!` macro checks this before constructing anything.
 #[inline]
 pub fn span_enabled() -> bool {
     if ENABLED.load(Ordering::Relaxed) {
+        return true;
+    }
+    if CAPTURING.with(std::cell::Cell::get) {
         return true;
     }
     // The stderr fallback arms lazily on the first probe (it consults
@@ -297,8 +371,10 @@ pub fn span_enabled() -> bool {
     false
 }
 
-/// Nanoseconds since the process trace epoch.
-fn now_ns() -> u64 {
+/// Nanoseconds since the process trace epoch — the timebase every span
+/// (and the flight recorder's events) timestamps against, so exported
+/// spans and structured events correlate on one axis.
+pub(crate) fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
@@ -332,6 +408,7 @@ struct ActiveSpan {
     fields: Vec<(&'static str, FieldValue)>,
     start_ns: u64,
     start: Instant,
+    trace: Option<context::TraceContext>,
 }
 
 impl Span {
@@ -357,6 +434,7 @@ impl Span {
             fields: fields(),
             start_ns: now_ns(),
             start: Instant::now(),
+            trace: context::current(),
         }))
     }
 
@@ -393,7 +471,18 @@ impl Drop for Span {
             thread: thread_id(),
             start_ns: active.start_ns,
             duration_ns,
+            trace_id: active.trace.as_ref().map(|t| Arc::clone(&t.trace_id)),
+            request_id: active.trace.as_ref().map(|t| t.request_id),
         };
+        let captured = CAPTURING.with(std::cell::Cell::get)
+            && CAPTURE.with(|cell| {
+                if let Some(spans) = cell.borrow_mut().as_mut() {
+                    spans.push(record.clone());
+                    true
+                } else {
+                    false
+                }
+            });
         let sink = COLLECTOR
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -401,7 +490,7 @@ impl Drop for Span {
         match sink {
             Some(sink) => sink.record(record),
             None => {
-                if stderr_armed() {
+                if !captured && stderr_armed() {
                     StderrSink.record(record);
                 }
             }
@@ -511,12 +600,87 @@ mod tests {
                 thread: 1,
                 start_ns: i,
                 duration_ns: 1,
+                trace_id: None,
+                request_id: None,
             });
         }
         assert_eq!(ring.len(), 2);
         assert_eq!(ring.dropped(), 3);
         let kept: Vec<u64> = ring.drain().iter().map(|s| s.id).collect();
         assert_eq!(kept, vec![4, 5]);
+    }
+
+    #[test]
+    fn spans_carry_the_current_trace_context() {
+        let _guard = INSTALL_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ring = Arc::new(RingCollector::new(16));
+        install(ring.clone());
+        let ctx = context::TraceContext::with_trace_id("trace-span-test");
+        {
+            let _outside = crate::span!("test.ctx_outside");
+            let _ctx = context::set(ctx.clone());
+            let _inside = crate::span!("test.ctx_inside");
+        }
+        uninstall();
+        let spans = ring.drain();
+        let inside = spans.iter().find(|s| s.name == "test.ctx_inside").unwrap();
+        let outside = spans.iter().find(|s| s.name == "test.ctx_outside").unwrap();
+        assert_eq!(inside.trace_id.as_deref(), Some("trace-span-test"));
+        assert_eq!(inside.request_id, Some(ctx.request_id));
+        assert_eq!(outside.trace_id, None);
+        assert_eq!(outside.request_id, None);
+    }
+
+    #[test]
+    fn capture_collects_spans_without_a_global_collector() {
+        let _guard = INSTALL_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        uninstall();
+        // No collector installed: spans are normally inert...
+        {
+            let span = crate::span!("test.capture_off");
+            assert_eq!(span.id(), None);
+        }
+        // ...but a thread-local capture forces them on for this thread.
+        let capture = capture_begin();
+        {
+            let _outer = crate::span!("test.capture_outer");
+            let _inner = crate::span!("test.capture_inner");
+        }
+        let spans = capture.finish();
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["test.capture_inner", "test.capture_outer"]);
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        // After finish, spans are inert again.
+        {
+            let span = crate::span!("test.capture_done");
+            assert_eq!(span.id(), None);
+        }
+    }
+
+    #[test]
+    fn capture_is_thread_local() {
+        let _guard = INSTALL_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        uninstall();
+        let capture = capture_begin();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // The sibling thread is not capturing: its span is inert.
+                let span = crate::span!("test.capture_other_thread");
+                assert_eq!(span.id(), None);
+            });
+        });
+        {
+            let _mine = crate::span!("test.capture_mine");
+        }
+        let spans = capture.finish();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "test.capture_mine");
     }
 
     #[test]

@@ -136,6 +136,8 @@ fn chrome_trace_escapes_hostile_field_values() {
         thread: 1,
         start_ns: 0,
         duration_ns: 10,
+        trace_id: None,
+        request_id: None,
     }];
     let trace = to_chrome_trace(&spans);
     let doc = json::parse(&trace).expect("hostile fields must still be valid JSON");
