@@ -30,7 +30,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use vadalog::telemetry::{Budget, RunGuard};
 use vadalog::{
-    ChaseOutcome, DerivationId, DerivationPolicy, Fact, FactId, Program, RuleId, Symbol,
+    ChaseConfig, ChaseOutcome, DerivationId, DerivationPolicy, Fact, FactId, GoalCone, Program,
+    RuleId, Symbol,
 };
 
 /// The immutable once-per-application build product of the explanation
@@ -49,6 +50,9 @@ pub struct ProgramArtifacts {
     /// Per-rule fallback templates (solid, dashed), used for side
     /// derivations no reasoning path absorbs.
     fallbacks: Vec<(Template, Template)>,
+    /// The goal's relevance cone over D(Σ), shared with pruned chase
+    /// configurations handed out by [`pruned_chase_config`](Self::pruned_chase_config).
+    cone: Arc<GoalCone>,
     stats: PipelineStats,
     report: PipelineReport,
 }
@@ -80,6 +84,27 @@ impl ProgramArtifacts {
     /// The structural analysis (reasoning paths).
     pub fn analysis(&self) -> &StructuralAnalysis {
         &self.analysis
+    }
+
+    /// The goal's relevance cone over the dependency graph D(Σ): the
+    /// predicates and rules that can contribute (positively or through
+    /// `not`) to deriving the goal, closed over SCCs. Computed once at
+    /// build time from the same fingerprinted inputs as the rest of the
+    /// artifacts, so cached editions share it.
+    pub fn goal_cone(&self) -> &Arc<GoalCone> {
+        &self.cone
+    }
+
+    /// A [`ChaseConfig`] restricted to the goal's relevance cone:
+    /// running the chase with it derives exactly the goal facts (and
+    /// their full provenance) of an unrestricted run, skipping every
+    /// rule outside the cone. Explanations over the pruned outcome are
+    /// byte-identical to the full run's for any goal-predicate fact.
+    ///
+    /// Note that constraints never enter a cone, so a pruned run checks
+    /// no constraints — use it for explanation serving, not validation.
+    pub fn pruned_chase_config(&self) -> ChaseConfig {
+        ChaseConfig::default().with_goal_cone(self.goal())
     }
 
     /// The generated templates of the given flavour, one per path.
@@ -577,12 +602,14 @@ impl<'a> ArtifactsBuilder<'a> {
                 "Enhancements that fell back to the deterministic template.",
             )
             .add(report.enhancement_fallbacks);
+        let cone = Arc::new(GoalCone::compute(&program, analysis.goal));
         Ok(ProgramArtifacts {
             program,
             analysis,
             deterministic,
             enhanced,
             fallbacks,
+            cone,
             stats,
             report,
         })
@@ -849,6 +876,28 @@ mod tests {
         let guarded = ProgramArtifacts::builder(parsed.program, "reach")
             .with_guard(RunGuard::default().with_timeout(std::time::Duration::from_secs(1)));
         assert!(guarded.fingerprint().is_none());
+    }
+
+    #[test]
+    fn artifacts_carry_the_goal_cone_and_hand_out_pruned_configs() {
+        let parsed = parse_program(
+            r#"
+            alpha: edge(x, y) -> reach(x, y).
+            beta: reach(x, y), edge(y, z) -> reach(x, z).
+            gamma: node(x) -> isolated(x).
+        "#,
+        )
+        .unwrap();
+        let artifacts = ProgramArtifacts::builder(parsed.program, "reach")
+            .build()
+            .unwrap();
+        let cone = artifacts.goal_cone();
+        assert_eq!(cone.goal(), Symbol::new("reach"));
+        assert!(cone.contains(Symbol::new("edge")));
+        assert!(!cone.contains(Symbol::new("isolated")));
+        assert_eq!(cone.pruned_rule_count(), 1);
+        let config = artifacts.pruned_chase_config();
+        assert_eq!(config.goal_cone, Some(Symbol::new("reach")));
     }
 
     #[test]

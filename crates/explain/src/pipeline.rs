@@ -231,6 +231,12 @@ impl ExplanationPipeline {
         self.artifacts.analysis()
     }
 
+    /// A chase configuration restricted to the goal's relevance cone
+    /// (see [`ProgramArtifacts::pruned_chase_config`]).
+    pub fn pruned_chase_config(&self) -> vadalog::ChaseConfig {
+        self.artifacts.pruned_chase_config()
+    }
+
     /// The generated templates of the given flavour, one per path.
     pub fn templates(&self, flavor: TemplateFlavor) -> &[Template] {
         self.artifacts.templates(flavor)

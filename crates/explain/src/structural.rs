@@ -157,7 +157,13 @@ pub fn analyze_with(
     let graph = DependencyGraph::build(program);
 
     // Def. 4.1 (see DESIGN.md): V critical iff intensional and (V is the
-    // leaf or V has more than one outgoing rule-labelled edge).
+    // leaf or V has more than one outgoing rule-labelled edge). The
+    // out-degree counts negated body occurrences too — D(Σ) carries one
+    // edge per occurrence, `not` or not — so an intensional predicate
+    // consumed under negation by several rules is critical exactly like
+    // a positively shared one. Path enumeration below stays over the
+    // positive bodies: a reasoning path narrates how facts are *derived*,
+    // and negated atoms contribute no derivation step to narrate.
     let critical: Vec<Symbol> = graph
         .nodes()
         .iter()
@@ -766,6 +772,30 @@ mod tests {
         let a = analyze(&p, "goal").unwrap();
         let sizes: Vec<usize> = a.simple_paths().map(|p2| p2.rules.len()).collect();
         assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn negated_consumption_makes_a_predicate_critical() {
+        // `mid` is derived by r1 and consumed twice: positively by r2 and
+        // under `not` by r3. D(Σ) carries one edge per occurrence, so
+        // mid's out-degree is 2 and it is critical alongside the leaf.
+        let p = parse_program(
+            r#"
+            r1: base(x) -> mid(x).
+            r2: mid(x) -> goal(x).
+            r3: other(x), not mid(x) -> goal(x).
+        "#,
+        )
+        .unwrap()
+        .program;
+        let a = analyze(&p, "goal").unwrap();
+        assert!(a.critical.contains(&Symbol::new("mid")));
+        assert!(a.critical.contains(&Symbol::new("goal")));
+        // Path enumeration still walks positive bodies only: r3 appears
+        // as the single-rule path {r3}, never routed through mid.
+        let simple = base_paths(&a, &p, PathKind::Simple);
+        assert!(simple.contains(&vec!["r3".to_string()]));
+        assert!(!simple.contains(&vec!["r1".to_string(), "r3".into()]));
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! The goal-cone equivalence suite: for every finkg application, a
+//! chase restricted to the goal's relevance cone
+//! (`ChaseConfig::with_goal_cone`) must yield explanations that are
+//! byte-identical — text, path labels, chase-step counts and support
+//! facts — to the full chase, at 1, 2 and 8 worker threads. The suite
+//! includes the negation-heavy sanctions screening, both for its
+//! `flagged` goal and for the `clean_link` goal whose cone crosses two
+//! negated edges, plus a property-based sweep over random sanctions
+//! graphs.
+//!
+//! The assertions hold under `VADALOG_NO_PRUNE` too: the ablation turns
+//! the pruned configuration into a plain full chase, and equality with
+//! the full chase stays trivially true.
+
+use explain::{DomainGlossary, ProgramArtifacts, TemplateFlavor};
+use finkg::apps::{
+    close_links, control, golden_power, joint_exposure, sanctions, simple_stress, stress,
+};
+use finkg::scenario;
+use proptest::prelude::*;
+use vadalog::{ChaseOutcome, ChaseSession, Database, DerivationPolicy, Program};
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
+/// Renders the full business report of `out` — one line per derived
+/// goal fact carrying every byte an explanation exposes.
+fn rendered_report(artifacts: &ProgramArtifacts, out: &ChaseOutcome) -> Vec<String> {
+    artifacts
+        .report(out, TemplateFlavor::Enhanced, DerivationPolicy::Richest)
+        .expect("report must succeed")
+        .into_iter()
+        .map(|e| {
+            let support: Vec<String> = e.support.iter().map(|f| f.to_string()).collect();
+            format!(
+                "{} || {} || {:?} || steps={} || {:?}",
+                e.fact, e.text, e.paths, e.chase_steps, support
+            )
+        })
+        .collect()
+}
+
+/// Asserts the pruned chase explains `goal` byte-identically to the
+/// full chase on `db`, at every thread count of the sweep.
+fn assert_cone_equivalence(
+    name: &str,
+    program: &Program,
+    goal: &str,
+    glossary: &DomainGlossary,
+    db: &Database,
+) {
+    let artifacts = ProgramArtifacts::builder(program.clone(), goal)
+        .with_glossary(glossary)
+        .build_cached()
+        .unwrap_or_else(|e| panic!("{name}: artifact build failed: {e}"));
+    let reference = {
+        let full = ChaseSession::new(program)
+            .with_threads(1)
+            .run(db.clone())
+            .unwrap_or_else(|e| panic!("{name}: full chase failed: {e}"));
+        rendered_report(&artifacts, &full)
+    };
+    assert!(
+        !reference.is_empty(),
+        "{name}: the scenario derives no {goal} facts; the equivalence would be vacuous"
+    );
+    for threads in THREAD_SWEEP {
+        let pruned = ChaseSession::new(program)
+            .with_config(artifacts.pruned_chase_config().with_threads(threads))
+            .run(db.clone())
+            .unwrap_or_else(|e| panic!("{name}: pruned chase at {threads} threads failed: {e}"));
+        assert_eq!(
+            rendered_report(&artifacts, &pruned),
+            reference,
+            "{name}: pruned explanations diverged at {threads} threads"
+        );
+    }
+}
+
+fn golden_power_scenario() -> Database {
+    let mut db = Database::new();
+    for c in ["OffshoreCo", "HoldCo", "SubA", "SubB", "GridCo"] {
+        db.add("company", &[c.into()]);
+    }
+    db.add("foreign", &["OffshoreCo".into()]);
+    db.add("strategic", &["GridCo".into()]);
+    db.add("own", &["OffshoreCo".into(), "HoldCo".into(), 0.7.into()]);
+    db.add("own", &["HoldCo".into(), "SubA".into(), 0.9.into()]);
+    db.add("own", &["HoldCo".into(), "SubB".into(), 0.6.into()]);
+    db.add("own", &["SubA".into(), "GridCo".into(), 0.06.into()]);
+    db.add("own", &["SubB".into(), "GridCo".into(), 0.06.into()]);
+    db
+}
+
+#[test]
+fn control_cone_explanations_match_the_full_chase() {
+    assert_cone_equivalence(
+        "control/scenario",
+        &control::program(),
+        control::GOAL,
+        &control::glossary(),
+        &scenario::database(),
+    );
+    assert_cone_equivalence(
+        "control/random",
+        &control::program(),
+        control::GOAL,
+        &control::glossary(),
+        &finkg::random_ownership(60, 3, 7),
+    );
+}
+
+#[test]
+fn stress_cone_explanations_match_the_full_chase() {
+    assert_cone_equivalence(
+        "stress/scenario",
+        &stress::program(),
+        stress::GOAL,
+        &stress::glossary(),
+        &scenario::database(),
+    );
+}
+
+#[test]
+fn simple_stress_cone_explanations_match_the_full_chase() {
+    assert_cone_equivalence(
+        "simple_stress/figure8",
+        &simple_stress::program(),
+        simple_stress::GOAL,
+        &simple_stress::glossary(),
+        &simple_stress::figure_8_database(),
+    );
+}
+
+#[test]
+fn close_links_cone_explanations_match_the_full_chase() {
+    assert_cone_equivalence(
+        "close_links/random",
+        &close_links::program(),
+        close_links::GOAL,
+        &close_links::glossary(),
+        &finkg::random_ownership(40, 4, 9),
+    );
+}
+
+#[test]
+fn joint_exposure_cone_explanations_match_the_full_chase() {
+    assert_cone_equivalence(
+        "joint_exposure/random",
+        &joint_exposure::program(),
+        joint_exposure::GOAL,
+        &joint_exposure::glossary(),
+        &finkg::random_ownership(40, 6, 11),
+    );
+}
+
+#[test]
+fn golden_power_cone_explanations_match_the_full_chase() {
+    assert_cone_equivalence(
+        "golden_power/scenario",
+        &golden_power::program(),
+        golden_power::GOAL,
+        &golden_power::glossary(),
+        &golden_power_scenario(),
+    );
+}
+
+#[test]
+fn sanctions_flagged_cone_explanations_match_the_full_chase() {
+    assert_cone_equivalence(
+        "sanctions/flagged",
+        &sanctions::program(),
+        sanctions::GOAL,
+        &sanctions::glossary(),
+        &finkg::random_sanctions(40, 3, 7, 7),
+    );
+}
+
+#[test]
+fn sanctions_clean_link_cone_explanations_match_the_full_chase() {
+    // clean_link's cone enters `sanctioned` through two negated edges;
+    // the equivalence would break immediately if negated dependencies
+    // were dropped from the cone.
+    assert_cone_equivalence(
+        "sanctions/clean_link",
+        &sanctions::program(),
+        "clean_link",
+        &sanctions::glossary(),
+        &finkg::random_sanctions(40, 3, 7, 7),
+    );
+}
+
+#[test]
+fn sanctions_flagged_cone_actually_prunes() {
+    // Not an equivalence claim: the flagged cone excludes s4, so the
+    // pruned run must derive no clean_link facts at all. Skipped under
+    // the ablation, which re-enables every rule.
+    if std::env::var("VADALOG_NO_PRUNE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        return;
+    }
+    let program = sanctions::program();
+    let db = finkg::random_sanctions(40, 3, 7, 7);
+    let artifacts = ProgramArtifacts::builder(program.clone(), sanctions::GOAL)
+        .with_glossary(&sanctions::glossary())
+        .build_cached()
+        .unwrap();
+    let full = ChaseSession::new(&program).run(db.clone()).unwrap();
+    let pruned = ChaseSession::new(&program)
+        .with_config(artifacts.pruned_chase_config())
+        .run(db)
+        .unwrap();
+    assert!(!full.database.facts_of("clean_link".into()).is_empty());
+    assert!(pruned.database.facts_of("clean_link".into()).is_empty());
+    assert!(pruned.derived_facts < full.derived_facts);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random sanctions graphs: pruned-chase explanations stay
+    /// byte-identical to the full chase for both stratified goals, at
+    /// every thread count — whatever the topology and the density of
+    /// sanctioned designations.
+    #[test]
+    fn random_sanctions_cone_equivalence(
+        n in 5usize..40,
+        out_deg in 1usize..4,
+        every in 2usize..9,
+        seed in 0u64..500,
+    ) {
+        let program = sanctions::program();
+        let glossary = sanctions::glossary();
+        let db = finkg::random_sanctions(n, out_deg, every, seed);
+        for goal in ["flagged", "clean_link"] {
+            let artifacts = ProgramArtifacts::builder(program.clone(), goal)
+                .with_glossary(&glossary)
+                .build_cached()
+                .unwrap();
+            let full = ChaseSession::new(&program)
+                .with_threads(1)
+                .run(db.clone())
+                .unwrap();
+            let reference = rendered_report(&artifacts, &full);
+            for threads in THREAD_SWEEP {
+                let pruned = ChaseSession::new(&program)
+                    .with_config(artifacts.pruned_chase_config().with_threads(threads))
+                    .run(db.clone())
+                    .unwrap();
+                prop_assert_eq!(
+                    &rendered_report(&artifacts, &pruned),
+                    &reference,
+                    "goal {} diverged at {} threads", goal, threads
+                );
+            }
+        }
+    }
+}

@@ -9,8 +9,14 @@
 //! finkg-serve [--app control|stress|simple-stress|close-links|sanctions|joint-exposure|golden-power]
 //!             [--addr 127.0.0.1:7878] [--scale N] [--seed S] [--workers W]
 //!             [--max-connections C] [--deadline-ms MS]
-//!             [--flight-capacity N] [--slow-query-ms MS]
+//!             [--flight-capacity N] [--slow-query-ms MS] [--pruned]
 //! ```
+//!
+//! `--pruned` runs the boot chase goal-directed: only rules inside the
+//! goal's relevance cone fire, which keeps every goal fact (and its
+//! provenance) byte-identical to the full chase while skipping work
+//! for predicates the goal can never reach. Constraints are skipped
+//! too, so a pruned server explains but does not validate.
 //!
 //! `--max-connections` bounds the concurrent connection-handler pool
 //! (excess connections get an immediate `503` + `Retry-After`);
@@ -135,6 +141,7 @@ struct Args {
     deadline_ms: Option<u64>,
     flight_capacity: Option<usize>,
     slow_query_ms: Option<u64>,
+    pruned: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -148,6 +155,7 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: None,
         flight_capacity: None,
         slow_query_ms: None,
+        pruned: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -200,9 +208,10 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--slow-query-ms: {e}"))?,
                 )
             }
+            "--pruned" => args.pruned = true,
             "--help" | "-h" => {
                 println!(
-                    "finkg-serve [--app control|stress|simple-stress|close-links|sanctions|joint-exposure|golden-power]\n            [--addr HOST:PORT] [--scale N] [--seed S] [--workers W]\n            [--max-connections C] [--deadline-ms MS]\n            [--flight-capacity N] [--slow-query-ms MS]"
+                    "finkg-serve [--app control|stress|simple-stress|close-links|sanctions|joint-exposure|golden-power]\n            [--addr HOST:PORT] [--scale N] [--seed S] [--workers W]\n            [--max-connections C] [--deadline-ms MS]\n            [--flight-capacity N] [--slow-query-ms MS] [--pruned]"
                 );
                 std::process::exit(0);
             }
@@ -229,24 +238,8 @@ fn main() {
         std::process::exit(2);
     };
 
-    let db = (app.database)(args.scale, args.seed);
-    eprintln!(
-        "finkg-serve: chasing app {:?} over {} facts ...",
-        app.name,
-        db.len()
-    );
-    let outcome = match ChaseSession::new(&app.program).run(db) {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            eprintln!("finkg-serve: chase failed: {e}");
-            std::process::exit(1);
-        }
-    };
-    eprintln!(
-        "finkg-serve: chase done ({} derived facts, {} rounds)",
-        outcome.derived_facts, outcome.rounds
-    );
-
+    // Artifacts first: with `--pruned` the boot chase needs the goal's
+    // relevance cone they carry.
     let artifacts = match ProgramArtifacts::builder(app.program.clone(), app.goal)
         .with_glossary(&app.glossary)
         .build_cached()
@@ -261,6 +254,52 @@ fn main() {
         "finkg-serve: artifacts ready ({} reasoning paths, {} templates)",
         artifacts.stats().paths,
         artifacts.templates(explain::TemplateFlavor::Enhanced).len()
+    );
+
+    let db = (app.database)(args.scale, args.seed);
+    let chase_config = if args.pruned {
+        let cone = artifacts.goal_cone();
+        eprintln!(
+            "finkg-serve: goal-directed chase for {:?} ({} cone predicates, {} of {} rules pruned)",
+            app.goal,
+            cone.predicate_count(),
+            cone.pruned_rule_count(),
+            app.program.len()
+        );
+        let constraints = app
+            .program
+            .rules()
+            .iter()
+            .filter(|r| r.is_constraint())
+            .count();
+        if constraints > 0 {
+            eprintln!(
+                "finkg-serve: note: --pruned skips the program's {constraints} constraint(s); \
+                 this server explains, it does not validate"
+            );
+        }
+        artifacts.pruned_chase_config()
+    } else {
+        vadalog::ChaseConfig::default()
+    };
+    eprintln!(
+        "finkg-serve: chasing app {:?} over {} facts ...",
+        app.name,
+        db.len()
+    );
+    let outcome = match ChaseSession::new(&app.program)
+        .with_config(chase_config)
+        .run(db)
+    {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("finkg-serve: chase failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "finkg-serve: chase done ({} derived facts, {} rounds)",
+        outcome.derived_facts, outcome.rounds
     );
 
     // The flight recorder doubles as the process span sink: spans from

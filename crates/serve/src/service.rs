@@ -882,6 +882,53 @@ mod tests {
     }
 
     #[test]
+    fn pruned_snapshot_serves_byte_identical_goal_explanations() {
+        // `audit` lives outside reach's relevance cone; a service booted
+        // from a goal-directed chase must answer goal queries exactly
+        // like one booted from the full chase.
+        let parsed = parse_program(
+            r#"
+            alpha: edge(x, y) -> reach(x, y).
+            beta: reach(x, y), edge(y, z) -> reach(x, z).
+            gamma: edge(x, y), not flagged(x) -> audit(x, y).
+            edge("a", "b").
+            edge("b", "c").
+            flagged("b").
+        "#,
+        )
+        .unwrap();
+        let artifacts = ProgramArtifacts::builder(parsed.program.clone(), "reach")
+            .build_cached()
+            .unwrap();
+        let db: Database = parsed.facts.into_iter().collect();
+        let full = ChaseSession::new(&parsed.program).run(db.clone()).unwrap();
+        let pruned = ChaseSession::new(&parsed.program)
+            .with_config(artifacts.pruned_chase_config())
+            .run(db)
+            .unwrap();
+        if pruned.derived_facts == full.derived_facts {
+            // VADALOG_NO_PRUNE disables the cone; nothing to compare.
+            return;
+        }
+        let goals = vec![
+            Fact::new("reach", vec!["a".into(), "c".into()]),
+            Fact::new("reach", vec!["a".into(), "b".into()]),
+        ];
+        let config = || ServeConfig::default().with_workers(1);
+        let full_svc = ExplainService::new(artifacts.clone(), SnapshotHandle::new(full), config());
+        let pruned_svc = ExplainService::new(artifacts, SnapshotHandle::new(pruned), config());
+        let (_, full_results) = full_svc.explain_batch(&goals);
+        let (_, pruned_results) = pruned_svc.explain_batch(&goals);
+        for (f, p) in full_results.iter().zip(&pruned_results) {
+            let (f, p) = (f.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(f.text, p.text);
+            assert_eq!(f.paths, p.paths);
+            assert_eq!(f.chase_steps, p.chase_steps);
+            assert_eq!(f.support, p.support);
+        }
+    }
+
+    #[test]
     fn unknown_goals_fail_with_chained_source() {
         let (service, _) = service(1);
         let bogus = Fact::new("reach", vec!["z".into(), "q".into()]);

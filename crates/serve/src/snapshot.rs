@@ -339,12 +339,6 @@ impl SnapshotHandle {
                 .unwrap_or_else(|| std::io::Error::other("publish retry budget was zero")),
         })
     }
-
-    /// Atomically publishes `outcome` as a full update.
-    #[deprecated(since = "0.1.0", note = "use `publish(SnapshotUpdate::full(outcome))`")]
-    pub fn swap(&self, outcome: impl Into<Arc<ChaseOutcome>>) -> u64 {
-        self.publish(SnapshotUpdate::full(outcome))
-    }
 }
 
 #[cfg(test)]
@@ -399,10 +393,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn swap_remains_a_full_publish_shim() {
+    fn full_publish_replaces_the_snapshot() {
         let handle = SnapshotHandle::new(outcome(&[("a", "b")]));
-        let v2 = handle.swap(outcome(&[("x", "y")]));
+        let v2 = handle.publish(SnapshotUpdate::full(outcome(&[("x", "y")])));
         assert_eq!(v2, 2);
         assert_eq!(handle.current().update_kind(), UpdateKind::Full);
     }

@@ -28,11 +28,15 @@ pub fn dependency_graph_dot(graph: &DependencyGraph, program: &Program) -> Strin
         ));
     }
     for e in graph.edges() {
+        // Negated dependencies render dashed: the head still depends on
+        // the predicate (stratification orders them), but through `not`.
+        let style = if e.negated { " style=dashed" } else { "" };
         out.push_str(&format!(
-            "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+            "  \"{}\" -> \"{}\" [label=\"{}\"{}];\n",
             esc(e.from.as_str()),
             esc(e.to.as_str()),
-            esc(&program.rule(e.rule).label)
+            esc(&program.rule(e.rule).label),
+            style
         ));
     }
     out.push_str("}\n");

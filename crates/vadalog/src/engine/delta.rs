@@ -48,8 +48,8 @@
 //! EDB, which trivially satisfies the determinism contract.
 
 use super::{
-    join_plans, match_body_incremental_planned, match_body_planned, Chase, ChaseConfig,
-    ChaseOutcome, ChaseSession, JoinPlan, MatchMetrics,
+    join_plans, match_body_incremental_planned, match_body_planned, prune_ablation_default, Chase,
+    ChaseConfig, ChaseOutcome, ChaseSession, JoinPlan, MatchMetrics,
 };
 use crate::atom::{Atom, Fact};
 use crate::database::{Database, FactId};
@@ -315,10 +315,15 @@ fn updated_edb(live: &ChaseOutcome, net: &NetDelta) -> Vec<Fact> {
 /// True iff the incremental strategy applies: indexed semi-naive
 /// evaluation with neither aggregates (supersession state) nor
 /// existential invention (null counters) to maintain, over a store with
-/// no deactivated facts.
+/// no deactivated facts. Goal-cone-restricted sessions
+/// ([`ChaseConfig::goal_cone`]) also fall back: the maintenance loops
+/// re-match every rule, which would fire rules outside the cone; the
+/// full re-chase honours the cone and is itself pruned, so the fallback
+/// stays cheap exactly when the cone is sharp.
 fn incremental_eligible(program: &Program, config: &ChaseConfig, live: &ChaseOutcome) -> bool {
     config.use_positional_index
         && config.semi_naive
+        && (config.goal_cone.is_none() || prune_ablation_default())
         && live.database.inactive_count() == 0
         && program
             .rules()
@@ -1246,6 +1251,53 @@ mod tests {
             vec![own("A", "B"), own("B", "C"), own("C", "D")],
             &applied.outcome,
         );
+    }
+
+    #[test]
+    fn goal_cone_sessions_fall_back_to_a_pruned_rechase() {
+        // A cone-restricted session must not take the incremental path
+        // (the maintenance loops re-match rules outside the cone); the
+        // full-rechase fallback honours the cone, so the maintained
+        // outcome equals a from-scratch *pruned* chase on the updated
+        // EDB.
+        let parsed = parse_program(
+            r#"
+            r1: own(x, y) -> reach(x, y).
+            r2: reach(x, y), own(y, z) -> reach(x, z).
+            r3: own(x, y) -> audited(x).
+        "#,
+        )
+        .unwrap();
+        let config = ChaseConfig::default()
+            .with_positional_index(true)
+            .with_goal_cone("reach");
+        let (mut session, _) =
+            initial(&parsed.program, vec![own("A", "B"), own("B", "C")], &config);
+        let applied = session
+            .apply_delta(Delta::new().add(own("C", "D")))
+            .unwrap();
+        let expected = if prune_ablation_default() {
+            DeltaStrategy::Incremental
+        } else {
+            DeltaStrategy::FullRechase
+        };
+        assert_eq!(applied.strategy, expected);
+        let scratch = ChaseSession::new(&parsed.program)
+            .with_config(config)
+            .run(
+                vec![own("A", "B"), own("B", "C"), own("C", "D")]
+                    .into_iter()
+                    .collect::<Database>(),
+            )
+            .unwrap();
+        assert_eq!(structural(&scratch), structural(&applied.outcome));
+        if !prune_ablation_default() {
+            assert!(applied
+                .outcome
+                .database
+                .facts_of("audited".into())
+                .is_empty());
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub use matcher::{
 use crate::atom::Fact;
 use crate::checkpoint::{self, AutosavePolicy, CheckpointError, SnapshotParts};
 use crate::database::{Database, FactId};
+use crate::depgraph::GoalCone;
 use crate::error::{ChaseError, EvalError};
 use crate::expr::Bindings;
 use crate::faultpoint;
@@ -137,6 +138,22 @@ pub struct ChaseConfig {
     /// so registry contents are thread-count invariant (latency histogram
     /// *bucket placement* excepted — observation counts still are).
     pub metrics: Option<std::sync::Arc<MetricsRegistry>>,
+    /// Goal-directed relevance pruning: when set, the run evaluates only
+    /// the rules in the goal predicate's relevance cone (see
+    /// [`crate::depgraph::GoalCone`]) and builds indexes only
+    /// for them. The cone follows positive *and* negated dependency
+    /// edges closed over the SCC condensation, so the pruned run derives
+    /// exactly the full perfect model restricted to cone predicates —
+    /// goal facts, their provenance and therefore their explanations are
+    /// identical to a full run's. Rules outside the cone (constraints
+    /// included) are skipped entirely: pruned runs are an explanation
+    /// evaluation mode, not a constraint-validation one.
+    ///
+    /// Set by [`ChaseConfig::with_goal_cone`]; ignored process-wide when
+    /// the `VADALOG_NO_PRUNE` environment variable is set (to anything
+    /// but `0` or the empty string) — the CI knob that runs the whole
+    /// suite with pruning disabled.
+    pub goal_cone: Option<Symbol>,
 }
 
 /// True iff the `VADALOG_NO_INDEX` environment variable requests the
@@ -146,6 +163,19 @@ fn scan_ablation_default() -> bool {
     static FLAG: OnceLock<bool> = OnceLock::new();
     *FLAG.get_or_init(|| {
         std::env::var_os("VADALOG_NO_INDEX").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// True iff the `VADALOG_NO_PRUNE` environment variable disables
+/// goal-directed relevance pruning process-wide: a set
+/// [`ChaseConfig::goal_cone`] is then ignored and every run evaluates
+/// the full program — the ablation mirror of `VADALOG_NO_INDEX`, used by
+/// CI to run the whole suite over the unpruned path. Read once per
+/// process: pruning must not change mid-run.
+fn prune_ablation_default() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::env::var_os("VADALOG_NO_PRUNE").is_some_and(|v| !v.is_empty() && v != "0")
     })
 }
 
@@ -163,6 +193,7 @@ impl Default for ChaseConfig {
             full_telemetry: true,
             autosave: None,
             metrics: None,
+            goal_cone: None,
         }
     }
 }
@@ -237,6 +268,19 @@ impl ChaseConfig {
     /// process-wide [`crate::obs::metrics::global`] registry.
     pub fn with_metrics(mut self, registry: std::sync::Arc<MetricsRegistry>) -> ChaseConfig {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Restricts the run to the relevance cone of `goal`: only rules
+    /// that can contribute to deriving `goal` facts — through positive
+    /// or negated dependencies, closed over recursion cliques — are
+    /// evaluated and indexed. Goal facts, their provenance and their
+    /// explanations are bitwise identical to a full run's; facts of
+    /// predicates outside the cone are simply never derived. See
+    /// [`ChaseConfig::goal_cone`] for the semantics and the
+    /// `VADALOG_NO_PRUNE` ablation flip.
+    pub fn with_goal_cone(mut self, goal: impl Into<Symbol>) -> ChaseConfig {
+        self.goal_cone = Some(goal.into());
         self
     }
 
@@ -593,6 +637,7 @@ impl<'p> ChaseSession<'p> {
         let metrics = EngineMetrics::new(program, &self.config);
         let plans = join_plans(program, &self.config);
         let postings_at_start = database.postings_built();
+        let (cone, pruned_edb_facts) = resolve_cone(program, &self.config, &database);
         let engine = Chase {
             program,
             db: database,
@@ -609,6 +654,8 @@ impl<'p> ChaseSession<'p> {
             metrics,
             plans,
             postings_at_start,
+            cone,
+            pruned_edb_facts,
         };
         // `initial_facts` counts the pre-extension closure plus the new
         // input facts, so `derived_facts` of the result counts only the
@@ -806,6 +853,14 @@ struct Chase<'p> {
     /// `db.postings_built()` at construction, so the run reports only the
     /// posting-list entries it built itself.
     postings_at_start: u64,
+    /// The resolved relevance cone when goal-directed pruning is active:
+    /// rules outside it are never matched, committed or indexed. `None`
+    /// when no cone is configured or `VADALOG_NO_PRUNE` disabled pruning
+    /// process-wide.
+    cone: Option<GoalCone>,
+    /// EDB facts whose predicate lies outside the cone — facts the
+    /// pruned run exempts from indexing and derivation.
+    pruned_edb_facts: u64,
 }
 
 /// The per-rule join plans of `program` under `config`.
@@ -823,6 +878,26 @@ fn join_plans(program: &Program, config: &ChaseConfig) -> Vec<JoinPlan> {
         .collect()
 }
 
+/// Resolves [`ChaseConfig::goal_cone`] against the program and the EDB:
+/// the cone to prune by (unless `VADALOG_NO_PRUNE` disables pruning) plus
+/// the number of EDB facts outside it. The count is deterministic — a
+/// pure function of the EDB and the program — so the cone metrics stay
+/// thread-count invariant like every other engine metric.
+fn resolve_cone(program: &Program, config: &ChaseConfig, db: &Database) -> (Option<GoalCone>, u64) {
+    let Some(goal) = config.goal_cone else {
+        return (None, 0);
+    };
+    if prune_ablation_default() {
+        return (None, 0);
+    }
+    let cone = GoalCone::compute(program, goal);
+    let pruned_facts = db
+        .iter()
+        .filter(|(_, f)| !cone.contains(f.predicate))
+        .count() as u64;
+    (Some(cone), pruned_facts)
+}
+
 impl<'p> Chase<'p> {
     fn new(program: &'p Program, db: Database, config: ChaseConfig) -> Chase<'p> {
         let mut graph = ChaseGraph::new();
@@ -833,6 +908,7 @@ impl<'p> Chase<'p> {
         let metrics = EngineMetrics::new(program, &config);
         let plans = join_plans(program, &config);
         let postings_at_start = db.postings_built();
+        let (cone, pruned_edb_facts) = resolve_cone(program, &config, &db);
         Chase {
             program,
             db,
@@ -849,6 +925,8 @@ impl<'p> Chase<'p> {
             metrics,
             plans,
             postings_at_start,
+            cone,
+            pruned_edb_facts,
         }
     }
 
@@ -876,7 +954,13 @@ impl<'p> Chase<'p> {
         // probe instead of scanning.
         let t = self.timer();
         if self.config.use_positional_index {
-            for (rule, plan) in self.program.rules().iter().zip(&self.plans) {
+            // Under goal-directed pruning only cone rules are indexed:
+            // predicates outside the cone stay scan-only dead weight the
+            // run never touches.
+            for (idx, (rule, plan)) in self.program.rules().iter().zip(&self.plans).enumerate() {
+                if !self.rule_in_cone(idx) {
+                    continue;
+                }
                 for (pred, sig) in plan.required_composite_indexes(rule) {
                     self.db.ensure_composite_index(pred, &sig);
                 }
@@ -1442,6 +1526,35 @@ impl<'p> Chase<'p> {
                 "Largest fact store observed at the end of any run.",
             )
             .set_max(self.report.peak.facts);
+        if let Some(cone) = &self.cone {
+            registry
+                .gauge(
+                    "vadalog_cone_size",
+                    "Predicates in the goal cone of the latest pruned run.",
+                )
+                .set(cone.predicate_count() as u64);
+            registry
+                .counter(
+                    "vadalog_cone_pruned_rules_total",
+                    "Rules excluded from evaluation by goal-directed pruning, across runs.",
+                )
+                .add(cone.pruned_rule_count() as u64);
+            registry
+                .counter(
+                    "vadalog_cone_pruned_facts_total",
+                    "EDB facts outside the goal cone (exempt from indexing and derivation), across pruned runs.",
+                )
+                .add(self.pruned_edb_facts);
+        }
+    }
+
+    /// True iff rule `idx` participates in this run: always, unless
+    /// goal-directed pruning is active and the rule falls outside the
+    /// goal's relevance cone.
+    fn rule_in_cone(&self, idx: usize) -> bool {
+        self.cone
+            .as_ref()
+            .is_none_or(|cone| cone.includes_rule(RuleId(idx)))
     }
 
     /// True iff `rule` is matched semi-naively (delta expansion per pivot)
@@ -1472,7 +1585,7 @@ impl<'p> Chase<'p> {
     ) -> MatchPhaseOutput {
         let mut items: Vec<WorkItem<'_>> = Vec::new();
         for (idx, rule) in self.program.rules().iter().enumerate() {
-            if self.program.rule_stratum(RuleId(idx)) != stratum {
+            if self.program.rule_stratum(RuleId(idx)) != stratum || !self.rule_in_cone(idx) {
                 continue;
             }
             let watermark = self.last_seen_len[idx];
@@ -1729,7 +1842,7 @@ impl<'p> Chase<'p> {
         let mut changed = false;
         for (idx, rule) in self.program.rules().iter().enumerate().skip(from_rule) {
             let rule_id = RuleId(idx);
-            if self.program.rule_stratum(rule_id) != stratum {
+            if self.program.rule_stratum(rule_id) != stratum || !self.rule_in_cone(idx) {
                 continue;
             }
             if let Some((budget, observed)) =
@@ -3350,5 +3463,169 @@ mod governance_tests {
         let out = ChaseSession::new(&program).run(ladder_db(4)).unwrap();
         assert!(!out.is_partial());
         assert!(!out.report.is_partial());
+    }
+}
+
+#[cfg(test)]
+mod goal_cone_tests {
+    //! Goal-directed pruning: a cone-restricted run derives exactly the
+    //! full model restricted to cone predicates, keeps negated support,
+    //! stays thread-count invariant, and reports the cone metrics.
+    use super::*;
+
+    fn chase(program: &Program, db: Database) -> Result<ChaseOutcome, ChaseError> {
+        ChaseSession::new(program).run(db)
+    }
+
+    fn control_program() -> Program {
+        crate::parse_program(
+            "o1: own(x, y, s), s > 0.5 -> control(x, y).
+             o2: company(x) -> control(x, x).
+             o3: control(x, z), own(z, y, s), ts = sum(s), ts > 0.5 -> control(x, y).",
+        )
+        .unwrap()
+        .program
+    }
+
+    use super::determinism_tests::ladder_db;
+
+    /// The sanctions shape: recursion, stratified negation, and a
+    /// clean_link branch a `flagged` cone prunes away.
+    fn sanctions_program() -> Program {
+        crate::parse_program(
+            r#"
+            s1: own(x, y, w), w >= 0.2 -> exposure(x, y).
+            s2: exposure(x, z), own(z, y, w), w >= 0.2, x != y -> exposure(x, y).
+            s3: exposure(x, y), sanctioned(y) -> flagged(x, y).
+            s4: exposure(x, y), not sanctioned(x), not sanctioned(y) -> clean_link(x, y).
+            "#,
+        )
+        .unwrap()
+        .program
+    }
+
+    fn sanctions_db() -> Database {
+        let mut db = Database::new();
+        db.add("own", &["A".into(), "B".into(), 0.5.into()]);
+        db.add("own", &["B".into(), "C".into(), 0.3.into()]);
+        db.add("own", &["C".into(), "D".into(), 0.4.into()]);
+        db.add("sanctioned", &["D".into()]);
+        db
+    }
+
+    #[test]
+    fn pruned_chase_derives_the_goal_facts_and_skips_the_rest() {
+        if prune_ablation_default() {
+            return; // VADALOG_NO_PRUNE: pruning is a no-op by design.
+        }
+        let program = sanctions_program();
+        let full = chase(&program, sanctions_db()).unwrap();
+        let pruned = ChaseSession::new(&program)
+            .with_config(ChaseConfig::default().with_goal_cone("flagged"))
+            .run(sanctions_db())
+            .unwrap();
+        // Cone facts (exposure, flagged) agree with the full run.
+        for pred in ["exposure", "flagged"] {
+            let facts = |out: &ChaseOutcome| -> Vec<Fact> {
+                out.facts_of(pred)
+                    .into_iter()
+                    .map(|(_, f)| f.clone())
+                    .collect()
+            };
+            assert_eq!(facts(&full), facts(&pruned), "{pred} facts diverge");
+        }
+        // The clean_link branch was never evaluated.
+        assert_eq!(pruned.facts_of("clean_link").len(), 0);
+        assert!(!full.facts_of("clean_link").is_empty());
+        assert!(pruned.derived_facts < full.derived_facts);
+    }
+
+    #[test]
+    fn pruned_chase_preserves_negated_support() {
+        if prune_ablation_default() {
+            return;
+        }
+        let program = sanctions_program();
+        // Goal clean_link: `sanctioned` is consumed only under negation,
+        // so a negation-blind cone would silently flip the negation
+        // checks. The correct cone keeps it, and the clean links agree
+        // with the full run.
+        let full = chase(&program, sanctions_db()).unwrap();
+        let pruned = ChaseSession::new(&program)
+            .with_config(ChaseConfig::default().with_goal_cone("clean_link"))
+            .run(sanctions_db())
+            .unwrap();
+        let links = |out: &ChaseOutcome| -> Vec<Fact> {
+            out.facts_of("clean_link")
+                .into_iter()
+                .map(|(_, f)| f.clone())
+                .collect()
+        };
+        assert_eq!(links(&full), links(&pruned));
+        // The flagged branch was pruned.
+        assert_eq!(pruned.facts_of("flagged").len(), 0);
+    }
+
+    #[test]
+    fn pruned_chase_emits_cone_metrics() {
+        if prune_ablation_default() {
+            return;
+        }
+        let registry = std::sync::Arc::new(MetricsRegistry::new());
+        let program = sanctions_program();
+        ChaseSession::new(&program)
+            .with_config(
+                ChaseConfig::default()
+                    .with_goal_cone("flagged")
+                    .with_metrics(registry.clone()),
+            )
+            .run(sanctions_db())
+            .unwrap();
+        let text = registry.to_prometheus();
+        assert!(text.contains("vadalog_cone_size 4"), "{text}");
+        assert!(text.contains("vadalog_cone_pruned_rules_total 1"), "{text}");
+        // All four EDB facts are in the cone: nothing exempted.
+        assert!(text.contains("vadalog_cone_pruned_facts_total 0"), "{text}");
+    }
+
+    #[test]
+    fn pruned_chase_is_thread_count_invariant() {
+        if prune_ablation_default() {
+            return;
+        }
+        let program = sanctions_program();
+        let config = |threads| {
+            ChaseConfig::default()
+                .with_goal_cone("flagged")
+                .with_threads(threads)
+        };
+        let base = ChaseSession::new(&program)
+            .with_config(config(1))
+            .run(sanctions_db())
+            .unwrap();
+        for threads in [2, 8] {
+            let out = ChaseSession::new(&program)
+                .with_config(config(threads))
+                .run(sanctions_db())
+                .unwrap();
+            let dump = |o: &ChaseOutcome| -> Vec<(FactId, Fact)> {
+                o.database.iter().map(|(id, f)| (id, f.clone())).collect()
+            };
+            assert_eq!(dump(&base), dump(&out), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn total_cone_leaves_the_run_unchanged() {
+        // `control` reaches every predicate of the control program: the
+        // cone retains all rules and the pruned run equals the full one.
+        let program = control_program();
+        let full = chase(&program, ladder_db(6)).unwrap();
+        let pruned = ChaseSession::new(&program)
+            .with_config(ChaseConfig::default().with_goal_cone("control"))
+            .run(ladder_db(6))
+            .unwrap();
+        assert_eq!(full.derived_facts, pruned.derived_facts);
+        assert_eq!(full.rounds, pruned.rounds);
     }
 }

@@ -88,7 +88,7 @@ pub mod prelude {
     pub use crate::atom::{fact, Atom, Fact};
     pub use crate::checkpoint::{AutosavePolicy, CheckpointError};
     pub use crate::database::{Database, FactId};
-    pub use crate::depgraph::{DepEdge, DependencyGraph};
+    pub use crate::depgraph::{Condensation, DepEdge, DependencyGraph, GoalCone};
     pub use crate::engine::{
         ChaseConfig, ChaseOutcome, ChaseSession, Delta, DeltaOutcome, DeltaStrategy,
     };
